@@ -1,0 +1,92 @@
+//! Benchmarks of the power substrate hot paths and the static table
+//! generators (paper Figures 2–5).
+
+use apc_power::prelude::*;
+use apc_power::{benchprofiles, bonus::GroupingStrategy};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_accounting(c: &mut Criterion) {
+    let topo = Topology::curie();
+    let profile = NodePowerProfile::curie();
+    let mut group = c.benchmark_group("power_accounting");
+    group.sample_size(20);
+
+    group.bench_function("set_state_5040_nodes", |b| {
+        let mut acct = ClusterPowerAccountant::new(&topo, &profile);
+        let mut i = 0usize;
+        b.iter(|| {
+            let node = i % 5040;
+            let state = match i % 3 {
+                0 => PowerState::Busy(Frequency::from_ghz(2.7)),
+                1 => PowerState::Idle,
+                _ => PowerState::Off,
+            };
+            acct.set_state(node, state, i as u64);
+            i += 1;
+            black_box(acct.current_power())
+        })
+    });
+
+    group.bench_function("power_if_256_nodes", |b| {
+        let acct = ClusterPowerAccountant::new(&topo, &profile);
+        let nodes: Vec<usize> = (0..256).collect();
+        b.iter(|| black_box(acct.power_if(&nodes, PowerState::Busy(Frequency::from_ghz(2.0)))))
+    });
+    group.finish();
+}
+
+fn bench_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tradeoff_model");
+    group.sample_size(20);
+    let model = PowercapTradeoff::curie_default();
+    group.bench_function("decide_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=100 {
+                acc += model.decide_fraction(i as f64 / 100.0).work;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_shutdown_planner(c: &mut Criterion) {
+    let topo = Topology::curie();
+    let profile = NodePowerProfile::curie();
+    let mut group = c.benchmark_group("shutdown_planner");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, strategy) in [
+        ("grouped", GroupingStrategy::Grouped),
+        ("scattered", GroupingStrategy::Scattered),
+    ] {
+        let planner = GroupedShutdownPlanner::new(&topo, &profile).with_strategy(strategy);
+        group.bench_function(format!("plan_1MW_{name}"), |b| {
+            b.iter(|| black_box(planner.plan_unrestricted(Watts(1_000_000.0)).node_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_tables");
+    group.sample_size(20);
+    group.bench_function("fig3_profiles", |b| {
+        b.iter(|| black_box(BenchmarkProfile::all_curie().len()))
+    });
+    group.bench_function("fig5_rho_table", |b| {
+        b.iter(|| black_box(benchprofiles::fig5_table().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_accounting,
+    bench_tradeoff,
+    bench_shutdown_planner,
+    bench_tables
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! RJMS scheduling throughput with and without the powercap hook.
+//!
+//! Measures the cost of one full replay of a reduced workload per policy —
+//! i.e. how much the powercap logic (the grey boxes of the paper's Fig. 1)
+//! adds to the plain scheduler.
+
+use apc_bench::helpers::{bench_platform, bench_trace};
+use apc_core::PowercapPolicy;
+use apc_replay::{ReplayHarness, Scenario};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_replay_per_policy(c: &mut Criterion) {
+    let platform = bench_platform();
+    let trace = bench_trace(&platform);
+    let harness = ReplayHarness::new(platform, trace);
+    let duration = harness.trace().duration;
+
+    let mut group = c.benchmark_group("scheduler_replay");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.bench_function("baseline_none", |b| {
+        b.iter(|| black_box(harness.run(&Scenario::baseline()).report.launched_jobs))
+    });
+    for policy in [PowercapPolicy::Shut, PowercapPolicy::Dvfs, PowercapPolicy::Mix] {
+        let scenario = Scenario::paper(policy, 0.6, duration);
+        group.bench_function(format!("cap60_{}", policy.name()), |b| {
+            b.iter(|| black_box(harness.run(&scenario).report.launched_jobs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backfill_depth(c: &mut Criterion) {
+    use apc_rjms::backfill::BackfillConfig;
+    use apc_rjms::config::{ControllerConfig, SchedulerParameters};
+    use apc_rjms::controller::Controller;
+
+    let platform = bench_platform();
+    let trace = bench_trace(&platform);
+    let mut group = c.benchmark_group("backfill_depth");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for depth in [10usize, 100, 400] {
+        group.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| {
+                let params = SchedulerParameters {
+                    backfill: BackfillConfig {
+                        enabled: true,
+                        depth,
+                    },
+                    ..Default::default()
+                };
+                let mut controller = Controller::new(
+                    platform.clone(),
+                    ControllerConfig::default().with_params(params),
+                );
+                controller.submit_all(trace.to_submissions());
+                controller.set_horizon(trace.duration);
+                black_box(controller.run().launched_jobs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay_per_policy, bench_backfill_depth);
+criterion_main!(benches);

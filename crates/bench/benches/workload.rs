@@ -1,0 +1,49 @@
+//! Workload generation and SWF round-trip benchmarks.
+
+use apc_rjms::cluster::Platform;
+use apc_workload::{parse_swf, write_swf, CurieTraceGenerator, IntervalKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let full = Platform::curie();
+    let scaled = Platform::curie_scaled(2);
+    group.bench_function("curie_full_medianjob", |b| {
+        b.iter(|| {
+            black_box(
+                CurieTraceGenerator::new(1)
+                    .interval(IntervalKind::MedianJob)
+                    .generate_for(&full)
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("curie_scaled_24h", |b| {
+        b.iter(|| {
+            black_box(
+                CurieTraceGenerator::new(1)
+                    .interval(IntervalKind::Day24h)
+                    .generate_for(&scaled)
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_swf(c: &mut Criterion) {
+    let platform = Platform::curie_scaled(2);
+    let trace = CurieTraceGenerator::new(5).generate_for(&platform);
+    let text = write_swf(&trace);
+    let mut group = c.benchmark_group("swf");
+    group.sample_size(20);
+    group.bench_function("write", |b| b.iter(|| black_box(write_swf(&trace).len())));
+    group.bench_function("parse", |b| b.iter(|| black_box(parse_swf(&text).unwrap().len())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_swf);
+criterion_main!(benches);

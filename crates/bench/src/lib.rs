@@ -1,0 +1,36 @@
+//! # apc-bench
+//!
+//! Criterion benchmark harness for the adaptive-powercap workspace. The
+//! benchmark targets mirror the paper's experiment inventory:
+//!
+//! * `power_model` — the hot paths of the power substrate (incremental power
+//!   accounting, Section III trade-off decisions, grouped shutdown planning,
+//!   the Fig. 2/3/4/5 table generators);
+//! * `scheduler` — RJMS scheduling throughput with and without the powercap
+//!   hook (per-policy), i.e. the cost the grey boxes of Fig. 1 add to SLURM;
+//! * `workload` — synthetic Curie trace generation and SWF round-trips;
+//! * `figures` — end-to-end replays of reduced-scale versions of the
+//!   Fig. 6/7/8 scenarios (one bench per figure).
+//!
+//! Absolute throughput numbers are hardware-dependent; the benches exist to
+//! keep the relative costs visible and regressions detectable.
+
+/// Common helpers shared by the bench targets.
+pub mod helpers {
+    use apc_rjms::cluster::Platform;
+    use apc_workload::{CurieTraceGenerator, IntervalKind, Trace};
+
+    /// The reduced-scale platform used by replay benches (2 racks, 180 nodes).
+    pub fn bench_platform() -> Platform {
+        Platform::curie_scaled(2)
+    }
+
+    /// A deterministic reduced workload for replay benches.
+    pub fn bench_trace(platform: &Platform) -> Trace {
+        CurieTraceGenerator::new(1234)
+            .interval(IntervalKind::MedianJob)
+            .load_factor(0.8)
+            .backlog_factor(0.4)
+            .generate_for(platform)
+    }
+}

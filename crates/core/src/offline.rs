@@ -1,0 +1,281 @@
+//! Offline phase: Algorithm 1 — planning switch-off reservations.
+//!
+//! "The offline part of the scheduling algorithm is triggered only in the
+//! case of powercap reservations and has the ability to reserve the shutdown
+//! of nodes. In our context, the goal is to regroup the shutdown of
+//! contiguous nodes in order to benefit of power bonus possibilities."
+//! (paper Section V.)
+//!
+//! The planner reproduces Algorithm 1:
+//!
+//! ```text
+//! if P < N·Pmin:
+//!     Ndvfs = (P − N·Poff)/(Pmin − Poff);  Noff = N − Ndvfs
+//!     make a switch-off reservation of Noff nodes
+//! else:
+//!     ρ = 1 − 1/degmin − (Pmax − Pdvfs)/(Pmax − Poff)
+//!     if ρ ≤ 0:
+//!         Noff = (P − N·Pmax)/(Poff − Pmax)
+//!         make a switch-off reservation of Noff nodes
+//! ```
+//!
+//! gated by the selected policy (SHUT forces the switch-off branch, DVFS
+//! never reserves switch-offs, MIX follows the algorithm with the 2.0 GHz
+//! frequency floor), and then turns the node *count* into a concrete node
+//! *selection* through the grouped-shutdown planner so the power bonus is
+//! maximised.
+
+use std::collections::BTreeSet;
+
+use apc_power::{
+    GroupedShutdownPlanner, Mechanism, PowercapTradeoff, ShutdownPlan, Watts,
+};
+use apc_rjms::cluster::Cluster;
+use apc_rjms::time::TimeWindow;
+
+use crate::config::PowercapConfig;
+use crate::policy::PowercapPolicy;
+
+/// The outcome of the offline phase for one powercap reservation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfflineDecision {
+    /// The mechanism selected by the Section III model (before policy
+    /// gating).
+    pub model_mechanism: Mechanism,
+    /// Number of nodes Algorithm 1 wants switched off (0 when the policy or
+    /// the model rules shutdown out).
+    pub n_off_target: usize,
+    /// Number of nodes expected to run at the lowest permitted frequency
+    /// (informational; the online phase makes the actual per-job choice).
+    pub n_dvfs_target: usize,
+    /// Power reduction the switch-off reservation must deliver.
+    pub shutdown_reduction: Watts,
+    /// The concrete grouped node selection (empty when no shutdown planned).
+    pub plan: Option<ShutdownPlan>,
+}
+
+impl OfflineDecision {
+    /// The nodes to place under a switch-off reservation.
+    pub fn switch_off_nodes(&self) -> Vec<usize> {
+        self.plan
+            .as_ref()
+            .map(|p| p.nodes.clone())
+            .unwrap_or_default()
+    }
+
+    /// Did the offline phase decide to switch nodes off?
+    pub fn reserves_shutdown(&self) -> bool {
+        self.plan.as_ref().is_some_and(|p| !p.nodes.is_empty())
+    }
+}
+
+/// The offline planner (Algorithm 1 + grouped node selection).
+#[derive(Debug, Clone)]
+pub struct OfflinePlanner {
+    config: PowercapConfig,
+}
+
+impl OfflinePlanner {
+    /// Create a planner for the given configuration.
+    pub fn new(config: PowercapConfig) -> Self {
+        OfflinePlanner { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PowercapConfig {
+        &self.config
+    }
+
+    /// Plan the switch-off reservation for a powercap of `cap` watts over
+    /// `window` on the given cluster.
+    pub fn plan(&self, cluster: &Cluster, window: TimeWindow, cap: Watts) -> OfflineDecision {
+        let _ = window; // The plan covers the whole window; kept for future refinement.
+        let platform = cluster.platform();
+        let policy = self.config.policy;
+        let n = platform.total_nodes();
+        let ladder = &platform.ladder;
+        let degradation = policy.degradation(ladder);
+        let allowed = policy.allowed_ladder(ladder);
+
+        // The Section III model works on node power only; the share of the
+        // budget consumed by always-on equipment (chassis/rack overhead when
+        // any of their nodes is powered) is subtracted up front. The power
+        // bonus recovered by grouped switch-offs comes back through the
+        // planner's accounting.
+        let node_cap = (cap - platform.topology.total_overhead()).max_zero();
+
+        let model = PowercapTradeoff::new(
+            n,
+            platform.profile.max_watts(),
+            platform.profile.busy_watts(allowed.min()),
+            platform.profile.off_watts(),
+            platform.profile.idle_watts(),
+            degradation.degmin().max(1.0),
+        )
+        .with_rule(self.config.decision_rule);
+        let decision = model.decide(node_cap);
+
+        let (n_off, n_dvfs) = match policy {
+            PowercapPolicy::None => (0usize, 0usize),
+            PowercapPolicy::Dvfs => (0, decision.n_dvfs_nodes()),
+            PowercapPolicy::Shut => {
+                // Only switch-off is available: enough nodes must go down for
+                // the remainder to run at full speed within the budget.
+                (model.n_off_only(node_cap).ceil() as usize, 0)
+            }
+            PowercapPolicy::Mix => match decision.mechanism {
+                Mechanism::ShutdownOnly | Mechanism::Either => (decision.n_off_nodes(), 0),
+                Mechanism::Both => (decision.n_off_nodes(), decision.n_dvfs_nodes()),
+                Mechanism::DvfsOnly | Mechanism::Uncapped => (0, decision.n_dvfs_nodes()),
+                Mechanism::Infeasible => (n, 0),
+            },
+        };
+
+        let shutdown_reduction = platform.profile.shutdown_saving() * n_off as f64;
+        let plan = if n_off > 0 && policy.allows_shutdown() {
+            let planner = GroupedShutdownPlanner::new(&platform.topology, &platform.profile)
+                .with_strategy(self.config.grouping);
+            let candidates: BTreeSet<usize> = (0..n).collect();
+            Some(planner.plan(shutdown_reduction, &candidates))
+        } else {
+            None
+        };
+
+        OfflineDecision {
+            model_mechanism: decision.mechanism,
+            n_off_target: n_off,
+            n_dvfs_target: n_dvfs,
+            shutdown_reduction,
+            plan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_rjms::cluster::Platform;
+
+    fn cluster() -> Cluster {
+        Cluster::new(Platform::curie_scaled(4)) // 360 nodes
+    }
+
+    fn cap_fraction(cluster: &Cluster, f: f64) -> Watts {
+        cluster.platform().max_power() * f
+    }
+
+    fn plan_for(policy: PowercapPolicy, fraction: f64) -> (OfflineDecision, Cluster) {
+        let c = cluster();
+        let planner = OfflinePlanner::new(PowercapConfig::for_policy(policy));
+        let cap = cap_fraction(&c, fraction);
+        let d = planner.plan(&c, TimeWindow::new(3600, 7200), cap);
+        (d, c)
+    }
+
+    #[test]
+    fn none_policy_never_reserves() {
+        let (d, _) = plan_for(PowercapPolicy::None, 0.4);
+        assert!(!d.reserves_shutdown());
+        assert_eq!(d.n_off_target, 0);
+        assert!(d.switch_off_nodes().is_empty());
+    }
+
+    #[test]
+    fn dvfs_policy_never_reserves_shutdown() {
+        let (d, _) = plan_for(PowercapPolicy::Dvfs, 0.4);
+        assert!(!d.reserves_shutdown());
+        assert_eq!(d.n_off_target, 0);
+        assert!(d.n_dvfs_target > 0, "DVFS expects down-clocked nodes instead");
+    }
+
+    #[test]
+    fn shut_policy_reserves_enough_nodes() {
+        let (d, c) = plan_for(PowercapPolicy::Shut, 0.6);
+        assert!(d.reserves_shutdown());
+        let plan = d.plan.as_ref().unwrap();
+        assert!(plan.satisfied());
+        // Switching the planned nodes off while the rest runs flat-out keeps
+        // the node-level power within the node budget.
+        let platform = c.platform();
+        let node_cap = cap_fraction(&c, 0.6) - platform.topology.total_overhead();
+        let remaining = platform.total_nodes() - plan.node_count();
+        let remaining_power = platform.profile.max_watts() * remaining as f64
+            + platform.profile.off_watts() * plan.node_count() as f64
+            - plan.bonus(&platform.profile);
+        assert!(
+            remaining_power.as_watts() <= node_cap.as_watts() + 1e-6,
+            "{remaining_power} vs {node_cap}"
+        );
+    }
+
+    #[test]
+    fn shut_reservation_grows_as_cap_shrinks() {
+        let mut last = 0;
+        for fraction in [0.8, 0.6, 0.4] {
+            let (d, _) = plan_for(PowercapPolicy::Shut, fraction);
+            assert!(
+                d.n_off_target >= last,
+                "lower caps must switch off at least as many nodes"
+            );
+            last = d.n_off_target;
+        }
+    }
+
+    #[test]
+    fn mix_uses_both_mechanisms_below_75_percent() {
+        // MIX restricts DVFS to >= 2.0 GHz, so below ~75 % both mechanisms are
+        // required (paper Section VI-B).
+        let (d, _) = plan_for(PowercapPolicy::Mix, 0.6);
+        assert_eq!(d.model_mechanism, Mechanism::Both);
+        assert!(d.reserves_shutdown());
+        assert!(d.n_dvfs_target > 0);
+        // At 80 % the published ρ rule (negative for the MIX degradation of
+        // 1.29) selects switch-off only.
+        let (d80, _) = plan_for(PowercapPolicy::Mix, 0.80);
+        assert_eq!(d80.model_mechanism, Mechanism::ShutdownOnly);
+        assert!(d80.reserves_shutdown());
+        assert_eq!(d80.n_dvfs_target, 0);
+    }
+
+    #[test]
+    fn grouped_plan_harvests_bonus() {
+        let (d, c) = plan_for(PowercapPolicy::Shut, 0.5);
+        let plan = d.plan.unwrap();
+        assert!(plan.bonus(&c.platform().profile).as_watts() > 0.0);
+        // Scattered ablation needs at least as many nodes.
+        let planner = OfflinePlanner::new(
+            PowercapConfig::for_policy(PowercapPolicy::Shut)
+                .with_grouping(apc_power::bonus::GroupingStrategy::Scattered),
+        );
+        let scattered = planner
+            .plan(&c, TimeWindow::new(3600, 7200), cap_fraction(&c, 0.5))
+            .plan
+            .unwrap();
+        assert!(scattered.node_count() >= plan.node_count());
+    }
+
+    #[test]
+    fn uncapped_reservation_reserves_nothing() {
+        let c = cluster();
+        let planner = OfflinePlanner::new(PowercapConfig::for_policy(PowercapPolicy::Mix));
+        let cap = c.platform().max_power() * 1.2;
+        let d = planner.plan(&c, TimeWindow::new(0, 10), cap);
+        assert_eq!(d.model_mechanism, Mechanism::Uncapped);
+        assert!(!d.reserves_shutdown());
+    }
+
+    #[test]
+    fn infeasible_cap_switches_everything_off() {
+        let c = cluster();
+        let planner = OfflinePlanner::new(PowercapConfig::for_policy(PowercapPolicy::Mix));
+        let d = planner.plan(&c, TimeWindow::new(0, 10), Watts(1.0));
+        assert_eq!(d.model_mechanism, Mechanism::Infeasible);
+        assert_eq!(d.n_off_target, c.platform().total_nodes());
+    }
+
+    #[test]
+    fn config_accessor() {
+        let planner = OfflinePlanner::new(PowercapConfig::for_policy(PowercapPolicy::Shut));
+        assert_eq!(planner.config().policy, PowercapPolicy::Shut);
+    }
+}

@@ -1,0 +1,269 @@
+//! Online phase: Algorithm 2 — per-job frequency selection under the cap.
+//!
+//! "When evaluating the impact of the start of a pending job, the controller
+//! will temporarily alter the states of the candidate nodes, compute the
+//! resultant consumption and compare it to the defined and planned powercap.
+//! In case of DVFS or MIX scheduling mode, the evaluated job is controlled
+//! for all different CPU-Frequencies and it stays pending only if the
+//! estimated power consumption with the lower permitted CPU Frequency is
+//! larger than the power envelope it may use." (paper Section V.)
+//!
+//! The frequency probe walks the policy's allowed ladder from the fastest
+//! step downwards and returns the first step whose hypothetical cluster power
+//! fits under every powercap reservation overlapping the job's execution
+//! window (Algorithm 2).
+
+use apc_power::{Frequency, Watts};
+use apc_rjms::cluster::Cluster;
+use apc_rjms::job::Job;
+use apc_rjms::reservation::ReservationBook;
+use apc_rjms::time::SimTime;
+
+use crate::policy::PowercapPolicy;
+
+/// The outcome of the online frequency selection for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrequencyChoice {
+    /// Start the job now at the given frequency.
+    Start(Frequency),
+    /// No permitted frequency keeps the cluster under the power budget:
+    /// keep the job pending.
+    Postpone,
+}
+
+impl FrequencyChoice {
+    /// The chosen frequency, if the job may start.
+    pub fn frequency(self) -> Option<Frequency> {
+        match self {
+            FrequencyChoice::Start(f) => Some(f),
+            FrequencyChoice::Postpone => None,
+        }
+    }
+}
+
+/// The online scheduler (Algorithm 2).
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineScheduler {
+    policy: PowercapPolicy,
+}
+
+impl OnlineScheduler {
+    /// Create an online scheduler for the given policy.
+    pub fn new(policy: PowercapPolicy) -> Self {
+        OnlineScheduler { policy }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> PowercapPolicy {
+        self.policy
+    }
+
+    /// The tightest cap constraining a job that would run on the cluster
+    /// during `[now, now + duration)`, if any.
+    pub fn applicable_cap(
+        &self,
+        reservations: &ReservationBook,
+        now: SimTime,
+        duration: SimTime,
+    ) -> Option<Watts> {
+        reservations.cap_within(now, now.saturating_add(duration).max(now + 1))
+    }
+
+    /// Choose the execution frequency for `job` on `candidate_nodes` at
+    /// `now`, or decide to keep it pending.
+    pub fn choose(
+        &self,
+        cluster: &Cluster,
+        reservations: &ReservationBook,
+        job: &Job,
+        candidate_nodes: &[usize],
+        now: SimTime,
+    ) -> FrequencyChoice {
+        let platform = cluster.platform();
+        let fmax = platform.ladder.max();
+        if !self.policy.enforces_cap() {
+            return FrequencyChoice::Start(fmax);
+        }
+        let allowed = self.policy.allowed_ladder(&platform.ladder);
+        let degradation = self.policy.degradation(&platform.ladder);
+
+        for frequency in allowed.steps_descending() {
+            // The job's walltime is stretched with the frequency, so the
+            // window whose caps must be honoured depends on the probe.
+            let stretched_walltime = degradation.stretch_runtime(job.submission.walltime, frequency);
+            let Some(cap) = self.applicable_cap(reservations, now, stretched_walltime) else {
+                // No cap overlaps the job's execution at all: run flat out.
+                return FrequencyChoice::Start(fmax);
+            };
+            let hypothetical = cluster.power_if_busy(candidate_nodes, frequency);
+            if hypothetical <= cap {
+                return FrequencyChoice::Start(frequency);
+            }
+        }
+        FrequencyChoice::Postpone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_power::Watts;
+    use apc_rjms::cluster::Platform;
+    use apc_rjms::job::JobSubmission;
+    use apc_rjms::reservation::ReservationKind;
+    use apc_rjms::time::TimeWindow;
+
+    fn cluster() -> Cluster {
+        Cluster::new(Platform::curie_scaled(1)) // 90 nodes
+    }
+
+    fn job(cores: u32, walltime: SimTime) -> Job {
+        Job::new(0, JobSubmission::new(0, 0, cores, walltime, walltime / 2))
+    }
+
+    fn book_with_cap(window: TimeWindow, cap: Watts) -> ReservationBook {
+        let mut book = ReservationBook::new();
+        book.add(window, ReservationKind::PowerCap { cap });
+        book
+    }
+
+    #[test]
+    fn no_cap_means_max_frequency() {
+        let c = cluster();
+        let book = ReservationBook::new();
+        let sched = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        let choice = sched.choose(&c, &book, &job(160, 3600), &(0..10).collect::<Vec<_>>(), 0);
+        assert_eq!(choice, FrequencyChoice::Start(Frequency::from_ghz(2.7)));
+        assert_eq!(choice.frequency(), Some(Frequency::from_ghz(2.7)));
+    }
+
+    #[test]
+    fn cap_outside_job_window_is_ignored() {
+        let c = cluster();
+        // Cap far in the future, job finishes well before.
+        let book = book_with_cap(TimeWindow::new(100_000, 200_000), Watts(1.0));
+        let sched = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        let choice = sched.choose(&c, &book, &job(160, 3600), &(0..10).collect::<Vec<_>>(), 0);
+        assert_eq!(choice, FrequencyChoice::Start(Frequency::from_ghz(2.7)));
+    }
+
+    #[test]
+    fn tight_cap_lowers_the_frequency() {
+        let c = cluster();
+        let platform = c.platform().clone();
+        let nodes: Vec<usize> = (0..60).collect();
+        // Budget: idle cluster + 60 nodes at 2.0 GHz (not enough for 2.7 GHz).
+        let idle_power = c.current_power();
+        let cap = idle_power + Watts(60.0 * (269.0 - 117.0) + 1.0);
+        let book = book_with_cap(TimeWindow::new(0, 100_000), cap);
+        let sched = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        let choice = sched.choose(&c, &book, &job(960, 3600), &nodes, 0);
+        assert_eq!(choice, FrequencyChoice::Start(Frequency::from_ghz(2.0)));
+        let _ = platform;
+    }
+
+    #[test]
+    fn impossible_cap_postpones() {
+        let c = cluster();
+        let book = book_with_cap(TimeWindow::new(0, 100_000), Watts(1.0));
+        for policy in [PowercapPolicy::Shut, PowercapPolicy::Dvfs, PowercapPolicy::Mix] {
+            let sched = OnlineScheduler::new(policy);
+            let choice = sched.choose(&c, &book, &job(160, 3600), &(0..10).collect::<Vec<_>>(), 0);
+            assert_eq!(choice, FrequencyChoice::Postpone, "{policy}");
+            assert_eq!(choice.frequency(), None);
+        }
+    }
+
+    #[test]
+    fn none_policy_ignores_caps() {
+        let c = cluster();
+        let book = book_with_cap(TimeWindow::new(0, 100_000), Watts(1.0));
+        let sched = OnlineScheduler::new(PowercapPolicy::None);
+        let choice = sched.choose(&c, &book, &job(160, 3600), &(0..10).collect::<Vec<_>>(), 0);
+        assert_eq!(choice, FrequencyChoice::Start(Frequency::from_ghz(2.7)));
+    }
+
+    #[test]
+    fn shut_policy_never_downclocks() {
+        let c = cluster();
+        let idle_power = c.current_power();
+        // Enough for 10 nodes at 2.0 GHz but not at 2.7 GHz.
+        let cap = idle_power + Watts(10.0 * (269.0 - 117.0) + 1.0);
+        let book = book_with_cap(TimeWindow::new(0, 100_000), cap);
+        let nodes: Vec<usize> = (0..10).collect();
+        // SHUT: cannot lower the frequency, so the job stays pending.
+        let shut = OnlineScheduler::new(PowercapPolicy::Shut);
+        assert_eq!(
+            shut.choose(&c, &book, &job(160, 3600), &nodes, 0),
+            FrequencyChoice::Postpone
+        );
+        // DVFS: the job runs at 2.0 GHz instead.
+        let dvfs = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        assert_eq!(
+            dvfs.choose(&c, &book, &job(160, 3600), &nodes, 0),
+            FrequencyChoice::Start(Frequency::from_ghz(2.0))
+        );
+    }
+
+    #[test]
+    fn mix_policy_respects_the_frequency_floor() {
+        let c = cluster();
+        let idle_power = c.current_power();
+        // Enough headroom for 10 nodes at 1.2 GHz but not at 2.0 GHz.
+        let cap = idle_power + Watts(10.0 * (193.0 - 117.0) + 1.0);
+        let book = book_with_cap(TimeWindow::new(0, 100_000), cap);
+        let nodes: Vec<usize> = (0..10).collect();
+        // DVFS can drop to 1.2 GHz and start.
+        let dvfs = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        assert_eq!(
+            dvfs.choose(&c, &book, &job(160, 3600), &nodes, 0),
+            FrequencyChoice::Start(Frequency::from_ghz(1.2))
+        );
+        // MIX may not go below 2.0 GHz, so it must postpone.
+        let mix = OnlineScheduler::new(PowercapPolicy::Mix);
+        assert_eq!(
+            mix.choose(&c, &book, &job(160, 3600), &nodes, 0),
+            FrequencyChoice::Postpone
+        );
+    }
+
+    #[test]
+    fn future_cap_constrains_long_jobs_but_not_short_ones() {
+        let c = cluster();
+        let idle_power = c.current_power();
+        let cap = idle_power + Watts(30.0 * (269.0 - 117.0));
+        // The cap window opens at t = 4000.
+        let book = book_with_cap(TimeWindow::new(4000, 8000), cap);
+        let sched = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        let nodes: Vec<usize> = (0..60).collect();
+        // A short job (walltime 1000 s) ends before the cap: full speed.
+        assert_eq!(
+            sched.choose(&c, &book, &job(960, 1000), &nodes, 0),
+            FrequencyChoice::Start(Frequency::from_ghz(2.7))
+        );
+        // A long job overlaps the cap window and must slow down.
+        let choice = sched.choose(&c, &book, &job(960, 50_000), &nodes, 0);
+        match choice {
+            FrequencyChoice::Start(f) => assert!(f < Frequency::from_ghz(2.7)),
+            FrequencyChoice::Postpone => panic!("a frequency below 2.7 GHz fits this cap"),
+        }
+    }
+
+    #[test]
+    fn applicable_cap_picks_the_tightest() {
+        let mut book = ReservationBook::new();
+        book.add(
+            TimeWindow::new(0, 1000),
+            ReservationKind::PowerCap { cap: Watts(500.0) },
+        );
+        book.add(
+            TimeWindow::new(500, 1500),
+            ReservationKind::PowerCap { cap: Watts(300.0) },
+        );
+        let sched = OnlineScheduler::new(PowercapPolicy::Mix);
+        assert_eq!(sched.applicable_cap(&book, 0, 100), Some(Watts(500.0)));
+        assert_eq!(sched.applicable_cap(&book, 0, 600), Some(Watts(300.0)));
+        assert_eq!(sched.applicable_cap(&book, 2000, 100), None);
+        assert_eq!(sched.policy(), PowercapPolicy::Mix);
+    }
+}

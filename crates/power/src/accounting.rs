@@ -1,0 +1,480 @@
+//! Cluster-wide power accounting and energy integration.
+//!
+//! The RJMS "keeping the state of each resource internally can deduce the
+//! power consumption of the whole cluster" (paper Section IV-A). The
+//! [`ClusterPowerAccountant`] does exactly that: it mirrors every node's
+//! [`PowerState`] and maintains the instantaneous cluster power in O(1) per
+//! state change, including the shared-equipment power of partially powered
+//! chassis/racks and the *power bonus* when a whole group goes dark.
+//!
+//! The [`EnergyIntegrator`] turns the resulting piecewise-constant power
+//! signal into exact energy (the signal only changes at simulation events, so
+//! rectangle integration is exact, not an approximation).
+
+use crate::profile::NodePowerProfile;
+use crate::state::PowerState;
+use crate::topology::{NodeId, Topology};
+use crate::units::{Joules, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A timestamped power reading, used to build power time series for the
+/// paper's Figures 6 and 7.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Simulation time in seconds.
+    pub time: u64,
+    /// Total cluster power at that instant.
+    pub power: Watts,
+}
+
+/// Incremental power accounting over every node of a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterPowerAccountant {
+    topology: Topology,
+    profile: NodePowerProfile,
+    states: Vec<PowerState>,
+    /// For every level and every group of that level: number of nodes of the
+    /// group that are powered on. When the count reaches zero the group's
+    /// shared equipment stops being charged.
+    on_counts: Vec<Vec<usize>>,
+    /// Current total power (node power + shared equipment of live groups).
+    current: Watts,
+    /// Exact energy integrator fed on every state change.
+    integrator: EnergyIntegrator,
+    /// Recorded samples (one per change) for time-series plots.
+    samples: Vec<PowerSample>,
+    record_samples: bool,
+}
+
+impl ClusterPowerAccountant {
+    /// Create an accountant with every node idle at time 0.
+    pub fn new(topology: &Topology, profile: &NodePowerProfile) -> Self {
+        let n = topology.total_nodes();
+        let states = vec![PowerState::Idle; n];
+        let on_counts: Vec<Vec<usize>> = (0..topology.depth())
+            .map(|level| vec![topology.nodes_per_group(level); topology.group_count(level)])
+            .collect();
+        let node_power = profile.idle_watts() * n as f64;
+        let overhead = topology.total_overhead();
+        let current = node_power + overhead;
+        let mut acct = ClusterPowerAccountant {
+            topology: topology.clone(),
+            profile: profile.clone(),
+            states,
+            on_counts,
+            current,
+            integrator: EnergyIntegrator::new(0),
+            samples: Vec::new(),
+            record_samples: false,
+        };
+        acct.samples.push(PowerSample {
+            time: 0,
+            power: current,
+        });
+        acct
+    }
+
+    /// Enable or disable the per-change sample log (disabled by default to
+    /// keep replays of hundreds of thousands of events lean).
+    pub fn set_record_samples(&mut self, record: bool) {
+        self.record_samples = record;
+    }
+
+    /// The topology the accountant was built for.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The node power profile in use.
+    pub fn profile(&self) -> &NodePowerProfile {
+        &self.profile
+    }
+
+    /// Current state of a node.
+    #[inline]
+    pub fn state(&self, node: NodeId) -> PowerState {
+        self.states[node]
+    }
+
+    /// Instantaneous cluster power (nodes + shared equipment of groups with
+    /// at least one powered node).
+    #[inline]
+    pub fn current_power(&self) -> Watts {
+        self.current
+    }
+
+    /// Number of nodes currently powered off.
+    pub fn off_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_off()).count()
+    }
+
+    /// Number of nodes currently idle.
+    pub fn idle_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, PowerState::Idle))
+            .count()
+    }
+
+    /// Number of nodes currently busy.
+    pub fn busy_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_busy()).count()
+    }
+
+    /// Change the state of `node` at simulation time `time`, updating power
+    /// and energy accounting. Returns the new cluster power.
+    pub fn set_state(&mut self, node: NodeId, new: PowerState, time: u64) -> Watts {
+        let old = self.states[node];
+        if old == new {
+            return self.current;
+        }
+        // Energy accrued at the previous power level up to `time`.
+        self.integrator.advance(time, self.current);
+
+        // Node contribution.
+        self.current -= self.profile.watts(old);
+        self.current += self.profile.watts(new);
+
+        // Group overhead contributions. When a group goes completely dark its
+        // shared equipment powers off and — for the chassis level on Curie —
+        // the residual BMC power of its nodes disappears too (Fig. 2).
+        match (old.is_on(), new.is_on()) {
+            (true, false) => {
+                for level in 0..self.topology.depth() {
+                    let g = self.topology.group_of(level, node);
+                    let count = &mut self.on_counts[level][g];
+                    *count -= 1;
+                    if *count == 0 {
+                        self.current -= self.topology.group_completion_bonus(level, &self.profile);
+                    }
+                }
+            }
+            (false, true) => {
+                for level in 0..self.topology.depth() {
+                    let g = self.topology.group_of(level, node);
+                    let count = &mut self.on_counts[level][g];
+                    if *count == 0 {
+                        self.current += self.topology.group_completion_bonus(level, &self.profile);
+                    }
+                    *count += 1;
+                }
+            }
+            _ => {}
+        }
+
+        self.states[node] = new;
+        if self.record_samples {
+            self.samples.push(PowerSample {
+                time,
+                power: self.current,
+            });
+        }
+        self.current
+    }
+
+    /// Hypothetical cluster power if the given nodes were moved to `state`,
+    /// without committing the change. This is what the controller evaluates
+    /// before starting a job ("temporarily alter the states of the candidate
+    /// nodes, compute the resultant consumption", paper Section V).
+    pub fn power_if(&self, nodes: &[NodeId], state: PowerState) -> Watts {
+        let mut power = self.current;
+        // Track hypothetical on-count deltas per touched group to account for
+        // shared equipment switching.
+        let mut group_deltas: Vec<std::collections::HashMap<usize, isize>> =
+            vec![std::collections::HashMap::new(); self.topology.depth()];
+        for &node in nodes {
+            let old = self.states[node];
+            if old == state {
+                continue;
+            }
+            power -= self.profile.watts(old);
+            power += self.profile.watts(state);
+            match (old.is_on(), state.is_on()) {
+                (true, false) => {
+                    for level in 0..self.topology.depth() {
+                        let g = self.topology.group_of(level, node);
+                        *group_deltas[level].entry(g).or_insert(0) -= 1;
+                    }
+                }
+                (false, true) => {
+                    for level in 0..self.topology.depth() {
+                        let g = self.topology.group_of(level, node);
+                        *group_deltas[level].entry(g).or_insert(0) += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (level, deltas) in group_deltas.iter().enumerate() {
+            for (&g, &delta) in deltas {
+                let before = self.on_counts[level][g] as isize;
+                let after = before + delta;
+                let bonus = self.topology.group_completion_bonus(level, &self.profile);
+                if before > 0 && after <= 0 {
+                    power -= bonus;
+                } else if before == 0 && after > 0 {
+                    power += bonus;
+                }
+            }
+        }
+        power
+    }
+
+    /// Advance the energy integrator to `time` without changing any state
+    /// (used at the end of a replay interval).
+    pub fn advance_time(&mut self, time: u64) {
+        self.integrator.advance(time, self.current);
+    }
+
+    /// Total energy consumed since construction up to the last `set_state` /
+    /// `advance_time` call.
+    pub fn energy(&self) -> Joules {
+        self.integrator.total()
+    }
+
+    /// The recorded power samples (empty unless sample recording was enabled).
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// Consistency check: recompute the power from scratch and compare with
+    /// the incrementally maintained value. Used by tests and debug assertions.
+    pub fn recompute_power(&self) -> Watts {
+        let mut total: Watts = self
+            .states
+            .iter()
+            .map(|&s| self.profile.watts(s))
+            .sum();
+        for level in 0..self.topology.depth() {
+            let overhead = self.topology.levels()[level].overhead;
+            let completion = self.topology.group_completion_bonus(level, &self.profile);
+            for g in 0..self.topology.group_count(level) {
+                let any_on = self
+                    .topology
+                    .nodes_of_group(level, g)
+                    .any(|n| self.states[n].is_on());
+                if any_on {
+                    total += overhead;
+                } else {
+                    // The group is completely dark: everything its completion
+                    // bonus covers beyond the shared equipment (the node
+                    // standby power already summed above) is not drawn.
+                    total -= completion - overhead;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Exact integrator of a piecewise-constant power signal.
+///
+/// Call [`advance`](EnergyIntegrator::advance) with the power level that was
+/// held *since the previous call* whenever the power changes or whenever an
+/// energy reading is needed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnergyIntegrator {
+    last_time: u64,
+    total: Joules,
+}
+
+impl EnergyIntegrator {
+    /// Start integrating at `start_time`.
+    pub fn new(start_time: u64) -> Self {
+        EnergyIntegrator {
+            last_time: start_time,
+            total: Joules::ZERO,
+        }
+    }
+
+    /// Account for `power` having been drawn from the last recorded time up
+    /// to `time`. Times may repeat (zero-length segments add no energy) but
+    /// must never go backwards.
+    pub fn advance(&mut self, time: u64, power: Watts) {
+        debug_assert!(
+            time >= self.last_time,
+            "energy integration time went backwards: {} -> {}",
+            self.last_time,
+            time
+        );
+        if time > self.last_time {
+            self.total += power.over_seconds(time - self.last_time);
+            self.last_time = time;
+        }
+    }
+
+    /// The time of the last `advance` call.
+    pub fn last_time(&self) -> u64 {
+        self.last_time
+    }
+
+    /// Total integrated energy.
+    pub fn total(&self) -> Joules {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::Frequency;
+
+    fn curie_accountant() -> ClusterPowerAccountant {
+        ClusterPowerAccountant::new(&Topology::curie_scaled(2), &NodePowerProfile::curie())
+    }
+
+    #[test]
+    fn initial_power_is_all_idle_plus_overhead() {
+        let acct = curie_accountant();
+        let topo = acct.topology().clone();
+        let expected = Watts(117.0) * topo.total_nodes() as f64 + topo.total_overhead();
+        assert!(acct.current_power().approx_eq(expected, 1e-6));
+        assert_eq!(acct.idle_count(), topo.total_nodes());
+        assert_eq!(acct.off_count(), 0);
+        assert_eq!(acct.busy_count(), 0);
+    }
+
+    #[test]
+    fn busy_transition_changes_power() {
+        let mut acct = curie_accountant();
+        let before = acct.current_power();
+        acct.set_state(0, PowerState::Busy(Frequency::from_ghz(2.7)), 10);
+        let after = acct.current_power();
+        assert!(after.approx_eq(before + Watts(358.0 - 117.0), 1e-9));
+        assert_eq!(acct.busy_count(), 1);
+        // No-op transition keeps power identical.
+        acct.set_state(0, PowerState::Busy(Frequency::from_ghz(2.7)), 20);
+        assert!(acct.current_power().approx_eq(after, 1e-9));
+    }
+
+    #[test]
+    fn chassis_bonus_applies_when_fully_off() {
+        let mut acct = curie_accountant();
+        let topo = acct.topology().clone();
+        let before = acct.current_power();
+        // Switch off 17 of the 18 nodes of chassis 0: only per-node savings.
+        for node in 0..17 {
+            acct.set_state(node, PowerState::Off, 0);
+        }
+        let partial = acct.current_power();
+        assert!(partial.approx_eq(before - Watts((117.0 - 14.0) * 17.0), 1e-6));
+        // Switching the 18th removes the chassis equipment and the residual
+        // BMC power of the whole chassis (the 500 W completion bonus).
+        acct.set_state(17, PowerState::Off, 0);
+        let full = acct.current_power();
+        assert!(full.approx_eq(partial - Watts(117.0 - 14.0) - Watts(500.0), 1e-6));
+        assert_eq!(acct.off_count(), 18);
+        // Powering one back restores the chassis overhead and the BMCs.
+        acct.set_state(17, PowerState::Idle, 0);
+        assert!(acct
+            .current_power()
+            .approx_eq(full + Watts(117.0 - 14.0) + Watts(500.0), 1e-6));
+        let _ = topo;
+    }
+
+    #[test]
+    fn rack_bonus_applies_when_whole_rack_off() {
+        let mut acct = curie_accountant();
+        let before = acct.current_power();
+        for node in 0..90 {
+            acct.set_state(node, PowerState::Off, 0);
+        }
+        let after = acct.current_power();
+        // 90 nodes * (117-14) + 5 chassis completion bonuses + rack equipment:
+        // switching a whole rack off from idle recovers the full Fig. 2
+        // accumulated saving minus the busy-vs-idle difference.
+        let expected_drop = Watts(90.0 * 103.0 + 5.0 * 500.0 + 900.0);
+        assert!(after.approx_eq(before - expected_drop, 1e-6));
+    }
+
+    #[test]
+    fn incremental_matches_recompute() {
+        let mut acct = curie_accountant();
+        let n = acct.topology().total_nodes();
+        // A deterministic pseudo-random walk over states.
+        let mut x: u64 = 12345;
+        for step in 0..2000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let node = (x >> 33) as usize % n;
+            let state = match (x >> 10) % 4 {
+                0 => PowerState::Off,
+                1 => PowerState::Idle,
+                2 => PowerState::Busy(Frequency::from_ghz(2.0)),
+                _ => PowerState::Busy(Frequency::from_ghz(2.7)),
+            };
+            acct.set_state(node, state, step);
+        }
+        assert!(acct
+            .current_power()
+            .approx_eq(acct.recompute_power(), 1e-6));
+    }
+
+    #[test]
+    fn power_if_matches_committed_change() {
+        let mut acct = curie_accountant();
+        let nodes: Vec<NodeId> = (0..30).collect();
+        let hypothetical = acct.power_if(&nodes, PowerState::Busy(Frequency::from_ghz(2.2)));
+        for &n in &nodes {
+            acct.set_state(n, PowerState::Busy(Frequency::from_ghz(2.2)), 0);
+        }
+        assert!(hypothetical.approx_eq(acct.current_power(), 1e-6));
+    }
+
+    #[test]
+    fn power_if_accounts_for_group_switching() {
+        let mut acct = curie_accountant();
+        // Switch 17 nodes of chassis 0 off for real.
+        for node in 0..17 {
+            acct.set_state(node, PowerState::Off, 0);
+        }
+        // Hypothetically switching the last one off must include the bonus.
+        let hyp = acct.power_if(&[17], PowerState::Off);
+        acct.set_state(17, PowerState::Off, 0);
+        assert!(hyp.approx_eq(acct.current_power(), 1e-6));
+        // And hypothetically powering a node of that dark chassis back on
+        // must re-add the chassis overhead.
+        let hyp_on = acct.power_if(&[3], PowerState::Idle);
+        acct.set_state(3, PowerState::Idle, 0);
+        assert!(hyp_on.approx_eq(acct.current_power(), 1e-6));
+    }
+
+    #[test]
+    fn energy_integration_is_exact() {
+        let topo = Topology::flat(2);
+        let profile = NodePowerProfile::curie();
+        let mut acct = ClusterPowerAccountant::new(&topo, &profile);
+        // Two idle nodes for 100 s: 2*117*100 J.
+        acct.set_state(0, PowerState::Busy(Frequency::from_ghz(2.7)), 100);
+        // One busy + one idle for 50 s: (358+117)*50 J.
+        acct.set_state(0, PowerState::Idle, 150);
+        // Both idle again for 50 s.
+        acct.advance_time(200);
+        let expected = 2.0 * 117.0 * 100.0 + (358.0 + 117.0) * 50.0 + 2.0 * 117.0 * 50.0;
+        assert!(acct.energy().approx_eq(Joules(expected), 1e-6));
+    }
+
+    #[test]
+    fn sample_recording_is_optional() {
+        let mut acct = curie_accountant();
+        assert_eq!(acct.samples().len(), 1);
+        acct.set_state(0, PowerState::Off, 5);
+        assert_eq!(acct.samples().len(), 1, "disabled by default");
+        acct.set_record_samples(true);
+        acct.set_state(1, PowerState::Off, 6);
+        acct.set_state(2, PowerState::Off, 7);
+        assert_eq!(acct.samples().len(), 3);
+        assert_eq!(acct.samples()[1].time, 6);
+    }
+
+    #[test]
+    fn integrator_zero_length_segments() {
+        let mut i = EnergyIntegrator::new(10);
+        i.advance(10, Watts(100.0));
+        assert_eq!(i.total(), Joules::ZERO);
+        i.advance(20, Watts(100.0));
+        assert!(i.total().approx_eq(Joules(1000.0), 1e-9));
+        i.advance(20, Watts(500.0));
+        assert!(i.total().approx_eq(Joules(1000.0), 1e-9));
+        assert_eq!(i.last_time(), 20);
+    }
+}

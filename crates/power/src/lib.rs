@@ -1,0 +1,71 @@
+//! # apc-power — power and energy substrate
+//!
+//! This crate implements every power-related building block required by the
+//! reproduction of *"Adaptive Resource and Job Management for Limited Power
+//! Consumption"* (Georgiou, Glesser, Trystram — IPDPSW 2015):
+//!
+//! * a DVFS frequency ladder ([`freq`]),
+//! * node power states and per-state power profiles ([`state`], [`profile`]),
+//! * the hierarchical cluster topology of Curie with its *power bonus*
+//!   levels ([`topology`], [`bonus`]),
+//! * cluster-wide power accounting and exact energy integration
+//!   ([`accounting`]),
+//! * the DVFS runtime-degradation model ([`degradation`]),
+//! * the measured benchmark profiles of the paper's Figures 3/4/5
+//!   ([`benchprofiles`]),
+//! * and the Section III analytic trade-off model deciding between DVFS and
+//!   node shutdown under a power cap ([`tradeoff`]).
+//!
+//! Everything in this crate is deterministic and allocation-light: the hot
+//! paths (power accounting during a replay with 5 040 nodes and hundreds of
+//! thousands of events) are incremental O(1) updates.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use apc_power::prelude::*;
+//!
+//! let profile = NodePowerProfile::curie();
+//! let topo = Topology::curie();
+//! let mut acct = ClusterPowerAccountant::new(&topo, &profile);
+//!
+//! // Everything idle at t = 0.
+//! assert!(acct.current_power().as_watts() > 0.0);
+//!
+//! // Switch a whole chassis off and observe the power bonus.
+//! let before = acct.current_power();
+//! for node in topo.nodes_of_chassis(0) {
+//!     acct.set_state(node, PowerState::Off, 0);
+//! }
+//! assert!(acct.current_power() < before);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod benchprofiles;
+pub mod bonus;
+pub mod degradation;
+pub mod freq;
+pub mod profile;
+pub mod state;
+pub mod topology;
+pub mod tradeoff;
+pub mod units;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::accounting::{ClusterPowerAccountant, EnergyIntegrator, PowerSample};
+    pub use crate::benchprofiles::{BenchmarkApp, BenchmarkProfile, FrequencyPoint};
+    pub use crate::bonus::{GroupedShutdownPlanner, ShutdownPlan};
+    pub use crate::degradation::DegradationModel;
+    pub use crate::freq::{Frequency, FrequencyLadder};
+    pub use crate::profile::NodePowerProfile;
+    pub use crate::state::PowerState;
+    pub use crate::topology::{NodeId, Topology, TopologyLevel};
+    pub use crate::tradeoff::{Mechanism, PowercapTradeoff, TradeoffDecision};
+    pub use crate::units::{Joules, Watts};
+}
+
+pub use prelude::*;

@@ -1,0 +1,92 @@
+//! Command-line driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p apc-replay --bin experiments -- [targets] [options]
+//!
+//! targets: fig2 fig3 fig4 fig5 fig6 fig7a fig7b fig8 claims ablations model all
+//!          (default: the static tables fig2..fig5 and the model sweep)
+//! options: --racks N   replay scale in racks of 90 nodes (default 6)
+//!          --full      replay at the full 56-rack / 5040-node Curie scale
+//!          --seed S    workload generator seed (default 2012)
+//! ```
+
+use apc_replay::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut racks = figures::DEFAULT_RACKS;
+    let mut seed = 2012u64;
+    let mut targets: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--racks" => {
+                racks = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--racks needs an integer argument");
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer argument");
+            }
+            "--full" => racks = 56,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|fig8|claims|ablations|model|all]... [--racks N|--full] [--seed S]"
+                );
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets = vec![
+            "fig2".into(),
+            "fig3".into(),
+            "fig4".into(),
+            "fig5".into(),
+            "model".into(),
+        ];
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "fig2", "fig3", "fig4", "fig5", "model", "fig6", "fig7a", "fig7b", "fig8", "claims",
+            "ablations",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    for target in targets {
+        let output = match target.as_str() {
+            "fig2" => figures::fig2(),
+            "fig3" => figures::fig3(),
+            "fig4" => figures::fig4(),
+            "fig5" => figures::fig5(),
+            "model" => figures::model_sweep(),
+            "fig6" => figures::fig6(racks, seed),
+            "fig7a" => figures::fig7a(racks, seed),
+            "fig7b" => figures::fig7b(racks, seed),
+            "fig8" => figures::fig8(racks, seed),
+            "claims" => figures::claims(racks, seed),
+            "ablations" => {
+                let mut s = figures::ablation_grouping(racks, seed);
+                s.push('\n');
+                s.push_str(&figures::ablation_decision_rule(racks, seed));
+                s.push('\n');
+                s.push_str(&figures::ablation_app_aware(racks, seed));
+                s
+            }
+            unknown => {
+                eprintln!("unknown target: {unknown} (try --help)");
+                continue;
+            }
+        };
+        println!("{output}");
+        println!("{}", "=".repeat(100));
+    }
+}

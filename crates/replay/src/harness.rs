@@ -1,0 +1,238 @@
+//! The four-phase replay harness.
+//!
+//! The paper replays an interval in four phases (Section VII-B):
+//!
+//! 1. **environment setup** — SLURM configured as on Curie, with the node
+//!    power values of Fig. 4;
+//! 2. **interval initial state** — queued jobs and fair-share state put in
+//!    place (the synthetic trace carries the queued backlog as jobs submitted
+//!    at *t = 0*; historical fair-share usage is seeded per user);
+//! 3. **workload replay** — jobs are submitted with their original
+//!    characteristics (simple `sleep` payloads, i.e. only RJMS decisions are
+//!    exercised), powercap reservations are made at the beginning of the
+//!    replay;
+//! 4. **data post-treatment** — job states, utilisation, power and energy are
+//!    collected once the interval ends.
+//!
+//! [`ReplayHarness::run`] performs the four phases for one [`Scenario`] and
+//! returns a [`ReplayOutcome`] bundling the report, the time series and the
+//! normalised Fig. 8 metrics.
+
+use apc_core::{PowercapConfig, PowercapHook};
+use apc_rjms::cluster::Platform;
+use apc_rjms::config::ControllerConfig;
+use apc_rjms::controller::{Controller, SimulationReport};
+use apc_rjms::log::SimLog;
+use apc_workload::Trace;
+
+use crate::metrics::{NormalizedOutcome, PowerSeries, UtilizationSeries};
+use crate::scenario::Scenario;
+
+/// Everything collected from one replay.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The scenario that was replayed.
+    pub scenario: Scenario,
+    /// The controller's aggregate report.
+    pub report: SimulationReport,
+    /// The normalised energy / launched-jobs / work triple (Fig. 8).
+    pub normalized: NormalizedOutcome,
+    /// Core-state time series (Figures 6 and 7, top).
+    pub utilization: UtilizationSeries,
+    /// Power time series (Figures 6 and 7, bottom).
+    pub power: PowerSeries,
+    /// The raw simulation log.
+    pub log: SimLog,
+}
+
+impl ReplayOutcome {
+    /// One-line summary used by the examples and the experiments binary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} launched {:>5} | completed {:>5} | work {:>6.1} core-h ({:>5.1}% of capacity) | energy {:>10} ({:>5.1}% of max) | mean wait {:>7.0} s",
+            self.scenario.label(),
+            self.report.launched_jobs,
+            self.report.completed_jobs,
+            self.report.work_core_hours(),
+            self.normalized.work_normalized * 100.0,
+            format!("{}", self.report.energy),
+            self.normalized.energy_normalized * 100.0,
+            self.report.mean_wait_seconds,
+        )
+    }
+}
+
+/// The replay harness: a platform plus a workload trace.
+#[derive(Debug, Clone)]
+pub struct ReplayHarness {
+    platform: Platform,
+    trace: Trace,
+    /// Seed historical fair-share usage for the users appearing in the trace
+    /// (phase ii); expressed in core-hours per user.
+    initial_fairshare_core_hours: f64,
+}
+
+impl ReplayHarness {
+    /// Create a harness for a platform and a trace.
+    pub fn new(platform: Platform, trace: Trace) -> Self {
+        ReplayHarness {
+            platform,
+            trace,
+            initial_fairshare_core_hours: 1_000.0,
+        }
+    }
+
+    /// Override the seeded per-user fair-share history (builder style).
+    pub fn with_initial_fairshare(mut self, core_hours: f64) -> Self {
+        self.initial_fairshare_core_hours = core_hours;
+        self
+    }
+
+    /// The platform being replayed.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Run one scenario to completion and collect every metric.
+    pub fn run(&self, scenario: &Scenario) -> ReplayOutcome {
+        // Phase 1 — environment setup.
+        let powercap_config = PowercapConfig {
+            policy: scenario.policy,
+            grouping: scenario.grouping,
+            decision_rule: scenario.decision_rule,
+            kill_on_cap_violation: scenario.kill_on_violation,
+            per_application_degradation: scenario.per_application_degradation,
+        };
+        let hook = PowercapHook::new(powercap_config, &self.platform);
+        let controller_config = ControllerConfig::default().with_power_samples();
+        let mut controller =
+            Controller::with_hook(self.platform.clone(), controller_config, Box::new(hook));
+
+        // Phase 2 — interval initial state: fair-share history for every user
+        // seen in the trace. The queued backlog is part of the trace itself
+        // (jobs submitted at t = 0).
+        let mut users: Vec<usize> = self.trace.jobs.iter().map(|j| j.user).collect();
+        users.sort_unstable();
+        users.dedup();
+        for user in users {
+            controller.seed_fairshare(user, self.initial_fairshare_core_hours * 3600.0);
+        }
+
+        // Phase 3 — workload replay: powercap reservations are made at the
+        // beginning of the replay, then the trace is submitted and run.
+        if let (Some(window), Some(cap)) = (scenario.window(), scenario.cap(&self.platform)) {
+            controller.add_powercap_reservation(window, cap);
+        }
+        controller.submit_all(self.trace.to_submissions());
+        controller.set_horizon(self.trace.duration);
+        let report = controller.run();
+
+        // Phase 4 — post-treatment.
+        let normalized = NormalizedOutcome::from_report(&report, &self.platform, &self.trace);
+        let utilization = UtilizationSeries::from_log(controller.log(), &self.platform);
+        let power = PowerSeries::from_samples(controller.cluster().accountant().samples());
+        ReplayOutcome {
+            scenario: scenario.clone(),
+            report,
+            normalized,
+            utilization,
+            power,
+            log: controller.log().clone(),
+        }
+    }
+
+    /// Run every scenario of a grid (used by the Fig. 8 driver).
+    pub fn run_grid(&self, scenarios: &[Scenario]) -> Vec<ReplayOutcome> {
+        scenarios.iter().map(|s| self.run(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_core::PowercapPolicy;
+    use apc_workload::{CurieTraceGenerator, IntervalKind};
+
+    /// A small platform and a light-but-overloaded trace so the whole test
+    /// suite stays fast.
+    fn harness() -> ReplayHarness {
+        let platform = Platform::curie_scaled(2); // 180 nodes
+        let trace = CurieTraceGenerator::new(17)
+            .interval(IntervalKind::MedianJob)
+            .load_factor(1.2)
+            .backlog_factor(0.6)
+            .generate_for(&platform);
+        ReplayHarness::new(platform, trace)
+    }
+
+    #[test]
+    fn baseline_replay_produces_activity() {
+        let h = harness();
+        let outcome = h.run(&Scenario::baseline());
+        assert!(outcome.report.launched_jobs > 0);
+        assert!(outcome.report.work_core_seconds > 0.0);
+        assert!(outcome.normalized.work_normalized > 0.1);
+        assert!(outcome.normalized.energy_normalized > 0.0);
+        assert!(outcome.normalized.energy_normalized <= 1.0);
+        assert!(!outcome.summary().is_empty());
+        assert!(outcome.utilization.mean_utilization(h.trace().duration) > 0.1);
+    }
+
+    #[test]
+    fn capped_replays_respect_the_budget() {
+        let h = harness();
+        for policy in [PowercapPolicy::Shut, PowercapPolicy::Dvfs, PowercapPolicy::Mix] {
+            let scenario = Scenario::paper(policy, 0.6, h.trace().duration);
+            let outcome = h.run(&scenario);
+            let window = scenario.window().unwrap();
+            let cap = scenario.cap(h.platform()).unwrap();
+            let peak = outcome.power.peak_within(window.start, window.end);
+            assert!(
+                peak.as_watts() <= cap.as_watts() + 1e-6,
+                "{policy}: peak {peak} exceeds cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn capped_replays_deliver_less_work_than_baseline() {
+        let h = harness();
+        let baseline = h.run(&Scenario::baseline());
+        let capped = h.run(&Scenario::paper(PowercapPolicy::Shut, 0.4, h.trace().duration));
+        assert!(capped.report.work_core_seconds <= baseline.report.work_core_seconds + 1e-6);
+        assert!(capped.report.energy < baseline.report.energy);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let h = harness();
+        let scenario = Scenario::paper(PowercapPolicy::Mix, 0.6, h.trace().duration);
+        let a = h.run(&scenario);
+        let b = h.run(&scenario);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.log.len(), b.log.len());
+    }
+
+    #[test]
+    fn run_grid_covers_all_scenarios() {
+        let platform = Platform::curie_scaled(1);
+        let trace = CurieTraceGenerator::new(3)
+            .load_factor(0.4)
+            .backlog_factor(0.3)
+            .generate_for(&platform);
+        let h = ReplayHarness::new(platform, trace).with_initial_fairshare(10.0);
+        let scenarios = vec![
+            Scenario::baseline(),
+            Scenario::paper(PowercapPolicy::Shut, 0.6, h.trace().duration),
+        ];
+        let outcomes = h.run_grid(&scenarios);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].scenario.label(), "100%/None");
+        assert_eq!(outcomes[1].scenario.label(), "60%/SHUT");
+    }
+}

@@ -1,0 +1,192 @@
+//! Powercap scenarios.
+//!
+//! The paper's evaluation replays each workload interval under "three
+//! powercap scenarios reserving respectively 80 %, 60 % and 40 % of the
+//! available power budget for one hour in the middle of the replayed
+//! interval", plus a no-powercap baseline, for each of the SHUT / DVFS / MIX
+//! policies.
+
+use apc_core::PowercapPolicy;
+use apc_power::bonus::GroupingStrategy;
+use apc_power::tradeoff::DecisionRule;
+use apc_power::Watts;
+use apc_rjms::cluster::Platform;
+use apc_rjms::time::{SimTime, TimeWindow, HOUR};
+use serde::{Deserialize, Serialize};
+
+/// One experimental scenario: a policy plus an optional powercap window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The powercap policy.
+    pub policy: PowercapPolicy,
+    /// Cap expressed as a fraction of the cluster's maximum power
+    /// (`None` = no powercap reservation at all, the "100 %" rows).
+    pub cap_fraction: Option<f64>,
+    /// Start of the powercap window, seconds into the interval.
+    pub window_start: SimTime,
+    /// Duration of the powercap window.
+    pub window_duration: SimTime,
+    /// Switch-off grouping strategy (ablation knob).
+    pub grouping: GroupingStrategy,
+    /// DVFS-vs-shutdown decision rule (ablation knob).
+    pub decision_rule: DecisionRule,
+    /// Kill running jobs when the cap is violated at activation.
+    pub kill_on_violation: bool,
+    /// Stretch each job with its own application-class degradation instead of
+    /// the policy-wide common value (the paper's future-work extension).
+    pub per_application_degradation: bool,
+}
+
+impl Scenario {
+    /// The paper's standard scenario: `policy` with a 1-hour cap of
+    /// `cap_fraction` placed in the middle of an interval of
+    /// `interval_duration` seconds.
+    pub fn paper(policy: PowercapPolicy, cap_fraction: f64, interval_duration: SimTime) -> Self {
+        let window_start = interval_duration.saturating_sub(HOUR) / 2;
+        Scenario {
+            policy,
+            cap_fraction: Some(cap_fraction),
+            window_start,
+            window_duration: HOUR,
+            grouping: GroupingStrategy::Grouped,
+            decision_rule: DecisionRule::PaperRho,
+            kill_on_violation: false,
+            per_application_degradation: false,
+        }
+    }
+
+    /// The uncapped baseline ("100 %/None").
+    pub fn baseline() -> Self {
+        Scenario {
+            policy: PowercapPolicy::None,
+            cap_fraction: None,
+            window_start: 0,
+            window_duration: 0,
+            grouping: GroupingStrategy::Grouped,
+            decision_rule: DecisionRule::PaperRho,
+            kill_on_violation: false,
+            per_application_degradation: false,
+        }
+    }
+
+    /// Override the cap window (builder style).
+    pub fn with_window(mut self, start: SimTime, duration: SimTime) -> Self {
+        self.window_start = start;
+        self.window_duration = duration;
+        self
+    }
+
+    /// Override the grouping strategy (builder style).
+    pub fn with_grouping(mut self, grouping: GroupingStrategy) -> Self {
+        self.grouping = grouping;
+        self
+    }
+
+    /// Override the decision rule (builder style).
+    pub fn with_decision_rule(mut self, rule: DecisionRule) -> Self {
+        self.decision_rule = rule;
+        self
+    }
+
+    /// Enable "extreme actions" (builder style).
+    pub fn with_kill_on_violation(mut self) -> Self {
+        self.kill_on_violation = true;
+        self
+    }
+
+    /// Enable application-aware DVFS degradation (builder style).
+    pub fn with_per_application_degradation(mut self) -> Self {
+        self.per_application_degradation = true;
+        self
+    }
+
+    /// The powercap window, if the scenario has one.
+    pub fn window(&self) -> Option<TimeWindow> {
+        self.cap_fraction?;
+        Some(TimeWindow::with_duration(
+            self.window_start,
+            self.window_duration,
+        ))
+    }
+
+    /// The absolute cap for a given platform, if the scenario has one.
+    pub fn cap(&self, platform: &Platform) -> Option<Watts> {
+        self.cap_fraction.map(|f| platform.power_fraction(f))
+    }
+
+    /// A short label like "40%/MIX" (the row labels of Fig. 8).
+    pub fn label(&self) -> String {
+        match self.cap_fraction {
+            Some(f) => format!("{:.0}%/{}", f * 100.0, self.policy),
+            None => "100%/None".to_string(),
+        }
+    }
+
+    /// The full grid of the paper's Fig. 8 for one interval: 100 %/None plus
+    /// {80, 60, 40 %} × {SHUT, DVFS, MIX}.
+    pub fn paper_grid(interval_duration: SimTime) -> Vec<Scenario> {
+        let mut grid = vec![Scenario::baseline()];
+        for fraction in [0.80, 0.60, 0.40] {
+            for policy in [
+                PowercapPolicy::Shut,
+                PowercapPolicy::Dvfs,
+                PowercapPolicy::Mix,
+            ] {
+                grid.push(Scenario::paper(policy, fraction, interval_duration));
+            }
+        }
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_centres_the_window() {
+        let s = Scenario::paper(PowercapPolicy::Shut, 0.6, 5 * HOUR);
+        let w = s.window().unwrap();
+        assert_eq!(w.duration(), HOUR);
+        assert_eq!(w.start, 2 * HOUR);
+        assert_eq!(s.label(), "60%/SHUT");
+        let platform = Platform::curie_scaled(1);
+        let cap = s.cap(&platform).unwrap();
+        assert!(cap.approx_eq(platform.max_power() * 0.6, 1e-6));
+    }
+
+    #[test]
+    fn baseline_has_no_window() {
+        let s = Scenario::baseline();
+        assert!(s.window().is_none());
+        assert!(s.cap(&Platform::curie_scaled(1)).is_none());
+        assert_eq!(s.label(), "100%/None");
+    }
+
+    #[test]
+    fn grid_matches_fig8_rows() {
+        let grid = Scenario::paper_grid(5 * HOUR);
+        assert_eq!(grid.len(), 10);
+        assert_eq!(grid[0].label(), "100%/None");
+        let labels: Vec<String> = grid.iter().map(Scenario::label).collect();
+        assert!(labels.contains(&"40%/MIX".to_string()));
+        assert!(labels.contains(&"80%/DVFS".to_string()));
+        assert!(labels.contains(&"60%/SHUT".to_string()));
+    }
+
+    #[test]
+    fn builders() {
+        let s = Scenario::paper(PowercapPolicy::Mix, 0.4, 5 * HOUR)
+            .with_window(1000, 2000)
+            .with_grouping(GroupingStrategy::Scattered)
+            .with_decision_rule(DecisionRule::WorkMaximizing)
+            .with_kill_on_violation()
+            .with_per_application_degradation();
+        assert_eq!(s.window().unwrap().start, 1000);
+        assert_eq!(s.window().unwrap().duration(), 2000);
+        assert_eq!(s.grouping, GroupingStrategy::Scattered);
+        assert_eq!(s.decision_rule, DecisionRule::WorkMaximizing);
+        assert!(s.kill_on_violation);
+        assert!(s.per_application_degradation);
+    }
+}

@@ -1,0 +1,84 @@
+//! Controller configuration (the simulator's `slurm.conf`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::backfill::BackfillConfig;
+use crate::priority::PriorityWeights;
+use crate::select::SelectionPolicy;
+use crate::time::SimTime;
+
+/// Scheduler tuning knobs (SLURM's `SchedulerParameters`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerParameters {
+    /// Backfilling configuration.
+    pub backfill: BackfillConfig,
+    /// Multifactor priority weights.
+    pub priority: PriorityWeights,
+    /// Interval between periodic scheduling ticks, in seconds. Ticks matter
+    /// mostly when the queue is starved by power rather than by events.
+    pub schedule_tick: SimTime,
+}
+
+impl Default for SchedulerParameters {
+    fn default() -> Self {
+        SchedulerParameters {
+            backfill: BackfillConfig::default(),
+            priority: PriorityWeights::default(),
+            schedule_tick: 60,
+        }
+    }
+}
+
+/// Full controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Scheduler parameters.
+    pub params: SchedulerParameters,
+    /// Record a power sample on every node state change (needed for the
+    /// power time-series figures; off by default to keep replays lean).
+    pub record_power_samples: bool,
+    /// Node-selection policy.
+    #[serde(skip)]
+    pub selection: SelectionPolicy,
+}
+
+impl ControllerConfig {
+    /// Configuration with power-sample recording enabled.
+    pub fn with_power_samples(mut self) -> Self {
+        self.record_power_samples = true;
+        self
+    }
+
+    /// Override the scheduler parameters (builder style).
+    pub fn with_params(mut self, params: SchedulerParameters) -> Self {
+        self.params = params;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ControllerConfig::default();
+        assert!(c.params.backfill.enabled);
+        assert_eq!(c.params.schedule_tick, 60);
+        assert!(!c.record_power_samples);
+        assert_eq!(c.selection, SelectionPolicy::Contiguous);
+    }
+
+    #[test]
+    fn builders() {
+        let params = SchedulerParameters {
+            schedule_tick: 30,
+            ..SchedulerParameters::default()
+        };
+        let c = ControllerConfig::default()
+            .with_power_samples()
+            .with_params(params);
+        assert!(c.record_power_samples);
+        assert_eq!(c.params.schedule_tick, 30);
+    }
+}

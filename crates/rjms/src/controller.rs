@@ -1,0 +1,937 @@
+//! The controller: the simulator's `slurmctld`.
+//!
+//! The controller owns the cluster state, the pending queue, the event queue,
+//! the reservation book and the scheduling hook. It advances the simulation
+//! clock by consuming events (submissions, completions, reservation windows)
+//! and runs a scheduling pass — priority sort, FCFS + EASY backfilling,
+//! node selection, hook authorisation — after every event batch.
+//!
+//! Because the simulation is a pure discrete-event system, the cluster state
+//! only changes at events, so running the scheduler exactly once per event
+//! timestamp is both sufficient and deterministic.
+
+use std::collections::HashSet;
+
+use apc_power::{Joules, Watts};
+
+use crate::backfill::{can_backfill, shadow_reservation, ShadowReservation};
+use crate::cluster::{Cluster, Platform};
+use crate::config::ControllerConfig;
+use crate::event::{Event, EventQueue};
+use crate::hook::{NullHook, SchedulingHook, StartDecision};
+use crate::job::{Job, JobId, JobState, JobSubmission};
+use crate::log::{SimEventKind, SimLog};
+use crate::priority::{FairShareTracker, MultifactorPriority};
+use crate::reservation::{ReservationBook, ReservationId, ReservationKind};
+use crate::select::NodeSelector;
+use crate::time::{SimTime, TimeWindow};
+
+/// Aggregate results of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// End of the simulated interval.
+    pub horizon: SimTime,
+    /// Jobs that were started during the interval.
+    pub launched_jobs: usize,
+    /// Jobs that ran to completion.
+    pub completed_jobs: usize,
+    /// Jobs killed by the controller.
+    pub killed_jobs: usize,
+    /// Jobs still pending at the end of the interval.
+    pub pending_jobs: usize,
+    /// Useful work delivered inside the interval, in core-seconds.
+    pub work_core_seconds: f64,
+    /// Total energy consumed by the cluster over the interval.
+    pub energy: Joules,
+    /// Mean queue wait time of started jobs, in seconds.
+    pub mean_wait_seconds: f64,
+}
+
+impl SimulationReport {
+    /// Work expressed in core-hours.
+    pub fn work_core_hours(&self) -> f64 {
+        self.work_core_seconds / 3600.0
+    }
+}
+
+/// The central resource and job management daemon.
+pub struct Controller {
+    cluster: Cluster,
+    config: ControllerConfig,
+    jobs: Vec<Job>,
+    pending: Vec<JobId>,
+    running: Vec<JobId>,
+    events: EventQueue,
+    reservations: ReservationBook,
+    hook: Box<dyn SchedulingHook>,
+    priority: MultifactorPriority,
+    fairshare: FairShareTracker,
+    selector: NodeSelector,
+    log: SimLog,
+    now: SimTime,
+    horizon: Option<SimTime>,
+    finished: bool,
+}
+
+impl Controller {
+    /// Create a controller over `platform` with the default (power-unaware)
+    /// hook.
+    pub fn new(platform: Platform, config: ControllerConfig) -> Self {
+        Controller::with_hook(platform, config, Box::new(NullHook))
+    }
+
+    /// Create a controller with an explicit scheduling hook (the powercap
+    /// logic of `apc-core`).
+    pub fn with_hook(
+        platform: Platform,
+        config: ControllerConfig,
+        hook: Box<dyn SchedulingHook>,
+    ) -> Self {
+        let mut cluster = Cluster::new(platform);
+        cluster.record_power_samples(config.record_power_samples);
+        Controller {
+            cluster,
+            config,
+            jobs: Vec::new(),
+            pending: Vec::new(),
+            running: Vec::new(),
+            events: EventQueue::new(),
+            reservations: ReservationBook::new(),
+            hook,
+            priority: MultifactorPriority::new(config.params.priority),
+            fairshare: FairShareTracker::default(),
+            selector: NodeSelector::new(config.selection),
+            log: SimLog::new(),
+            now: 0,
+            horizon: None,
+            finished: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The cluster state.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// All jobs known to the controller.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// One job.
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id]
+    }
+
+    /// The simulation log.
+    pub fn log(&self) -> &SimLog {
+        &self.log
+    }
+
+    /// The reservation book.
+    pub fn reservations(&self) -> &ReservationBook {
+        &self.reservations
+    }
+
+    /// Number of jobs waiting in the queue.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of running jobs.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Seed historical fair-share usage (phase ii of the replay methodology).
+    pub fn seed_fairshare(&mut self, user: usize, core_seconds: f64) {
+        self.fairshare.seed_usage(user, core_seconds);
+    }
+
+    // ------------------------------------------------------------------
+    // Submission API
+    // ------------------------------------------------------------------
+
+    /// Submit a job. If its submit time is in the past it is queued
+    /// immediately at the current time.
+    pub fn submit(&mut self, submission: JobSubmission) -> JobId {
+        let id = self.jobs.len();
+        let at = submission.submit_time.max(self.now);
+        self.jobs.push(Job::new(id, submission));
+        self.events.push(at, Event::JobSubmit(id));
+        id
+    }
+
+    /// Submit a whole batch of jobs (a workload trace).
+    pub fn submit_all(&mut self, submissions: impl IntoIterator<Item = JobSubmission>) {
+        for s in submissions {
+            self.submit(s);
+        }
+    }
+
+    /// Create a powercap reservation: during `window` the cluster power must
+    /// stay below `cap`. The offline part of the scheduling hook is invoked
+    /// immediately (the paper's Algorithm 1) and its switch-off plan, if any,
+    /// is registered as a switch-off reservation on the same window.
+    ///
+    /// Returns the powercap reservation id and the optional switch-off
+    /// reservation id.
+    pub fn add_powercap_reservation(
+        &mut self,
+        window: TimeWindow,
+        cap: Watts,
+    ) -> (ReservationId, Option<ReservationId>) {
+        let plan = self.hook.plan_powercap(
+            &self.cluster,
+            &self.reservations,
+            window,
+            cap,
+            self.now,
+        );
+        let cap_id = self
+            .reservations
+            .add(window, ReservationKind::PowerCap { cap });
+        self.events.push(window.start, Event::ReservationStart(cap_id));
+        self.events.push(window.end, Event::ReservationEnd(cap_id));
+        let off_id = if plan.switch_off_nodes.is_empty() {
+            None
+        } else {
+            let id = self.reservations.add(
+                window,
+                ReservationKind::SwitchOff {
+                    nodes: plan.switch_off_nodes,
+                },
+            );
+            self.events.push(window.start, Event::ReservationStart(id));
+            self.events.push(window.end, Event::ReservationEnd(id));
+            Some(id)
+        };
+        (cap_id, off_id)
+    }
+
+    /// Create a maintenance reservation draining `nodes` during `window`.
+    pub fn add_maintenance_reservation(
+        &mut self,
+        window: TimeWindow,
+        nodes: Vec<usize>,
+    ) -> ReservationId {
+        let id = self
+            .reservations
+            .add(window, ReservationKind::Maintenance { nodes });
+        self.events.push(window.start, Event::ReservationStart(id));
+        self.events.push(window.end, Event::ReservationEnd(id));
+        id
+    }
+
+    /// Define the end of the simulated interval. Events after the horizon are
+    /// not processed and the final report covers `[0, horizon)`.
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = Some(horizon);
+        self.events.push(horizon, Event::EndOfSimulation);
+    }
+
+    // ------------------------------------------------------------------
+    // Simulation loop
+    // ------------------------------------------------------------------
+
+    /// Run the simulation until the horizon (or until no event remains).
+    /// Returns the final report.
+    pub fn run(&mut self) -> SimulationReport {
+        while !self.finished {
+            let Some((time, event)) = self.events.pop() else {
+                break;
+            };
+            if let Some(h) = self.horizon {
+                if time > h {
+                    self.now = h;
+                    break;
+                }
+            }
+            debug_assert!(time >= self.now, "event time went backwards");
+            self.now = time;
+            self.process_event(event);
+            // Process every event sharing this timestamp before scheduling.
+            while self.events.peek_time() == Some(self.now) {
+                let (_, e) = self.events.pop().expect("peeked");
+                self.process_event(e);
+                if self.finished {
+                    break;
+                }
+            }
+            if !self.finished {
+                self.schedule_pass();
+            }
+        }
+        let horizon = self.horizon.unwrap_or(self.now);
+        self.now = self.now.max(horizon);
+        self.cluster.advance_time(self.now);
+        self.report()
+    }
+
+    fn process_event(&mut self, event: Event) {
+        match event {
+            Event::JobSubmit(id) => {
+                let job = &self.jobs[id];
+                self.log.push(
+                    self.now,
+                    SimEventKind::JobSubmitted {
+                        job: id,
+                        cores: job.cores(),
+                    },
+                );
+                self.pending.push(id);
+            }
+            Event::JobEnd(id) => self.handle_job_end(id),
+            Event::ReservationStart(id) => self.handle_reservation_start(id),
+            Event::ReservationEnd(id) => self.handle_reservation_end(id),
+            Event::ScheduleTick => {}
+            Event::EndOfSimulation => {
+                self.finished = true;
+            }
+        }
+    }
+
+    fn handle_job_end(&mut self, id: JobId) {
+        if self.jobs[id].state != JobState::Running {
+            return; // Stale event (job was killed earlier).
+        }
+        let expected = self.jobs[id].expected_end().unwrap_or(self.now);
+        let walltime_end = self.jobs[id].walltime_end().unwrap_or(self.now);
+        if self.now < expected.min(walltime_end) {
+            return; // Stale event from a superseded schedule.
+        }
+        let nodes = self.jobs[id].nodes.clone();
+        let cores = self.jobs[id].cores();
+        let frequency = self.jobs[id].frequency.expect("running job has a frequency");
+        // Nodes drained by an active switch-off reservation power off on
+        // release; log that transition so time series stay accurate.
+        let powering_off: Vec<usize> = nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.cluster.node(n).drained)
+            .collect();
+        self.cluster.release(&nodes, self.now);
+        self.jobs[id].state = JobState::Completed;
+        self.jobs[id].end_time = Some(self.now);
+        self.running.retain(|&j| j != id);
+        self.log.push(
+            self.now,
+            SimEventKind::JobCompleted {
+                job: id,
+                cores,
+                frequency,
+            },
+        );
+        if !powering_off.is_empty() {
+            self.log.push(
+                self.now,
+                SimEventKind::NodesPoweredOff {
+                    nodes: powering_off,
+                },
+            );
+        }
+    }
+
+    fn handle_reservation_start(&mut self, id: ReservationId) {
+        let reservation = self
+            .reservations
+            .get(id)
+            .expect("reservation ids are controller-assigned")
+            .clone();
+        match reservation.kind {
+            ReservationKind::SwitchOff { ref nodes } => {
+                let switched = self.cluster.power_off(nodes, self.now);
+                if !switched.is_empty() {
+                    self.log
+                        .push(self.now, SimEventKind::NodesPoweredOff { nodes: switched });
+                }
+            }
+            ReservationKind::Maintenance { ref nodes } => {
+                self.cluster.drain(nodes);
+            }
+            ReservationKind::PowerCap { cap } => {
+                self.log.push(
+                    self.now,
+                    SimEventKind::CapActivated {
+                        reservation: id,
+                        cap,
+                    },
+                );
+                if self.cluster.current_power() > cap {
+                    let running: Vec<&Job> =
+                        self.running.iter().map(|&j| &self.jobs[j]).collect();
+                    let kills = self
+                        .hook
+                        .on_cap_start(&self.cluster, &running, cap, self.now);
+                    for job in kills {
+                        self.kill_job(job);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_reservation_end(&mut self, id: ReservationId) {
+        let reservation = self
+            .reservations
+            .get(id)
+            .expect("reservation ids are controller-assigned")
+            .clone();
+        match reservation.kind {
+            ReservationKind::SwitchOff { ref nodes } => {
+                self.cluster.power_on(nodes, self.now);
+                self.log.push(
+                    self.now,
+                    SimEventKind::NodesPoweredOn {
+                        nodes: nodes.clone(),
+                    },
+                );
+            }
+            ReservationKind::Maintenance { ref nodes } => {
+                self.cluster.undrain(nodes);
+            }
+            ReservationKind::PowerCap { .. } => {
+                self.log
+                    .push(self.now, SimEventKind::CapDeactivated { reservation: id });
+            }
+        }
+    }
+
+    /// Kill a running job immediately (powercap "extreme actions").
+    pub fn kill_job(&mut self, id: JobId) {
+        if self.jobs[id].state != JobState::Running {
+            return;
+        }
+        let nodes = self.jobs[id].nodes.clone();
+        let cores = self.jobs[id].cores();
+        let frequency = self.jobs[id].frequency.expect("running job has a frequency");
+        let powering_off: Vec<usize> = nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.cluster.node(n).drained)
+            .collect();
+        self.cluster.release(&nodes, self.now);
+        self.jobs[id].state = JobState::Killed;
+        self.jobs[id].end_time = Some(self.now);
+        self.running.retain(|&j| j != id);
+        self.log.push(
+            self.now,
+            SimEventKind::JobKilled {
+                job: id,
+                cores,
+                frequency,
+            },
+        );
+        if !powering_off.is_empty() {
+            self.log.push(
+                self.now,
+                SimEventKind::NodesPoweredOff {
+                    nodes: powering_off,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    fn schedule_pass(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.fairshare.decay_to(self.now);
+        let total_cores = self.cluster.platform().total_cores();
+        let cores_per_node = self.cluster.platform().cores_per_node;
+        self.priority.sort_pending(
+            &self.jobs,
+            &mut self.pending,
+            self.now,
+            total_cores,
+            &self.fairshare,
+        );
+
+        let order: Vec<JobId> = self.pending.clone();
+        let backfill_cfg = self.config.params.backfill;
+        let depth = if backfill_cfg.enabled {
+            backfill_cfg.depth
+        } else {
+            1
+        };
+        let mut shadow: Option<ShadowReservation> = None;
+        let mut started: Vec<JobId> = Vec::new();
+
+        // The blocked-node set of a job only depends on which node-carrying
+        // reservations overlap its prospective window. With a handful of
+        // reservations and thousands of pending jobs, most jobs share the
+        // same overlap signature, so the (potentially large) node sets are
+        // built once per signature and per pass instead of once per job.
+        let node_reservations: Vec<(u128, crate::reservation::Reservation)> = self
+            .reservations
+            .all()
+            .iter()
+            .filter(|r| r.blocked_nodes().is_some())
+            .take(128)
+            .enumerate()
+            .map(|(i, r)| (1u128 << i, r.clone()))
+            .collect();
+        let mut blocked_cache: std::collections::HashMap<u128, (HashSet<usize>, usize)> =
+            std::collections::HashMap::new();
+
+        for (examined, &job_id) in order.iter().enumerate() {
+            if examined >= depth {
+                break;
+            }
+            if self.cluster.free_count() == 0 {
+                break;
+            }
+            let needed = self.jobs[job_id].nodes_needed(cores_per_node);
+            let walltime = self.jobs[job_id].submission.walltime;
+            let window_end = self.now.saturating_add(walltime);
+            let signature: u128 = node_reservations
+                .iter()
+                .filter(|(_, r)| r.overlaps(self.now, window_end))
+                .map(|(bit, _)| bit)
+                .sum();
+            if !blocked_cache.contains_key(&signature) {
+                let set: HashSet<usize> = node_reservations
+                    .iter()
+                    .filter(|(bit, _)| signature & bit != 0)
+                    .filter_map(|(_, r)| r.blocked_nodes())
+                    .flatten()
+                    .copied()
+                    .collect();
+                let count = self.selector.available_count(&self.cluster, &set);
+                blocked_cache.insert(signature, (set, count));
+            }
+            let available = blocked_cache[&signature].1;
+
+            if let Some(sh) = &shadow {
+                // A higher-priority job holds a node reservation: only
+                // non-delaying candidates may jump ahead.
+                if !can_backfill(needed, walltime, available, self.now, sh) {
+                    continue;
+                }
+            }
+
+            if needed > available {
+                if shadow.is_none() {
+                    // The head job is blocked by node availability: compute
+                    // its shadow reservation from running jobs' walltimes and
+                    // keep examining candidates only if backfilling is on.
+                    let releases: Vec<(SimTime, usize)> = self
+                        .running
+                        .iter()
+                        .map(|&j| {
+                            let job = &self.jobs[j];
+                            (
+                                job.walltime_end().unwrap_or(self.now),
+                                job.nodes.len(),
+                            )
+                        })
+                        .collect();
+                    shadow = shadow_reservation(needed, available, &releases, self.now);
+                    if !backfill_cfg.enabled {
+                        break;
+                    }
+                }
+                continue;
+            }
+
+            let selected = {
+                let blocked = &blocked_cache[&signature].0;
+                self.selector.select(&self.cluster, needed, blocked)
+            };
+            let Some(nodes) = selected else {
+                continue;
+            };
+            let decision = self.hook.authorize_start(
+                &self.cluster,
+                &self.reservations,
+                &self.jobs[job_id],
+                &nodes,
+                self.now,
+            );
+            match decision {
+                StartDecision::Start { frequency } => {
+                    self.start_job(job_id, nodes, frequency);
+                    started.push(job_id);
+                    // Node availability changed: drop the cached counts so the
+                    // remaining candidates see up-to-date numbers.
+                    blocked_cache.clear();
+                }
+                StartDecision::Postpone => {
+                    // Power-blocked, not node-blocked: no node reservation is
+                    // held, lower-priority (typically smaller or slower) jobs
+                    // may still be attempted.
+                    continue;
+                }
+            }
+        }
+
+        if !started.is_empty() {
+            self.pending.retain(|id| !started.contains(id));
+        }
+    }
+
+    fn start_job(&mut self, id: JobId, nodes: Vec<usize>, frequency: apc_power::Frequency) {
+        let factor = self.hook.runtime_factor_for(&self.jobs[id], frequency);
+        let cores = self.jobs[id].cores();
+        let user = self.jobs[id].submission.user;
+        let actual = self.jobs[id].submission.actual_runtime;
+        let walltime = self.jobs[id].submission.walltime;
+        let stretched_runtime = ((actual as f64) * factor).ceil() as SimTime;
+        let stretched_walltime = ((walltime as f64) * factor).ceil() as SimTime;
+
+        self.cluster.allocate(id, &nodes, frequency, self.now);
+
+        let job = &mut self.jobs[id];
+        job.state = JobState::Running;
+        job.start_time = Some(self.now);
+        job.frequency = Some(frequency);
+        job.stretched_runtime = Some(stretched_runtime);
+        job.stretched_walltime = Some(stretched_walltime);
+        let node_count = nodes.len();
+        job.nodes = nodes;
+
+        let end = self.now + stretched_runtime.min(stretched_walltime).max(1);
+        self.events.push(end, Event::JobEnd(id));
+        self.running.push(id);
+        self.fairshare
+            .record_usage(user, cores as f64 * stretched_runtime as f64, self.now);
+        self.log.push(
+            self.now,
+            SimEventKind::JobStarted {
+                job: id,
+                cores,
+                nodes: node_count,
+                frequency,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    /// Build the aggregate report for the interval `[0, now]`.
+    pub fn report(&self) -> SimulationReport {
+        let horizon = self.horizon.unwrap_or(self.now);
+        let launched = self.jobs.iter().filter(|j| j.start_time.is_some()).count();
+        let completed = self
+            .jobs
+            .iter()
+            .filter(|j| j.state == JobState::Completed)
+            .count();
+        let killed = self
+            .jobs
+            .iter()
+            .filter(|j| j.state == JobState::Killed)
+            .count();
+        let work: f64 = self.jobs.iter().map(|j| j.work_within(0, horizon)).sum();
+        let waits: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| j.start_time.is_some())
+            .map(|j| j.wait_time(horizon) as f64)
+            .collect();
+        let mean_wait = if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<f64>() / waits.len() as f64
+        };
+        SimulationReport {
+            horizon,
+            launched_jobs: launched,
+            completed_jobs: completed,
+            killed_jobs: killed,
+            pending_jobs: self.pending.len(),
+            work_core_seconds: work,
+            energy: self.cluster.energy(),
+            mean_wait_seconds: mean_wait,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::HOUR;
+    use apc_power::Frequency;
+
+    fn platform() -> Platform {
+        Platform::curie_scaled(1) // 90 nodes, 1440 cores
+    }
+
+    fn controller() -> Controller {
+        Controller::new(platform(), ControllerConfig::default())
+    }
+
+    fn job(user: usize, submit: SimTime, cores: u32, walltime: SimTime, runtime: SimTime) -> JobSubmission {
+        JobSubmission::new(user, submit, cores, walltime, runtime)
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let mut c = controller();
+        c.submit(job(0, 10, 32, 3600, 600));
+        c.set_horizon(2 * HOUR);
+        let report = c.run();
+        assert_eq!(report.launched_jobs, 1);
+        assert_eq!(report.completed_jobs, 1);
+        assert_eq!(report.killed_jobs, 0);
+        assert_eq!(report.pending_jobs, 0);
+        let j = c.job(0);
+        assert_eq!(j.start_time, Some(10));
+        assert_eq!(j.end_time, Some(610));
+        assert_eq!(j.frequency, Some(Frequency::from_ghz(2.7)));
+        assert_eq!(j.nodes.len(), 2);
+        // Work = 600 s * 32 cores.
+        assert!((report.work_core_seconds - 600.0 * 32.0).abs() < 1e-9);
+        assert!(report.energy.as_joules() > 0.0);
+    }
+
+    #[test]
+    fn fcfs_order_without_contention() {
+        let mut c = controller();
+        for i in 0..5 {
+            c.submit(job(i, 100 + i as SimTime, 160, 3600, 1000));
+        }
+        c.set_horizon(HOUR);
+        let report = c.run();
+        assert_eq!(report.launched_jobs, 5);
+        // Every job starts at its submission time (10 nodes each, 50 < 90).
+        for i in 0..5 {
+            assert_eq!(c.job(i).start_time, Some(100 + i as SimTime));
+        }
+    }
+
+    #[test]
+    fn jobs_queue_when_cluster_is_full() {
+        let mut c = controller();
+        // Two jobs of 60 nodes each cannot run together on 90 nodes.
+        c.submit(job(0, 0, 960, 2 * HOUR, 1000));
+        c.submit(job(1, 0, 960, 2 * HOUR, 1000));
+        c.set_horizon(4 * HOUR);
+        let report = c.run();
+        assert_eq!(report.launched_jobs, 2);
+        assert_eq!(c.job(0).start_time, Some(0));
+        // The second starts when the first completes (runtime 1000), not at
+        // its walltime.
+        assert_eq!(c.job(1).start_time, Some(1000));
+        let _ = report;
+    }
+
+    #[test]
+    fn easy_backfilling_lets_small_jobs_jump_ahead() {
+        let mut c = controller();
+        // Job 0 occupies 80 nodes for 1000 s.
+        c.submit(job(0, 0, 1280, 2000, 1000));
+        // Job 1 (head of queue at t=1) needs 90 nodes: must wait for job 0.
+        c.submit(job(1, 1, 1440, 2000, 500));
+        // Job 2 needs 5 nodes for 500 s (walltime 900 <= shadow time 2000):
+        // it can backfill into the 10 idle nodes.
+        c.submit(job(2, 2, 80, 900, 500));
+        c.set_horizon(2 * HOUR);
+        c.run();
+        assert_eq!(c.job(2).start_time, Some(2), "small job backfills");
+        assert!(c.job(1).start_time.unwrap() >= 1000, "head job waits for nodes");
+    }
+
+    #[test]
+    fn backfilling_respects_the_shadow_reservation() {
+        let mut c = controller();
+        // Job 0: 80 nodes, actual runtime 1000 s, walltime 1200 s.
+        c.submit(job(0, 0, 1280, 1200, 1000));
+        // Job 1: 90 nodes -> waits; its shadow time is t=1200 (walltime end).
+        c.submit(job(1, 1, 1440, 2000, 500));
+        // Job 2: 10 nodes but walltime 5000 s > shadow time and it would eat
+        // into the head job's nodes -> must NOT backfill.
+        c.submit(job(2, 2, 160, 5000, 4000));
+        c.set_horizon(4 * HOUR);
+        c.run();
+        let start2 = c.job(2).start_time.unwrap();
+        assert!(
+            start2 >= c.job(1).start_time.unwrap(),
+            "the long wide job must not delay the reserved head job"
+        );
+    }
+
+    #[test]
+    fn disabled_backfill_is_strict_fcfs() {
+        let params = crate::config::SchedulerParameters {
+            backfill: crate::backfill::BackfillConfig {
+                enabled: false,
+                depth: 0,
+            },
+            ..Default::default()
+        };
+        let cfg = ControllerConfig::default().with_params(params);
+        let mut c = Controller::new(platform(), cfg);
+        c.submit(job(0, 0, 1280, 2000, 1000));
+        c.submit(job(1, 1, 1440, 2000, 500)); // blocks
+        c.submit(job(2, 2, 80, 900, 500)); // would backfill, must not
+        c.set_horizon(2 * HOUR);
+        c.run();
+        assert!(c.job(2).start_time.unwrap() >= 1000);
+    }
+
+    #[test]
+    fn walltime_overrun_is_cut_short() {
+        let mut c = controller();
+        // Actual runtime exceeds the requested walltime: the controller stops
+        // the job at its (stretched) walltime.
+        c.submit(job(0, 0, 16, 100, 500));
+        c.set_horizon(HOUR);
+        c.run();
+        assert_eq!(c.job(0).end_time, Some(100));
+    }
+
+    #[test]
+    fn switch_off_reservation_powers_nodes_down_and_back_up() {
+        let mut c = controller();
+        let window = TimeWindow::new(1000, 2000);
+        let nodes: Vec<usize> = (0..18).collect();
+        let id = c
+            .reservations
+            .add(window, ReservationKind::SwitchOff { nodes: nodes.clone() });
+        c.events.push(window.start, Event::ReservationStart(id));
+        c.events.push(window.end, Event::ReservationEnd(id));
+        c.set_horizon(3000);
+        c.run();
+        // After the window the nodes are available again.
+        assert_eq!(c.cluster().powered_off_count(), 0);
+        assert_eq!(c.cluster().free_count(), 90);
+        // Power-off and power-on events were logged.
+        assert_eq!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::NodesPoweredOff { .. })),
+            1
+        );
+        assert_eq!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::NodesPoweredOn { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn switch_off_reservation_excludes_nodes_from_scheduling() {
+        let mut c = controller();
+        let window = TimeWindow::new(500, 4000);
+        let nodes: Vec<usize> = (0..45).collect();
+        let id = c
+            .reservations
+            .add(window, ReservationKind::SwitchOff { nodes });
+        c.events.push(window.start, Event::ReservationStart(id));
+        c.events.push(window.end, Event::ReservationEnd(id));
+        // A 60-node job submitted at t=0 with a walltime overlapping the
+        // window cannot use the reserved nodes, so it has to wait until the
+        // reservation ends.
+        c.submit(job(0, 0, 960, 2 * HOUR, 600));
+        c.set_horizon(3 * HOUR);
+        c.run();
+        assert!(c.job(0).start_time.unwrap() >= 4000);
+    }
+
+    #[test]
+    fn maintenance_reservation_drains_without_power_off() {
+        let mut c = controller();
+        let id = c.add_maintenance_reservation(TimeWindow::new(0, 1000), (0..90).collect());
+        assert_eq!(id, 0);
+        c.submit(job(0, 10, 16, 3600, 60));
+        c.set_horizon(HOUR);
+        c.run();
+        // The job could only start after the maintenance window.
+        assert!(c.job(0).start_time.unwrap() >= 1000);
+        assert_eq!(c.cluster().powered_off_count(), 0);
+    }
+
+    #[test]
+    fn kill_job_releases_nodes_and_logs() {
+        let mut c = controller();
+        c.submit(job(0, 0, 160, 3600, 3000));
+        c.set_horizon(100);
+        // Run the submission event only.
+        c.run();
+        assert_eq!(c.running_count(), 1);
+        c.kill_job(0);
+        assert_eq!(c.running_count(), 0);
+        assert_eq!(c.job(0).state, JobState::Killed);
+        assert_eq!(c.cluster().free_count(), 90);
+        assert_eq!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::JobKilled { .. })),
+            1
+        );
+        // Killing twice is a no-op.
+        c.kill_job(0);
+        assert_eq!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::JobKilled { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let mut c = controller();
+        for i in 0..20 {
+            c.submit(job(i % 4, i as SimTime * 30, 64, 1800, 900));
+        }
+        c.set_horizon(2 * HOUR);
+        let report = c.run();
+        assert_eq!(report.launched_jobs, 20);
+        assert_eq!(report.completed_jobs + report.killed_jobs + report.pending_jobs, 20 - 0);
+        assert!(report.mean_wait_seconds >= 0.0);
+        assert!(report.work_core_hours() > 0.0);
+        assert_eq!(report.horizon, 2 * HOUR);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_schedule() {
+        let build = || {
+            let mut c = controller();
+            for i in 0..50 {
+                c.submit(job(i % 7, (i as SimTime * 13) % 900, 32 + (i as u32 % 5) * 160, 3600, 300 + i as SimTime * 7));
+            }
+            c.set_horizon(3 * HOUR);
+            c.run();
+            c.jobs()
+                .iter()
+                .map(|j| (j.id, j.start_time, j.end_time))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn powercap_reservation_with_null_hook_logs_cap_events() {
+        let mut c = controller();
+        let (cap_id, off_id) =
+            c.add_powercap_reservation(TimeWindow::new(1000, 2000), Watts(10_000.0));
+        assert_eq!(cap_id, 0);
+        assert!(off_id.is_none(), "the null hook plans no switch-off");
+        c.set_horizon(3000);
+        c.run();
+        assert_eq!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::CapActivated { .. })),
+            1
+        );
+        assert_eq!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::CapDeactivated { .. })),
+            1
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! # apc-rjms — a SLURM-like resource and job management system simulator
+//!
+//! The paper implements its powercap scheduler inside SLURM and evaluates it
+//! by replaying Curie traces under the *multiple-slurmd* emulation (jobs are
+//! replaced by `sleep` commands, so only RJMS decisions are exercised). This
+//! crate provides the equivalent substrate as a deterministic discrete-event
+//! simulator:
+//!
+//! * a central **controller** ([`controller::Controller`]) playing the role of
+//!   `slurmctld`: job submission, scheduling cycles, dispatch, completion,
+//!   node power transitions;
+//! * **FCFS + EASY backfilling** with multifactor priorities (age, size,
+//!   fair-share) and user-provided — typically wildly over-estimated —
+//!   walltimes ([`backfill`], [`priority`]);
+//! * **advanced reservations**: maintenance windows, powercap windows
+//!   (time × watts) and switch-off reservations ([`reservation`]);
+//! * a **node/cluster model** tied to the `apc-power` accounting so the
+//!   controller always knows the instantaneous cluster power
+//!   ([`node`], [`cluster`]);
+//! * a **scheduling hook** ([`hook::SchedulingHook`]) — the grey boxes of the
+//!   paper's Fig. 1 — through which the `apc-core` powercap logic vetoes or
+//!   re-frequencies job starts and plans switch-off reservations;
+//! * an **event log** ([`log`]) from which the replay crate reconstructs the
+//!   utilisation and power time series of Figures 6 and 7.
+//!
+//! The simulator is deterministic: identical inputs (trace, configuration,
+//! hook) produce identical schedules, which is what makes the paper's
+//! policy-versus-policy comparisons meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backfill;
+pub mod cluster;
+pub mod config;
+pub mod controller;
+pub mod event;
+pub mod hook;
+pub mod job;
+pub mod log;
+pub mod node;
+pub mod priority;
+pub mod reservation;
+pub mod select;
+pub mod time;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::backfill::BackfillConfig;
+    pub use crate::cluster::{Cluster, Platform};
+    pub use crate::config::{ControllerConfig, SchedulerParameters};
+    pub use crate::controller::{Controller, SimulationReport};
+    pub use crate::event::{Event, EventQueue};
+    pub use crate::hook::{NullHook, SchedulingHook, StartDecision};
+    pub use crate::job::{Job, JobId, JobOutcome, JobState, JobSubmission};
+    pub use crate::log::{SimEvent, SimEventKind, SimLog};
+    pub use crate::node::{AllocationState, SimNode};
+    pub use crate::priority::{FairShareTracker, MultifactorPriority, PriorityWeights};
+    pub use crate::reservation::{Reservation, ReservationId, ReservationKind};
+    pub use crate::select::NodeSelector;
+    pub use crate::time::SimTime;
+}
+
+pub use prelude::*;

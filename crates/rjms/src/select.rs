@@ -1,0 +1,170 @@
+//! Node selection.
+//!
+//! The second scheduling phase of the paper's Fig. 1: once a job has been
+//! picked, concrete nodes must be chosen for it. The selector prefers
+//! *contiguous* nodes (same chassis, then same rack) which both matches how
+//! Curie allocates topology-aware jobs and keeps whole chassis free for the
+//! offline switch-off planner.
+
+use std::collections::HashSet;
+
+use crate::cluster::Cluster;
+
+/// Node-selection policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Prefer nodes that keep allocations packed: fill partially-used chassis
+    /// first, then take the lowest-index free nodes.
+    #[default]
+    Contiguous,
+    /// Plain lowest-index-first selection.
+    FirstFit,
+}
+
+/// Stateless node selector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeSelector {
+    policy: SelectionPolicy,
+}
+
+impl NodeSelector {
+    /// Create a selector with the given policy.
+    pub fn new(policy: SelectionPolicy) -> Self {
+        NodeSelector { policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SelectionPolicy {
+        self.policy
+    }
+
+    /// Pick `needed` available nodes, excluding `blocked` (nodes owned by
+    /// overlapping reservations). Returns `None` when not enough nodes are
+    /// available.
+    pub fn select(
+        &self,
+        cluster: &Cluster,
+        needed: usize,
+        blocked: &HashSet<usize>,
+    ) -> Option<Vec<usize>> {
+        if needed == 0 {
+            return Some(Vec::new());
+        }
+        let mut candidates: Vec<usize> = cluster
+            .available_nodes()
+            .filter(|id| !blocked.contains(id))
+            .collect();
+        if candidates.len() < needed {
+            return None;
+        }
+        match self.policy {
+            SelectionPolicy::FirstFit => {
+                candidates.truncate(needed);
+                Some(candidates)
+            }
+            SelectionPolicy::Contiguous => {
+                let topo = &cluster.platform().topology;
+                // Sort by (chassis fill preference, chassis id, node id): nodes in
+                // chassis that already have allocations come first so that free
+                // chassis stay whole.
+                let chassis_size = topo.nodes_per_group(0);
+                let chassis_count = topo.group_count(0);
+                let mut free_per_chassis = vec![0usize; chassis_count];
+                for &n in &candidates {
+                    free_per_chassis[topo.group_of(0, n)] += 1;
+                }
+                candidates.sort_by_key(|&n| {
+                    let chassis = topo.group_of(0, n);
+                    let fully_free = free_per_chassis[chassis] == chassis_size;
+                    // Partially-used chassis first, then by chassis index, then node.
+                    (fully_free, chassis, n)
+                });
+                candidates.truncate(needed);
+                candidates.sort_unstable();
+                Some(candidates)
+            }
+        }
+    }
+
+    /// Count how many nodes are selectable right now given the blocked set.
+    pub fn available_count(&self, cluster: &Cluster, blocked: &HashSet<usize>) -> usize {
+        if blocked.is_empty() {
+            cluster.free_count()
+        } else {
+            cluster
+                .available_nodes()
+                .filter(|id| !blocked.contains(id))
+                .count()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Platform;
+    use apc_power::Frequency;
+
+    fn cluster() -> Cluster {
+        Cluster::new(Platform::curie_scaled(1))
+    }
+
+    #[test]
+    fn selects_exactly_the_requested_count() {
+        let c = cluster();
+        let sel = NodeSelector::default();
+        let nodes = sel.select(&c, 10, &HashSet::new()).unwrap();
+        assert_eq!(nodes.len(), 10);
+        // All selected nodes are distinct and available.
+        let distinct: HashSet<_> = nodes.iter().collect();
+        assert_eq!(distinct.len(), 10);
+        assert!(sel.select(&c, 0, &HashSet::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn returns_none_when_not_enough_nodes() {
+        let c = cluster();
+        let sel = NodeSelector::default();
+        assert!(sel.select(&c, 91, &HashSet::new()).is_none());
+        let blocked: HashSet<usize> = (0..85).collect();
+        assert!(sel.select(&c, 10, &blocked).is_none());
+        assert_eq!(sel.available_count(&c, &blocked), 5);
+    }
+
+    #[test]
+    fn respects_blocked_nodes() {
+        let c = cluster();
+        let sel = NodeSelector::default();
+        let blocked: HashSet<usize> = (0..18).collect();
+        let nodes = sel.select(&c, 5, &blocked).unwrap();
+        assert!(nodes.iter().all(|n| !blocked.contains(n)));
+    }
+
+    #[test]
+    fn contiguous_fills_partially_used_chassis_first() {
+        let mut c = cluster();
+        // Occupy 10 nodes of chassis 1 (nodes 18..28).
+        let occupied: Vec<usize> = (18..28).collect();
+        c.allocate(1, &occupied, Frequency::from_ghz(2.7), 0);
+        let sel = NodeSelector::new(SelectionPolicy::Contiguous);
+        let nodes = sel.select(&c, 8, &HashSet::new()).unwrap();
+        // The 8 remaining nodes of chassis 1 are preferred over untouched
+        // chassis 0.
+        assert_eq!(nodes, (28..36).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_indices() {
+        let c = cluster();
+        let sel = NodeSelector::new(SelectionPolicy::FirstFit);
+        let nodes = sel.select(&c, 4, &HashSet::new()).unwrap();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn available_count_matches_free_count_without_blocks() {
+        let c = cluster();
+        let sel = NodeSelector::default();
+        assert_eq!(sel.available_count(&c, &HashSet::new()), 90);
+    }
+}

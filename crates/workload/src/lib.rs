@@ -1,0 +1,42 @@
+//! # apc-workload — workload traces for the Curie replay
+//!
+//! The paper replays time intervals extracted from the 2012 production trace
+//! of the Curie supercomputer (Parallel Workloads Archive, `l_cea_curie`).
+//! That trace cannot be bundled here, so this crate provides:
+//!
+//! * [`trace`] — an in-memory job-trace representation carrying the
+//!   SWF-compatible fields the replay needs, plus conversion to the RJMS
+//!   [`JobSubmission`](apc_rjms::JobSubmission) type;
+//! * [`swf`] — a reader/writer for the Standard Workload Format, so the real
+//!   Curie trace (or any other SWF trace) can be dropped in when available;
+//! * [`synth`] — a **calibrated synthetic Curie generator** reproducing every
+//!   quantitative property the paper states about its extracted intervals:
+//!   an overloaded submission queue, 69 % of jobs below 512 cores and
+//!   2 minutes of runtime, 0.1 % of huge jobs exceeding a full-cluster hour,
+//!   and walltime over-estimation around four orders of magnitude
+//!   (mean ≈ 12 670×, median ≈ 12 000×);
+//! * [`apps`] — application classes mapping jobs to the measured benchmark
+//!   profiles (Linpack/IMB/STREAM/GROMACS) for degradation-sensitivity
+//!   studies;
+//! * [`stats`] — trace statistics used both by the calibration tests and by
+//!   the experiment reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod stats;
+pub mod swf;
+pub mod synth;
+pub mod trace;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::apps::AppClass;
+    pub use crate::stats::TraceStats;
+    pub use crate::swf::{parse_swf, write_swf};
+    pub use crate::synth::{CurieTraceGenerator, IntervalKind};
+    pub use crate::trace::{Trace, TraceJob};
+}
+
+pub use prelude::*;

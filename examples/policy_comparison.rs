@@ -1,0 +1,43 @@
+//! Policy comparison across caps and workload flavours — a reduced-scale
+//! version of the paper's Fig. 8.
+//!
+//! For each workload interval (bigjob / medianjob / smalljob) and each cap
+//! (80 %, 60 %, 40 %), the three policies are replayed and the normalised
+//! energy, launched-jobs and work triple is printed. The expected shape,
+//! matching the paper: SHUT and MIX hold their work better than DVFS at low
+//! caps, DVFS is competitive at 80 %, MIX has the lowest energy, and both
+//! work and energy shrink with the cap for every policy.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example policy_comparison
+//! ```
+
+use adaptive_powercap::prelude::*;
+
+fn main() {
+    let platform = Platform::curie_scaled(3);
+    println!(
+        "workload    scenario     energy   launched   work      (normalised, {} nodes)",
+        platform.total_nodes()
+    );
+    for interval in [IntervalKind::BigJob, IntervalKind::MedianJob, IntervalKind::SmallJob] {
+        let trace = CurieTraceGenerator::new(99)
+            .interval(interval)
+            .generate_for(&platform);
+        let harness = ReplayHarness::new(platform.clone(), trace);
+        let duration = harness.trace().duration;
+        for scenario in Scenario::paper_grid(duration) {
+            let outcome = harness.run(&scenario);
+            println!(
+                "{:<11} {:<12} {:>7.3} {:>10.3} {:>7.3}",
+                interval.name(),
+                scenario.label(),
+                outcome.normalized.energy_normalized,
+                outcome.normalized.launched_jobs_normalized,
+                outcome.normalized.work_normalized
+            );
+        }
+        println!();
+    }
+}
