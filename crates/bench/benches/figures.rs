@@ -11,12 +11,18 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 fn bench_static_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables");
     group.sample_size(20);
-    group.bench_function("fig2_power_levels", |b| b.iter(|| black_box(figures::fig2().len())));
+    group.bench_function("fig2_power_levels", |b| {
+        b.iter(|| black_box(figures::fig2().len()))
+    });
     group.bench_function("fig3_power_time_tradeoff", |b| {
         b.iter(|| black_box(figures::fig3().len()))
     });
-    group.bench_function("fig4_node_states", |b| b.iter(|| black_box(figures::fig4().len())));
-    group.bench_function("fig5_rho_comparison", |b| b.iter(|| black_box(figures::fig5().len())));
+    group.bench_function("fig4_node_states", |b| {
+        b.iter(|| black_box(figures::fig4().len()))
+    });
+    group.bench_function("fig5_rho_comparison", |b| {
+        b.iter(|| black_box(figures::fig5().len()))
+    });
     group.bench_function("section3_model_sweep", |b| {
         b.iter(|| black_box(figures::model_sweep().len()))
     });
@@ -28,15 +34,21 @@ fn bench_replay_figures(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(4));
-    group.bench_function("fig6_24h_mix_40", |b| b.iter(|| black_box(figures::fig6(1, 3).len())));
+    group.bench_function("fig6_24h_mix_40", |b| {
+        b.iter(|| black_box(figures::fig6(1, 3).len()))
+    });
     group.bench_function("fig7a_bigjob_shut_60", |b| {
         b.iter(|| black_box(figures::fig7a(1, 3).len()))
     });
     group.bench_function("fig7b_smalljob_dvfs_40", |b| {
         b.iter(|| black_box(figures::fig7b(1, 3).len()))
     });
-    group.bench_function("fig8_grid", |b| b.iter(|| black_box(figures::fig8(1, 3).len())));
-    group.bench_function("claims_section7c", |b| b.iter(|| black_box(figures::claims(1, 3).len())));
+    group.bench_function("fig8_grid", |b| {
+        b.iter(|| black_box(figures::fig8(1, 3).len()))
+    });
+    group.bench_function("claims_section7c", |b| {
+        b.iter(|| black_box(figures::claims(1, 3).len()))
+    });
     group.finish();
 }
 

@@ -22,7 +22,11 @@ fn bench_replay_per_policy(c: &mut Criterion) {
     group.bench_function("baseline_none", |b| {
         b.iter(|| black_box(harness.run(&Scenario::baseline()).report.launched_jobs))
     });
-    for policy in [PowercapPolicy::Shut, PowercapPolicy::Dvfs, PowercapPolicy::Mix] {
+    for policy in [
+        PowercapPolicy::Shut,
+        PowercapPolicy::Dvfs,
+        PowercapPolicy::Mix,
+    ] {
         let scenario = Scenario::paper(policy, 0.6, duration);
         group.bench_function(format!("cap60_{}", policy.name()), |b| {
             b.iter(|| black_box(harness.run(&scenario).report.launched_jobs))

@@ -41,7 +41,9 @@ fn bench_swf(c: &mut Criterion) {
     let mut group = c.benchmark_group("swf");
     group.sample_size(20);
     group.bench_function("write", |b| b.iter(|| black_box(write_swf(&trace).len())));
-    group.bench_function("parse", |b| b.iter(|| black_box(parse_swf(&text).unwrap().len())));
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(parse_swf(&text).unwrap().len()))
+    });
     group.finish();
 }
 

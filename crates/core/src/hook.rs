@@ -129,7 +129,9 @@ impl SchedulingHook for PowercapHook {
                 let app = apc_power::BenchmarkApp::ALL[class as usize % 4];
                 let model = apc_power::DegradationModel::new(
                     app.degmin(),
-                    self.degradation.fmin().max(apc_power::Frequency::from_ghz(1.2)),
+                    self.degradation
+                        .fmin()
+                        .max(apc_power::Frequency::from_ghz(1.2)),
                     self.degradation.fmax(),
                 );
                 model.factor(frequency)
@@ -162,7 +164,9 @@ impl SchedulingHook for PowercapHook {
             if excess == Watts::ZERO {
                 break;
             }
-            let freq = job.frequency.unwrap_or_else(|| Self::ladder_of(cluster).max());
+            let freq = job
+                .frequency
+                .unwrap_or_else(|| Self::ladder_of(cluster).max());
             let released =
                 (profile.busy_watts(freq) - profile.idle_watts()) * job.nodes.len() as f64;
             kills.push(job.id);
@@ -246,14 +250,16 @@ mod tests {
             "peak {peak} exceeds cap {cap}"
         );
         // Nodes were powered off and back on.
-        assert!(c
-            .log()
-            .count_matching(|e| matches!(e.kind, SimEventKind::NodesPoweredOff { .. }))
-            > 0);
-        assert!(c
-            .log()
-            .count_matching(|e| matches!(e.kind, SimEventKind::NodesPoweredOn { .. }))
-            > 0);
+        assert!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::NodesPoweredOff { .. }))
+                > 0
+        );
+        assert!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::NodesPoweredOn { .. }))
+                > 0
+        );
         // SHUT never lowers frequencies.
         assert!(c
             .log()
@@ -304,10 +310,11 @@ mod tests {
         for (_, _, _, f) in c.log().job_starts() {
             assert!(f >= Frequency::from_ghz(2.0));
         }
-        assert!(c
-            .log()
-            .count_matching(|e| matches!(e.kind, SimEventKind::NodesPoweredOff { .. }))
-            > 0);
+        assert!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::NodesPoweredOff { .. }))
+                > 0
+        );
     }
 
     #[test]
@@ -398,7 +405,12 @@ mod tests {
         // And when the cluster is already under the cap, nothing is killed
         // either, even with the option enabled.
         assert!(killing
-            .on_cap_start(&cluster, &[&wide, &narrow], cluster.current_power() + Watts(1.0), HOUR)
+            .on_cap_start(
+                &cluster,
+                &[&wide, &narrow],
+                cluster.current_power() + Watts(1.0),
+                HOUR
+            )
             .is_empty());
     }
 
@@ -455,7 +467,10 @@ mod tests {
         // Without the option every job gets the common value.
         assert!((common.runtime_factor_for(&linpack_job, f) - 1.63).abs() < 1e-9);
         // At the maximum frequency nothing is stretched.
-        assert_eq!(aware.runtime_factor_for(&linpack_job, Frequency::from_ghz(2.7)), 1.0);
+        assert_eq!(
+            aware.runtime_factor_for(&linpack_job, Frequency::from_ghz(2.7)),
+            1.0
+        );
         // SHUT never down-clocks, so the flag has no effect there.
         let shut = PowercapHook::new(
             PowercapConfig::for_policy(PowercapPolicy::Shut).with_per_application_degradation(),
@@ -471,13 +486,7 @@ mod tests {
         let cluster = Cluster::new(platform());
         let reservations = ReservationBook::new();
         let cap = cluster.platform().power_fraction(0.5);
-        let plan = hook.plan_powercap(
-            &cluster,
-            &reservations,
-            TimeWindow::new(0, HOUR),
-            cap,
-            0,
-        );
+        let plan = hook.plan_powercap(&cluster, &reservations, TimeWindow::new(0, HOUR), cap, 0);
         assert!(!plan.switch_off_nodes.is_empty());
         assert_eq!(hook.decisions().len(), 1);
         assert!(hook.decisions()[0].reserves_shutdown());

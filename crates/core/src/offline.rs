@@ -27,9 +27,7 @@
 
 use std::collections::BTreeSet;
 
-use apc_power::{
-    GroupedShutdownPlanner, Mechanism, PowercapTradeoff, ShutdownPlan, Watts,
-};
+use apc_power::{GroupedShutdownPlanner, Mechanism, PowercapTradeoff, ShutdownPlan, Watts};
 use apc_rjms::cluster::Cluster;
 use apc_rjms::time::TimeWindow;
 
@@ -185,7 +183,10 @@ mod tests {
         let (d, _) = plan_for(PowercapPolicy::Dvfs, 0.4);
         assert!(!d.reserves_shutdown());
         assert_eq!(d.n_off_target, 0);
-        assert!(d.n_dvfs_target > 0, "DVFS expects down-clocked nodes instead");
+        assert!(
+            d.n_dvfs_target > 0,
+            "DVFS expects down-clocked nodes instead"
+        );
     }
 
     #[test]

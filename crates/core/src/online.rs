@@ -90,7 +90,8 @@ impl OnlineScheduler {
         for frequency in allowed.steps_descending() {
             // The job's walltime is stretched with the frequency, so the
             // window whose caps must be honoured depends on the probe.
-            let stretched_walltime = degradation.stretch_runtime(job.submission.walltime, frequency);
+            let stretched_walltime =
+                degradation.stretch_runtime(job.submission.walltime, frequency);
             let Some(cap) = self.applicable_cap(reservations, now, stretched_walltime) else {
                 // No cap overlaps the job's execution at all: run flat out.
                 return FrequencyChoice::Start(fmax);
@@ -166,7 +167,11 @@ mod tests {
     fn impossible_cap_postpones() {
         let c = cluster();
         let book = book_with_cap(TimeWindow::new(0, 100_000), Watts(1.0));
-        for policy in [PowercapPolicy::Shut, PowercapPolicy::Dvfs, PowercapPolicy::Mix] {
+        for policy in [
+            PowercapPolicy::Shut,
+            PowercapPolicy::Dvfs,
+            PowercapPolicy::Mix,
+        ] {
             let sched = OnlineScheduler::new(policy);
             let choice = sched.choose(&c, &book, &job(160, 3600), &(0..10).collect::<Vec<_>>(), 0);
             assert_eq!(choice, FrequencyChoice::Postpone, "{policy}");

@@ -73,9 +73,7 @@ impl PowercapPolicy {
     /// uses the whole ladder; `Mix` uses the steps at or above 2.0 GHz.
     pub fn allowed_ladder(self, full: &FrequencyLadder) -> FrequencyLadder {
         match self {
-            PowercapPolicy::None | PowercapPolicy::Shut => {
-                FrequencyLadder::new(vec![full.max()])
-            }
+            PowercapPolicy::None | PowercapPolicy::Shut => FrequencyLadder::new(vec![full.max()]),
             PowercapPolicy::Dvfs => full.clone(),
             PowercapPolicy::Mix => full
                 .clamp_min(Self::mix_frequency_floor())
@@ -164,10 +162,22 @@ mod tests {
 
     #[test]
     fn parse_and_display() {
-        assert_eq!("shut".parse::<PowercapPolicy>().unwrap(), PowercapPolicy::Shut);
-        assert_eq!("DVFS".parse::<PowercapPolicy>().unwrap(), PowercapPolicy::Dvfs);
-        assert_eq!("Mix".parse::<PowercapPolicy>().unwrap(), PowercapPolicy::Mix);
-        assert_eq!("none".parse::<PowercapPolicy>().unwrap(), PowercapPolicy::None);
+        assert_eq!(
+            "shut".parse::<PowercapPolicy>().unwrap(),
+            PowercapPolicy::Shut
+        );
+        assert_eq!(
+            "DVFS".parse::<PowercapPolicy>().unwrap(),
+            PowercapPolicy::Dvfs
+        );
+        assert_eq!(
+            "Mix".parse::<PowercapPolicy>().unwrap(),
+            PowercapPolicy::Mix
+        );
+        assert_eq!(
+            "none".parse::<PowercapPolicy>().unwrap(),
+            PowercapPolicy::None
+        );
         assert!("frobnicate".parse::<PowercapPolicy>().is_err());
         assert_eq!(PowercapPolicy::Mix.to_string(), "MIX");
         assert_eq!(PowercapPolicy::ALL.len(), 4);
@@ -175,6 +185,9 @@ mod tests {
 
     #[test]
     fn mix_floor_constant() {
-        assert_eq!(PowercapPolicy::mix_frequency_floor(), Frequency::from_ghz(2.0));
+        assert_eq!(
+            PowercapPolicy::mix_frequency_floor(),
+            Frequency::from_ghz(2.0)
+        );
     }
 }

@@ -191,15 +191,15 @@ impl ClusterPowerAccountant {
             power += self.profile.watts(state);
             match (old.is_on(), state.is_on()) {
                 (true, false) => {
-                    for level in 0..self.topology.depth() {
+                    for (level, deltas) in group_deltas.iter_mut().enumerate() {
                         let g = self.topology.group_of(level, node);
-                        *group_deltas[level].entry(g).or_insert(0) -= 1;
+                        *deltas.entry(g).or_insert(0) -= 1;
                     }
                 }
                 (false, true) => {
-                    for level in 0..self.topology.depth() {
+                    for (level, deltas) in group_deltas.iter_mut().enumerate() {
                         let g = self.topology.group_of(level, node);
-                        *group_deltas[level].entry(g).or_insert(0) += 1;
+                        *deltas.entry(g).or_insert(0) += 1;
                     }
                 }
                 _ => {}
@@ -240,11 +240,7 @@ impl ClusterPowerAccountant {
     /// Consistency check: recompute the power from scratch and compare with
     /// the incrementally maintained value. Used by tests and debug assertions.
     pub fn recompute_power(&self) -> Watts {
-        let mut total: Watts = self
-            .states
-            .iter()
-            .map(|&s| self.profile.watts(s))
-            .sum();
+        let mut total: Watts = self.states.iter().map(|&s| self.profile.watts(s)).sum();
         for level in 0..self.topology.depth() {
             let overhead = self.topology.levels()[level].overhead;
             let completion = self.topology.group_completion_bonus(level, &self.profile);
@@ -394,7 +390,9 @@ mod tests {
         // A deterministic pseudo-random walk over states.
         let mut x: u64 = 12345;
         for step in 0..2000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let node = (x >> 33) as usize % n;
             let state = match (x >> 10) % 4 {
                 0 => PowerState::Off,
@@ -404,9 +402,7 @@ mod tests {
             };
             acct.set_state(node, state, step);
         }
-        assert!(acct
-            .current_power()
-            .approx_eq(acct.recompute_power(), 1e-6));
+        assert!(acct.current_power().approx_eq(acct.recompute_power(), 1e-6));
     }
 
     #[test]

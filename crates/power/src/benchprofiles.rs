@@ -217,7 +217,9 @@ impl BenchmarkProfile {
     pub fn relative_energy(&self, f: Frequency) -> Option<f64> {
         let top = self.points.last()?;
         let p = self.at(f)?;
-        Some((p.power.as_watts() * p.normalized_time) / (top.power.as_watts() * top.normalized_time))
+        Some(
+            (p.power.as_watts() * p.normalized_time) / (top.power.as_watts() * top.normalized_time),
+        )
     }
 }
 
@@ -320,10 +322,7 @@ mod tests {
         let ladder = FrequencyLadder::curie();
         let p = BenchmarkProfile::for_app(BenchmarkApp::Linpack, &ladder);
         assert_eq!(p.peak_power(), Watts(358.0));
-        assert_eq!(
-            p.at(Frequency::from_ghz(1.2)).unwrap().power,
-            Watts(193.0)
-        );
+        assert_eq!(p.at(Frequency::from_ghz(1.2)).unwrap().power, Watts(193.0));
         // Other applications stay below the envelope.
         let s = BenchmarkProfile::for_app(BenchmarkApp::Stream, &ladder);
         assert!(s.peak_power() < p.peak_power());
@@ -332,13 +331,7 @@ mod tests {
     #[test]
     fn power_ordering_matches_fig3() {
         let profiles = BenchmarkProfile::all_curie();
-        let peak = |app: BenchmarkApp| {
-            profiles
-                .iter()
-                .find(|p| p.app == app)
-                .unwrap()
-                .peak_power()
-        };
+        let peak = |app: BenchmarkApp| profiles.iter().find(|p| p.app == app).unwrap().peak_power();
         assert!(peak(BenchmarkApp::Linpack) > peak(BenchmarkApp::Gromacs));
         assert!(peak(BenchmarkApp::Gromacs) > peak(BenchmarkApp::Imb));
         assert!(peak(BenchmarkApp::Imb) > peak(BenchmarkApp::Stream));

@@ -175,7 +175,9 @@ mod tests {
 
     #[test]
     fn for_ladder_uses_ladder_endpoints() {
-        let ladder = FrequencyLadder::curie().clamp_min(Frequency::from_ghz(2.0)).unwrap();
+        let ladder = FrequencyLadder::curie()
+            .clamp_min(Frequency::from_ghz(2.0))
+            .unwrap();
         let m = DegradationModel::for_ladder(1.29, &ladder);
         assert_eq!(m.fmin(), Frequency::from_ghz(2.0));
         assert_eq!(m.fmax(), Frequency::from_ghz(2.7));

@@ -263,12 +263,24 @@ mod tests {
     #[test]
     fn floor_and_ceil() {
         let l = FrequencyLadder::curie();
-        assert_eq!(l.floor(Frequency::from_mhz(2500)), Some(Frequency::from_mhz(2400)));
-        assert_eq!(l.floor(Frequency::from_mhz(1200)), Some(Frequency::from_mhz(1200)));
+        assert_eq!(
+            l.floor(Frequency::from_mhz(2500)),
+            Some(Frequency::from_mhz(2400))
+        );
+        assert_eq!(
+            l.floor(Frequency::from_mhz(1200)),
+            Some(Frequency::from_mhz(1200))
+        );
         assert_eq!(l.floor(Frequency::from_mhz(1100)), None);
-        assert_eq!(l.ceil(Frequency::from_mhz(2500)), Some(Frequency::from_mhz(2700)));
+        assert_eq!(
+            l.ceil(Frequency::from_mhz(2500)),
+            Some(Frequency::from_mhz(2700))
+        );
         assert_eq!(l.ceil(Frequency::from_mhz(2800)), None);
-        assert_eq!(l.ceil(Frequency::from_mhz(100)), Some(Frequency::from_mhz(1200)));
+        assert_eq!(
+            l.ceil(Frequency::from_mhz(100)),
+            Some(Frequency::from_mhz(1200))
+        );
     }
 
     #[test]
@@ -296,7 +308,10 @@ mod tests {
         assert_eq!(l.normalized_position(l.min()), 0.0);
         assert_eq!(l.normalized_position(l.max()), 1.0);
         let mid = l.normalized_position(Frequency::from_ghz(2.0));
-        assert!(mid > 0.5 && mid < 0.6, "2.0 GHz sits just above the midpoint: {mid}");
+        assert!(
+            mid > 0.5 && mid < 0.6,
+            "2.0 GHz sits just above the midpoint: {mid}"
+        );
         let single = FrequencyLadder::new(vec![Frequency::from_ghz(2.0)]);
         assert_eq!(single.normalized_position(Frequency::from_ghz(2.0)), 1.0);
     }

@@ -62,8 +62,7 @@ impl NodePowerProfile {
         idle: Watts,
         busy: impl IntoIterator<Item = (Frequency, Watts)>,
     ) -> Result<Self, ProfileError> {
-        let busy: BTreeMap<u32, Watts> =
-            busy.into_iter().map(|(f, w)| (f.as_mhz(), w)).collect();
+        let busy: BTreeMap<u32, Watts> = busy.into_iter().map(|(f, w)| (f.as_mhz(), w)).collect();
         let profile = NodePowerProfile { off, idle, busy };
         profile.validate()?;
         Ok(profile)
@@ -130,7 +129,11 @@ impl NodePowerProfile {
         for (mhz, w) in &self.busy {
             check(&format!("{mhz} MHz"), *w)?;
         }
-        let min_busy = self.busy.values().copied().fold(Watts(f64::INFINITY), Watts::min);
+        let min_busy = self
+            .busy
+            .values()
+            .copied()
+            .fold(Watts(f64::INFINITY), Watts::min);
         if self.idle > min_busy {
             return Err(ProfileError::IdleAboveBusy);
         }
@@ -207,7 +210,10 @@ impl NodePowerProfile {
 
     /// The frequencies explicitly listed in the profile, ascending.
     pub fn frequencies(&self) -> Vec<Frequency> {
-        self.busy.keys().map(|&mhz| Frequency::from_mhz(mhz)).collect()
+        self.busy
+            .keys()
+            .map(|&mhz| Frequency::from_mhz(mhz))
+            .collect()
     }
 
     /// The frequency ladder induced by the profile.
@@ -300,8 +306,7 @@ mod tests {
     #[test]
     fn validation_rejects_bad_profiles() {
         assert_eq!(
-            NodePowerProfile::new(Watts(10.0), Watts(100.0), std::iter::empty())
-                .unwrap_err(),
+            NodePowerProfile::new(Watts(10.0), Watts(100.0), std::iter::empty()).unwrap_err(),
             ProfileError::NoFrequencies
         );
         assert_eq!(

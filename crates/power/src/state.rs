@@ -11,12 +11,13 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The power-relevant state of a compute node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum PowerState {
     /// The node is switched off. Only the BMC remains powered (14 W on Curie)
     /// so that the node can be woken up over the network.
     Off,
     /// The node is powered on but runs no job.
+    #[default]
     Idle,
     /// The node executes a job with its cores clocked at the given frequency.
     Busy(Frequency),
@@ -54,12 +55,6 @@ impl PowerState {
             PowerState::Busy(f) => Some(f),
             _ => None,
         }
-    }
-}
-
-impl Default for PowerState {
-    fn default() -> Self {
-        PowerState::Idle
     }
 }
 

@@ -116,7 +116,7 @@ impl Topology {
         Topology::new(vec![
             TopologyLevel::new("chassis", 18, Watts(248.0)),
             TopologyLevel::new("rack", 5, Watts(900.0)),
-            TopologyLevel::new("cluster", 56, Watts::ZERO)
+            TopologyLevel::new("cluster", 56, Watts::ZERO),
         ])
         .with_standby_off_with_chassis(true)
     }
@@ -127,7 +127,7 @@ impl Topology {
         Topology::new(vec![
             TopologyLevel::new("chassis", 18, Watts(248.0)),
             TopologyLevel::new("rack", 5, Watts(900.0)),
-            TopologyLevel::new("cluster", racks.max(1), Watts::ZERO)
+            TopologyLevel::new("cluster", racks.max(1), Watts::ZERO),
         ])
         .with_standby_off_with_chassis(true)
     }
@@ -322,9 +322,13 @@ mod tests {
         let t = Topology::curie();
         let p = NodePowerProfile::curie();
         // Chassis completion: 248 + 18*14 = 500 W.
-        assert!(t.group_completion_bonus(0, &p).approx_eq(Watts(500.0), 1e-9));
+        assert!(t
+            .group_completion_bonus(0, &p)
+            .approx_eq(Watts(500.0), 1e-9));
         // Rack completion adds only the rack's own equipment: 900 W.
-        assert!(t.group_completion_bonus(1, &p).approx_eq(Watts(900.0), 1e-9));
+        assert!(t
+            .group_completion_bonus(1, &p)
+            .approx_eq(Watts(900.0), 1e-9));
         // Summing per-node savings + incremental bonuses reproduces the
         // accumulated column of Fig. 2.
         let rack_total = p.shutdown_saving() * 90.0
@@ -334,7 +338,9 @@ mod tests {
         // Without the standby elimination flag the chassis bonus is only the
         // shared equipment.
         let t2 = Topology::curie().with_standby_off_with_chassis(false);
-        assert!(t2.group_completion_bonus(0, &p).approx_eq(Watts(248.0), 1e-9));
+        assert!(t2
+            .group_completion_bonus(0, &p)
+            .approx_eq(Watts(248.0), 1e-9));
         assert!(t2.group_bonus(0, &p).approx_eq(Watts(248.0), 1e-9));
     }
 

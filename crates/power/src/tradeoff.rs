@@ -277,7 +277,11 @@ impl PowercapTradeoff {
     pub fn n_dvfs_only(&self, cap: Watts) -> f64 {
         let d = self.max_power() - cap;
         if self.p_max <= self.p_dvfs {
-            return if d.as_watts() > 0.0 { self.n as f64 } else { 0.0 };
+            return if d.as_watts() > 0.0 {
+                self.n as f64
+            } else {
+                0.0
+            };
         }
         (d / (self.p_max - self.p_dvfs)).clamp(0.0, self.n as f64)
     }
@@ -313,9 +317,7 @@ impl PowercapTradeoff {
     /// Cluster power of an explicit `(n_off, n_dvfs)` split with every other
     /// node busy at maximum frequency (left-hand side of C3).
     pub fn power_of(&self, n_off: f64, n_dvfs: f64) -> Watts {
-        self.p_off * n_off
-            + self.p_dvfs * n_dvfs
-            + self.p_max * (self.n as f64 - n_off - n_dvfs)
+        self.p_off * n_off + self.p_dvfs * n_dvfs + self.p_max * (self.n as f64 - n_off - n_dvfs)
     }
 
     /// Full trade-off analysis for one cap value, following the configured
@@ -462,7 +464,10 @@ mod tests {
         let d = m.decide(cap);
         assert_eq!(d.mechanism, Mechanism::Both);
         assert!(d.n_off > 0.0 && d.n_dvfs > 0.0);
-        assert!((d.n_off + d.n_dvfs - 5040.0).abs() < 1e-6, "all nodes are touched");
+        assert!(
+            (d.n_off + d.n_dvfs - 5040.0).abs() < 1e-6,
+            "all nodes are touched"
+        );
         // The split saturates the cap exactly.
         let p = m.power_of(d.n_off, d.n_dvfs);
         assert!(p.approx_eq(cap, 1e-3), "{p} vs {cap}");

@@ -1,0 +1,168 @@
+//! Unit tests for the power crate's scalar arithmetic: Watts/Joules ordering
+//! (`units`), DVFS ladder monotonicity (`freq`) and runtime-degradation
+//! bounds at the ladder extremes (`degradation`).
+
+use apc_power::prelude::*;
+
+// --- units.rs: ordering and comparison semantics -------------------------
+
+#[test]
+fn watts_order_like_their_raw_values() {
+    assert!(Watts(14.0) < Watts(117.0));
+    assert!(Watts(358.0) > Watts(117.0));
+    assert!(Watts(-1.0) < Watts::ZERO);
+    assert!(Watts(2.0) <= Watts(2.0));
+    assert_eq!(Watts(2.0), Watts(2.0));
+
+    let mut levels = vec![Watts(358.0), Watts(14.0), Watts(117.0)];
+    levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(levels, vec![Watts(14.0), Watts(117.0), Watts(358.0)]);
+}
+
+#[test]
+fn joules_order_like_their_raw_values() {
+    assert!(Joules(0.0) < Joules(1.0));
+    assert!(Joules(3_600_000.0) > Joules(1_000_000.0));
+    assert!(Joules(-5.0) < Joules::ZERO);
+    assert_eq!(Joules(42.0), Joules(42.0));
+}
+
+#[test]
+fn ordering_survives_arithmetic() {
+    // Scaling by a positive factor and adding a common offset preserve order.
+    let (lo, hi) = (Watts(117.0), Watts(358.0));
+    assert!(lo * 2.0 < hi * 2.0);
+    assert!(lo + Watts(100.0) < hi + Watts(100.0));
+    assert!(hi - lo > Watts::ZERO);
+    // Integrating over the same duration preserves order in energy space.
+    assert!(lo.over_seconds(3600) < hi.over_seconds(3600));
+}
+
+#[test]
+fn approx_eq_is_a_tolerance_not_an_order() {
+    assert!(Watts(100.0).approx_eq(Watts(100.0 + 5e-7), 1e-6));
+    assert!(!Watts(100.0).approx_eq(Watts(100.1), 1e-6));
+    assert!(Joules(1.0).approx_eq(Joules(1.0), 0.0));
+}
+
+// --- freq.rs: DVFS ladder monotonicity -----------------------------------
+
+#[test]
+fn curie_ladder_is_strictly_increasing() {
+    let ladder = FrequencyLadder::curie();
+    assert!(!ladder.is_empty());
+    for pair in ladder.steps().windows(2) {
+        assert!(
+            pair[0] < pair[1],
+            "ladder must be strictly increasing: {:?}",
+            pair
+        );
+    }
+    assert_eq!(ladder.min(), *ladder.steps().first().unwrap());
+    assert_eq!(ladder.max(), *ladder.steps().last().unwrap());
+}
+
+#[test]
+fn ladder_neighbours_are_monotone_and_inverse() {
+    let ladder = FrequencyLadder::curie();
+    for &step in ladder.steps() {
+        if let Some(lower) = ladder.next_lower(step) {
+            assert!(lower < step);
+            assert_eq!(ladder.next_higher(lower), Some(step));
+        } else {
+            assert_eq!(step, ladder.min());
+        }
+        if let Some(higher) = ladder.next_higher(step) {
+            assert!(higher > step);
+            assert_eq!(ladder.next_lower(higher), Some(step));
+        } else {
+            assert_eq!(step, ladder.max());
+        }
+    }
+}
+
+#[test]
+fn floor_and_ceil_bracket_any_frequency() {
+    let ladder = FrequencyLadder::curie();
+    for mhz in (800..3200).step_by(37) {
+        let f = Frequency::from_mhz(mhz);
+        if let Some(fl) = ladder.floor(f) {
+            assert!(fl <= f);
+            assert!(ladder.contains(fl));
+        } else {
+            assert!(f < ladder.min());
+        }
+        if let Some(ce) = ladder.ceil(f) {
+            assert!(ce >= f);
+            assert!(ladder.contains(ce));
+        } else {
+            assert!(f > ladder.max());
+        }
+    }
+}
+
+#[test]
+fn normalized_position_is_monotone_over_the_ladder() {
+    let ladder = FrequencyLadder::curie();
+    let positions: Vec<f64> = ladder
+        .steps()
+        .iter()
+        .map(|&f| ladder.normalized_position(f))
+        .collect();
+    for pair in positions.windows(2) {
+        assert!(pair[0] < pair[1]);
+    }
+    assert!(positions.first().unwrap().abs() < 1e-12);
+    assert!((positions.last().unwrap() - 1.0).abs() < 1e-12);
+}
+
+// --- degradation.rs: bounds at the ladder extremes -----------------------
+
+#[test]
+fn degradation_is_identity_at_fmax() {
+    let model = DegradationModel::paper_default();
+    assert!((model.factor(model.fmax()) - 1.0).abs() < 1e-12);
+    for runtime in [1u64, 60, 3600, 86_400] {
+        assert_eq!(model.stretch_runtime(runtime, model.fmax()), runtime);
+    }
+}
+
+#[test]
+fn degradation_reaches_degmin_at_fmin() {
+    let model = DegradationModel::paper_default();
+    assert!((model.factor(model.fmin()) - model.degmin()).abs() < 1e-12);
+    let runtime = 10_000u64;
+    let stretched = model.stretch_runtime(runtime, model.fmin());
+    let expected = (runtime as f64 * model.degmin()).round() as u64;
+    assert!(
+        stretched.abs_diff(expected) <= 1,
+        "stretch at fmin should be runtime * degmin (got {stretched}, expected ~{expected})"
+    );
+}
+
+#[test]
+fn degradation_factor_stays_in_bounds_between_the_extremes() {
+    let model = DegradationModel::paper_default();
+    let ladder = FrequencyLadder::curie();
+    let mut last = f64::INFINITY;
+    for &f in ladder.steps() {
+        let factor = model.factor(f);
+        assert!(factor >= 1.0 - 1e-12, "factor below 1 at {f}");
+        assert!(
+            factor <= model.degmin() + 1e-12,
+            "factor above degmin at {f}"
+        );
+        // Higher frequency => smaller (or equal) degradation.
+        assert!(factor <= last + 1e-12);
+        last = factor;
+    }
+}
+
+#[test]
+fn frequencies_outside_the_ladder_are_clamped() {
+    let model = DegradationModel::paper_default();
+    let below = Frequency::from_mhz(model.fmin().as_mhz() - 200);
+    let above = Frequency::from_mhz(model.fmax().as_mhz() + 400);
+    assert!((model.factor(below) - model.degmin()).abs() < 1e-12);
+    assert!((model.factor(above) - 1.0).abs() < 1e-12);
+}

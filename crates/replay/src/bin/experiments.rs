@@ -53,7 +53,16 @@ fn main() {
     }
     if targets.iter().any(|t| t == "all") {
         targets = [
-            "fig2", "fig3", "fig4", "fig5", "model", "fig6", "fig7a", "fig7b", "fig8", "claims",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "model",
+            "fig6",
+            "fig7a",
+            "fig7b",
+            "fig8",
+            "claims",
             "ablations",
         ]
         .iter()

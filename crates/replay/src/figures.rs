@@ -14,8 +14,8 @@ use apc_core::PowercapPolicy;
 use apc_power::bonus::GroupingStrategy;
 use apc_power::tradeoff::DecisionRule;
 use apc_power::{
-    benchprofiles, BenchmarkProfile, FrequencyLadder, NodePowerProfile, PowercapTradeoff,
-    Topology, Watts,
+    benchprofiles, BenchmarkProfile, FrequencyLadder, NodePowerProfile, PowercapTradeoff, Topology,
+    Watts,
 };
 use apc_rjms::cluster::Platform;
 use apc_workload::{CurieTraceGenerator, IntervalKind, TraceStats};
@@ -54,7 +54,11 @@ pub fn fig2() -> String {
     );
     out.push_str(&format!(
         "{:<18} {:<14} {:>12} {:>9} {:>15}\n",
-        "node (down)", "-", format!("{:.0}", profile.off_watts().as_watts()), "-", "-"
+        "node (down)",
+        "-",
+        format!("{:.0}", profile.off_watts().as_watts()),
+        "-",
+        "-"
     ));
     out.push_str(&format!(
         "{:<18} {:<14} {:>12} {:>9} {:>15.0}\n",
@@ -109,8 +113,16 @@ pub fn fig4() -> String {
         "Fig. 4 — Maximum power consumption of a Curie node per state\n\
          state            max power (W)\n",
     );
-    out.push_str(&format!("{:<16} {:>13.0}\n", "switch-off", profile.off_watts().as_watts()));
-    out.push_str(&format!("{:<16} {:>13.0}\n", "idle", profile.idle_watts().as_watts()));
+    out.push_str(&format!(
+        "{:<16} {:>13.0}\n",
+        "switch-off",
+        profile.off_watts().as_watts()
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>13.0}\n",
+        "idle",
+        profile.idle_watts().as_watts()
+    ));
     for f in FrequencyLadder::curie().steps() {
         out.push_str(&format!(
             "{:<16} {:>13.0}\n",
@@ -150,7 +162,9 @@ pub fn render_timeseries(outcome: &ReplayOutcome, horizon: u64, step: u64) -> St
         outcome.scenario.label(),
         outcome.scenario.window()
     ));
-    out.push_str("time(h)   cores@2.7   cores@2.4-2.2   cores@2.0   cores@<2.0   cores off   power(kW)\n");
+    out.push_str(
+        "time(h)   cores@2.7   cores@2.4-2.2   cores@2.0   cores@<2.0   cores off   power(kW)\n",
+    );
     for sample in outcome.utilization.resample(horizon, step) {
         let t = sample.time;
         let at = |lo: u32, hi: u32| -> u64 {
@@ -196,7 +210,8 @@ pub fn fig7a(racks: usize, seed: u64) -> String {
     let duration = h.trace().duration;
     let scenario = Scenario::paper(PowercapPolicy::Shut, 0.60, duration);
     let outcome = h.run(&scenario);
-    let mut out = String::from("Fig. 7a — bigjob workload, SHUT policy, 60 % powercap for 1 hour\n");
+    let mut out =
+        String::from("Fig. 7a — bigjob workload, SHUT policy, 60 % powercap for 1 hour\n");
     out.push_str(&describe_trace(&h));
     out.push_str(&render_timeseries(&outcome, duration, 900));
     out.push_str(&outcome.summary());
@@ -226,7 +241,11 @@ pub fn fig8(racks: usize, seed: u64) -> String {
         "Fig. 8 — normalised energy / launched jobs / work per workload, cap and policy\n\
          workload    scenario     energy   launched   work\n",
     );
-    for interval in [IntervalKind::BigJob, IntervalKind::MedianJob, IntervalKind::SmallJob] {
+    for interval in [
+        IntervalKind::BigJob,
+        IntervalKind::MedianJob,
+        IntervalKind::SmallJob,
+    ] {
         let h = harness(racks, seed, interval);
         let duration = h.trace().duration;
         for scenario in Scenario::paper_grid(duration) {
@@ -271,7 +290,7 @@ pub fn claims(racks: usize, seed: u64) -> String {
                 .energy
                 .as_joules()
                 .min(dvfs.report.energy.as_joules())
-            * 1.05
+                * 1.05
     ));
     out
 }
@@ -296,9 +315,18 @@ pub fn ablation_grouping(racks: usize, seed: u64) -> String {
             })
             .sum::<usize>()
     };
-    let mut out = String::from("Ablation — grouped vs scattered switch-off node selection (SHUT, 40 %)\n");
-    out.push_str(&format!("grouped  : {}  nodes powered off: {}\n", grouped.summary(), off_nodes(&grouped)));
-    out.push_str(&format!("scattered: {}  nodes powered off: {}\n", scattered.summary(), off_nodes(&scattered)));
+    let mut out =
+        String::from("Ablation — grouped vs scattered switch-off node selection (SHUT, 40 %)\n");
+    out.push_str(&format!(
+        "grouped  : {}  nodes powered off: {}\n",
+        grouped.summary(),
+        off_nodes(&grouped)
+    ));
+    out.push_str(&format!(
+        "scattered: {}  nodes powered off: {}\n",
+        scattered.summary(),
+        off_nodes(&scattered)
+    ));
     out
 }
 
@@ -326,12 +354,10 @@ pub fn ablation_app_aware(racks: usize, seed: u64) -> String {
     let duration = h.trace().duration;
     let common = h.run(&Scenario::paper(PowercapPolicy::Dvfs, 0.40, duration));
     let aware = h.run(
-        &Scenario::paper(PowercapPolicy::Dvfs, 0.40, duration)
-            .with_per_application_degradation(),
+        &Scenario::paper(PowercapPolicy::Dvfs, 0.40, duration).with_per_application_degradation(),
     );
-    let mut out = String::from(
-        "Ablation — common-value vs per-application DVFS degradation (DVFS, 40 %)\n",
-    );
+    let mut out =
+        String::from("Ablation — common-value vs per-application DVFS degradation (DVFS, 40 %)\n");
     out.push_str(&format!("common value 1.63 : {}\n", common.summary()));
     out.push_str(&format!("per-application   : {}\n", aware.summary()));
     out

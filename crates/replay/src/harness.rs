@@ -186,7 +186,11 @@ mod tests {
     #[test]
     fn capped_replays_respect_the_budget() {
         let h = harness();
-        for policy in [PowercapPolicy::Shut, PowercapPolicy::Dvfs, PowercapPolicy::Mix] {
+        for policy in [
+            PowercapPolicy::Shut,
+            PowercapPolicy::Dvfs,
+            PowercapPolicy::Mix,
+        ] {
             let scenario = Scenario::paper(policy, 0.6, h.trace().duration);
             let outcome = h.run(&scenario);
             let window = scenario.window().unwrap();
@@ -203,7 +207,11 @@ mod tests {
     fn capped_replays_deliver_less_work_than_baseline() {
         let h = harness();
         let baseline = h.run(&Scenario::baseline());
-        let capped = h.run(&Scenario::paper(PowercapPolicy::Shut, 0.4, h.trace().duration));
+        let capped = h.run(&Scenario::paper(
+            PowercapPolicy::Shut,
+            0.4,
+            h.trace().duration,
+        ));
         assert!(capped.report.work_core_seconds <= baseline.report.work_core_seconds + 1e-6);
         assert!(capped.report.energy < baseline.report.energy);
     }

@@ -28,7 +28,9 @@ pub mod scenario;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::harness::{ReplayHarness, ReplayOutcome};
-    pub use crate::metrics::{NormalizedOutcome, PowerSeries, UtilizationSample, UtilizationSeries};
+    pub use crate::metrics::{
+        NormalizedOutcome, PowerSeries, UtilizationSample, UtilizationSeries,
+    };
     pub use crate::scenario::Scenario;
 }
 

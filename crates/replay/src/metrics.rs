@@ -56,9 +56,9 @@ impl UtilizationSeries {
         let mut job_freq: BTreeMap<usize, (u32, u32)> = BTreeMap::new(); // job -> (cores, mhz)
 
         let push = |time: SimTime,
-                        by_freq: &BTreeMap<u32, i64>,
-                        off_nodes: i64,
-                        samples: &mut Vec<UtilizationSample>| {
+                    by_freq: &BTreeMap<u32, i64>,
+                    off_nodes: i64,
+                    samples: &mut Vec<UtilizationSample>| {
             let sample = UtilizationSample {
                 time,
                 busy_cores_by_freq: by_freq
@@ -142,9 +142,7 @@ impl UtilizationSeries {
     /// used to print/plot Figures 6 and 7.
     pub fn resample(&self, horizon: SimTime, step: SimTime) -> Vec<UtilizationSample> {
         assert!(step > 0);
-        (0..=horizon / step)
-            .map(|i| self.at(i * step))
-            .collect()
+        (0..=horizon / step).map(|i| self.at(i * step)).collect()
     }
 
     /// Mean utilisation (busy cores / total cores) over `[0, horizon]`,
@@ -278,7 +276,12 @@ mod tests {
                 frequency: Frequency::from_ghz(2.0),
             },
         );
-        log.push(30, SimEventKind::NodesPoweredOff { nodes: vec![80, 81] });
+        log.push(
+            30,
+            SimEventKind::NodesPoweredOff {
+                nodes: vec![80, 81],
+            },
+        );
         log.push(
             100,
             SimEventKind::JobCompleted {
@@ -287,7 +290,12 @@ mod tests {
                 frequency: Frequency::from_ghz(2.7),
             },
         );
-        log.push(150, SimEventKind::NodesPoweredOn { nodes: vec![80, 81] });
+        log.push(
+            150,
+            SimEventKind::NodesPoweredOn {
+                nodes: vec![80, 81],
+            },
+        );
         log.push(
             200,
             SimEventKind::JobKilled {
@@ -341,9 +349,18 @@ mod tests {
     #[test]
     fn power_series_lookup_and_peak() {
         let series = PowerSeries::from_samples(&[
-            PowerSample { time: 0, power: Watts(100.0) },
-            PowerSample { time: 50, power: Watts(300.0) },
-            PowerSample { time: 100, power: Watts(200.0) },
+            PowerSample {
+                time: 0,
+                power: Watts(100.0),
+            },
+            PowerSample {
+                time: 50,
+                power: Watts(300.0),
+            },
+            PowerSample {
+                time: 100,
+                power: Watts(200.0),
+            },
         ]);
         assert_eq!(series.at(0), Watts(100.0));
         assert_eq!(series.at(75), Watts(300.0));

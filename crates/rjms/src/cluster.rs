@@ -169,10 +169,7 @@ impl Cluster {
 
     /// Iterate over the ids of nodes currently available for scheduling.
     pub fn available_nodes(&self) -> impl Iterator<Item = usize> + '_ {
-        self.nodes
-            .iter()
-            .filter(|n| n.is_available())
-            .map(|n| n.id)
+        self.nodes.iter().filter(|n| n.is_available()).map(|n| n.id)
     }
 
     /// Mark `nodes` as allocated to `job` running at `freq` starting at

@@ -190,17 +190,14 @@ impl Controller {
         window: TimeWindow,
         cap: Watts,
     ) -> (ReservationId, Option<ReservationId>) {
-        let plan = self.hook.plan_powercap(
-            &self.cluster,
-            &self.reservations,
-            window,
-            cap,
-            self.now,
-        );
+        let plan =
+            self.hook
+                .plan_powercap(&self.cluster, &self.reservations, window, cap, self.now);
         let cap_id = self
             .reservations
             .add(window, ReservationKind::PowerCap { cap });
-        self.events.push(window.start, Event::ReservationStart(cap_id));
+        self.events
+            .push(window.start, Event::ReservationStart(cap_id));
         self.events.push(window.end, Event::ReservationEnd(cap_id));
         let off_id = if plan.switch_off_nodes.is_empty() {
             None
@@ -311,7 +308,9 @@ impl Controller {
         }
         let nodes = self.jobs[id].nodes.clone();
         let cores = self.jobs[id].cores();
-        let frequency = self.jobs[id].frequency.expect("running job has a frequency");
+        let frequency = self.jobs[id]
+            .frequency
+            .expect("running job has a frequency");
         // Nodes drained by an active switch-off reservation power off on
         // release; log that transition so time series stay accurate.
         let powering_off: Vec<usize> = nodes
@@ -367,8 +366,7 @@ impl Controller {
                     },
                 );
                 if self.cluster.current_power() > cap {
-                    let running: Vec<&Job> =
-                        self.running.iter().map(|&j| &self.jobs[j]).collect();
+                    let running: Vec<&Job> = self.running.iter().map(|&j| &self.jobs[j]).collect();
                     let kills = self
                         .hook
                         .on_cap_start(&self.cluster, &running, cap, self.now);
@@ -413,7 +411,9 @@ impl Controller {
         }
         let nodes = self.jobs[id].nodes.clone();
         let cores = self.jobs[id].cores();
-        let frequency = self.jobs[id].frequency.expect("running job has a frequency");
+        let frequency = self.jobs[id]
+            .frequency
+            .expect("running job has a frequency");
         let powering_off: Vec<usize> = nodes
             .iter()
             .copied()
@@ -502,7 +502,7 @@ impl Controller {
                 .filter(|(_, r)| r.overlaps(self.now, window_end))
                 .map(|(bit, _)| bit)
                 .sum();
-            if !blocked_cache.contains_key(&signature) {
+            if let std::collections::hash_map::Entry::Vacant(e) = blocked_cache.entry(signature) {
                 let set: HashSet<usize> = node_reservations
                     .iter()
                     .filter(|(bit, _)| signature & bit != 0)
@@ -511,7 +511,7 @@ impl Controller {
                     .copied()
                     .collect();
                 let count = self.selector.available_count(&self.cluster, &set);
-                blocked_cache.insert(signature, (set, count));
+                e.insert((set, count));
             }
             let available = blocked_cache[&signature].1;
 
@@ -533,10 +533,7 @@ impl Controller {
                         .iter()
                         .map(|&j| {
                             let job = &self.jobs[j];
-                            (
-                                job.walltime_end().unwrap_or(self.now),
-                                job.nodes.len(),
-                            )
+                            (job.walltime_end().unwrap_or(self.now), job.nodes.len())
                         })
                         .collect();
                     shadow = shadow_reservation(needed, available, &releases, self.now);
@@ -676,7 +673,13 @@ mod tests {
         Controller::new(platform(), ControllerConfig::default())
     }
 
-    fn job(user: usize, submit: SimTime, cores: u32, walltime: SimTime, runtime: SimTime) -> JobSubmission {
+    fn job(
+        user: usize,
+        submit: SimTime,
+        cores: u32,
+        walltime: SimTime,
+        runtime: SimTime,
+    ) -> JobSubmission {
         JobSubmission::new(user, submit, cores, walltime, runtime)
     }
 
@@ -744,7 +747,10 @@ mod tests {
         c.set_horizon(2 * HOUR);
         c.run();
         assert_eq!(c.job(2).start_time, Some(2), "small job backfills");
-        assert!(c.job(1).start_time.unwrap() >= 1000, "head job waits for nodes");
+        assert!(
+            c.job(1).start_time.unwrap() >= 1000,
+            "head job waits for nodes"
+        );
     }
 
     #[test]
@@ -801,9 +807,12 @@ mod tests {
         let mut c = controller();
         let window = TimeWindow::new(1000, 2000);
         let nodes: Vec<usize> = (0..18).collect();
-        let id = c
-            .reservations
-            .add(window, ReservationKind::SwitchOff { nodes: nodes.clone() });
+        let id = c.reservations.add(
+            window,
+            ReservationKind::SwitchOff {
+                nodes: nodes.clone(),
+            },
+        );
         c.events.push(window.start, Event::ReservationStart(id));
         c.events.push(window.end, Event::ReservationEnd(id));
         c.set_horizon(3000);
@@ -891,7 +900,10 @@ mod tests {
         c.set_horizon(2 * HOUR);
         let report = c.run();
         assert_eq!(report.launched_jobs, 20);
-        assert_eq!(report.completed_jobs + report.killed_jobs + report.pending_jobs, 20 - 0);
+        assert_eq!(
+            report.completed_jobs + report.killed_jobs + report.pending_jobs,
+            20
+        );
         assert!(report.mean_wait_seconds >= 0.0);
         assert!(report.work_core_hours() > 0.0);
         assert_eq!(report.horizon, 2 * HOUR);
@@ -902,7 +914,13 @@ mod tests {
         let build = || {
             let mut c = controller();
             for i in 0..50 {
-                c.submit(job(i % 7, (i as SimTime * 13) % 900, 32 + (i as u32 % 5) * 160, 3600, 300 + i as SimTime * 7));
+                c.submit(job(
+                    i % 7,
+                    (i as SimTime * 13) % 900,
+                    32 + (i as u32 % 5) * 160,
+                    3600,
+                    300 + i as SimTime * 7,
+                ));
             }
             c.set_horizon(3 * HOUR);
             c.run();

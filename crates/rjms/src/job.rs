@@ -180,10 +180,7 @@ impl Job {
         let (Some(start), Some(runtime)) = (self.start_time, self.stretched_runtime) else {
             return 0.0;
         };
-        let end = self
-            .end_time
-            .unwrap_or(start + runtime)
-            .min(window_end);
+        let end = self.end_time.unwrap_or(start + runtime).min(window_end);
         let start = start.max(window_start);
         if end <= start {
             return 0.0;

@@ -99,7 +99,7 @@ impl SimLog {
     /// Append an event.
     pub fn push(&mut self, time: SimTime, kind: SimEventKind) {
         debug_assert!(
-            self.events.last().map_or(true, |e| e.time <= time),
+            self.events.last().is_none_or(|e| e.time <= time),
             "log times must be monotone"
         );
         self.events.push(SimEvent { time, kind });
@@ -147,10 +147,7 @@ mod tests {
     fn push_and_query() {
         let mut log = SimLog::new();
         assert!(log.is_empty());
-        log.push(
-            0,
-            SimEventKind::JobSubmitted { job: 1, cores: 32 },
-        );
+        log.push(0, SimEventKind::JobSubmitted { job: 1, cores: 32 });
         log.push(
             5,
             SimEventKind::JobStarted {

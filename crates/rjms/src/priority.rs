@@ -156,7 +156,7 @@ impl MultifactorPriority {
     pub fn sort_pending(
         &self,
         jobs: &[Job],
-        pending: &mut Vec<usize>,
+        pending: &mut [usize],
         now: SimTime,
         total_cores: u64,
         fairshare: &FairShareTracker,
@@ -166,7 +166,12 @@ impl MultifactorPriority {
             let pb = self.priority(&jobs[b], now, total_cores, fairshare);
             pb.partial_cmp(&pa)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(jobs[a].submission.submit_time.cmp(&jobs[b].submission.submit_time))
+                .then(
+                    jobs[a]
+                        .submission
+                        .submit_time
+                        .cmp(&jobs[b].submission.submit_time),
+                )
                 .then(a.cmp(&b))
         });
     }
@@ -219,9 +224,7 @@ mod tests {
         let old = job(0, 0, 0, 64);
         let fresh = job(1, 0, 90_000, 64);
         let now = 100_000;
-        assert!(
-            prio.priority(&old, now, 80_640, &fs) > prio.priority(&fresh, now, 80_640, &fs)
-        );
+        assert!(prio.priority(&old, now, 80_640, &fs) > prio.priority(&fresh, now, 80_640, &fs));
     }
 
     #[test]

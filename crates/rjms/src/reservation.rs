@@ -129,9 +129,7 @@ impl ReservationBook {
             .iter()
             .filter(|r| r.active_at(t))
             .filter_map(Reservation::cap)
-            .fold(None, |acc, c| {
-                Some(acc.map_or(c, |a: Watts| a.min(c)))
-            })
+            .fold(None, |acc, c| Some(acc.map_or(c, |a: Watts| a.min(c))))
     }
 
     /// The tightest power cap applying anywhere inside `[start, end)` — what
@@ -142,9 +140,7 @@ impl ReservationBook {
             .iter()
             .filter(|r| r.overlaps(start, end))
             .filter_map(Reservation::cap)
-            .fold(None, |acc, c| {
-                Some(acc.map_or(c, |a: Watts| a.min(c)))
-            })
+            .fold(None, |acc, c| Some(acc.map_or(c, |a: Watts| a.min(c))))
     }
 
     /// Nodes blocked (drained or powered off) by reservations overlapping

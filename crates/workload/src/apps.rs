@@ -94,7 +94,10 @@ mod tests {
     fn benchmark_mapping_and_degradation() {
         assert_eq!(AppClass::ComputeBound.benchmark(), BenchmarkApp::Linpack);
         assert_eq!(AppClass::MemoryBound.benchmark(), BenchmarkApp::Stream);
-        assert!(AppClass::ComputeBound.degradation().degmin() > AppClass::MolecularDynamics.degradation().degmin());
+        assert!(
+            AppClass::ComputeBound.degradation().degmin()
+                > AppClass::MolecularDynamics.degradation().degmin()
+        );
         assert_eq!(AppClass::MolecularDynamics.degradation().degmin(), 1.16);
     }
 

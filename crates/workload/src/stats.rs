@@ -130,9 +130,9 @@ mod tests {
     fn computes_fractions_and_ratios() {
         let trace = Trace::new(
             vec![
-                job(0, 16, 60, 600),        // small & short
-                job(1, 32, 90, 900),        // small & short
-                job(2, 1024, 7200, 86_400), // medium
+                job(0, 16, 60, 600),          // small & short
+                job(1, 32, 90, 900),          // small & short
+                job(2, 1024, 7200, 86_400),   // medium
                 job(3, 90_000, 7200, 86_400), // huge: 180M core-seconds
             ],
             3600,
@@ -151,7 +151,11 @@ mod tests {
     #[test]
     fn median_of_even_and_odd_counts() {
         let trace = Trace::new(
-            vec![job(0, 16, 10, 100), job(1, 16, 10, 200), job(2, 16, 10, 300)],
+            vec![
+                job(0, 16, 10, 100),
+                job(1, 16, 10, 200),
+                job(2, 16, 10, 300),
+            ],
             100,
         );
         let stats = TraceStats::compute(&trace, 1000);

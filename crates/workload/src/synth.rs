@@ -359,7 +359,9 @@ mod tests {
     fn interval_flavours_differ_in_size_mix() {
         let platform = curie();
         let mean_cores = |kind: IntervalKind| {
-            let t = CurieTraceGenerator::new(11).interval(kind).generate_for(&platform);
+            let t = CurieTraceGenerator::new(11)
+                .interval(kind)
+                .generate_for(&platform);
             t.jobs.iter().map(|j| j.cores as f64).sum::<f64>() / t.len() as f64
         };
         let small = mean_cores(IntervalKind::SmallJob);
@@ -401,7 +403,9 @@ mod tests {
         assert!(stats.load_ratio < 1.0);
         assert!(stats.median_overestimation < 100.0);
         assert_eq!(
-            CurieTraceGenerator::new(1).interval(IntervalKind::BigJob).interval_kind(),
+            CurieTraceGenerator::new(1)
+                .interval(IntervalKind::BigJob)
+                .interval_kind(),
             IntervalKind::BigJob
         );
         let no_backlog = light.jobs.iter().filter(|j| j.submit_time == 0).count();

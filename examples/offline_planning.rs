@@ -16,7 +16,7 @@ use adaptive_powercap::prelude::*;
 use apc_power::bonus::GroupingStrategy;
 use apc_rjms::time::TimeWindow;
 
-fn main() {
+pub fn main() {
     let platform = Platform::curie();
     let cluster = Cluster::new(platform.clone());
     println!(
@@ -27,7 +27,11 @@ fn main() {
 
     println!("cap     policy   mechanism        nodes off   complete groups   bonus recovered");
     for fraction in [0.80, 0.60, 0.40] {
-        for policy in [PowercapPolicy::Shut, PowercapPolicy::Mix, PowercapPolicy::Dvfs] {
+        for policy in [
+            PowercapPolicy::Shut,
+            PowercapPolicy::Mix,
+            PowercapPolicy::Dvfs,
+        ] {
             let planner = OfflinePlanner::new(PowercapConfig::for_policy(policy));
             let cap = platform.power_fraction(fraction);
             let decision = planner.plan(&cluster, TimeWindow::new(7200, 10800), cap);

@@ -15,13 +15,17 @@
 
 use adaptive_powercap::prelude::*;
 
-fn main() {
+pub fn main() {
     let platform = Platform::curie_scaled(3);
     println!(
         "workload    scenario     energy   launched   work      (normalised, {} nodes)",
         platform.total_nodes()
     );
-    for interval in [IntervalKind::BigJob, IntervalKind::MedianJob, IntervalKind::SmallJob] {
+    for interval in [
+        IntervalKind::BigJob,
+        IntervalKind::MedianJob,
+        IntervalKind::SmallJob,
+    ] {
         let trace = CurieTraceGenerator::new(99)
             .interval(interval)
             .generate_for(&platform);

@@ -15,7 +15,7 @@
 use adaptive_powercap::prelude::*;
 use adaptive_powercap::replay::figures::render_timeseries;
 
-fn main() {
+pub fn main() {
     let platform = Platform::curie_scaled(4);
     let trace = CurieTraceGenerator::new(7)
         .interval(IntervalKind::Day24h)

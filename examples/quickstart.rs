@@ -8,7 +8,7 @@
 
 use adaptive_powercap::prelude::*;
 
-fn main() {
+pub fn main() {
     // A Curie-like machine scaled to 4 racks (360 nodes) so the example runs
     // in a few seconds; pass `--full` logic lives in the experiments binary.
     let platform = Platform::curie_scaled(4);
@@ -35,7 +35,11 @@ fn main() {
     println!("--- 60 % powercap for one hour, per policy ---");
     let baseline = harness.run(&Scenario::baseline());
     println!("{}", baseline.summary());
-    for policy in [PowercapPolicy::Shut, PowercapPolicy::Dvfs, PowercapPolicy::Mix] {
+    for policy in [
+        PowercapPolicy::Shut,
+        PowercapPolicy::Dvfs,
+        PowercapPolicy::Mix,
+    ] {
         let scenario = Scenario::paper(policy, 0.60, duration);
         let outcome = harness.run(&scenario);
         println!("{}", outcome.summary());

@@ -17,7 +17,11 @@ fn every_policy_respects_every_cap() {
     let h = harness(21, IntervalKind::MedianJob, 2);
     let duration = h.trace().duration;
     for fraction in [0.8, 0.6, 0.4] {
-        for policy in [PowercapPolicy::Shut, PowercapPolicy::Dvfs, PowercapPolicy::Mix] {
+        for policy in [
+            PowercapPolicy::Shut,
+            PowercapPolicy::Dvfs,
+            PowercapPolicy::Mix,
+        ] {
             let scenario = Scenario::paper(policy, fraction, duration);
             let outcome = h.run(&scenario);
             let window = scenario.window().unwrap();
@@ -61,7 +65,11 @@ fn capped_runs_never_beat_the_uncapped_baseline() {
     let h = harness(23, IntervalKind::SmallJob, 2);
     let duration = h.trace().duration;
     let baseline = h.run(&Scenario::baseline());
-    for policy in [PowercapPolicy::Shut, PowercapPolicy::Dvfs, PowercapPolicy::Mix] {
+    for policy in [
+        PowercapPolicy::Shut,
+        PowercapPolicy::Dvfs,
+        PowercapPolicy::Mix,
+    ] {
         let outcome = h.run(&Scenario::paper(policy, 0.4, duration));
         assert!(outcome.report.work_core_seconds <= baseline.report.work_core_seconds + 1e-6);
         assert!(outcome.report.energy < baseline.report.energy);
@@ -114,7 +122,9 @@ fn utilization_recovers_after_the_cap_window() {
     let outcome = h.run(&scenario);
     let window = scenario.window().unwrap();
     let during = outcome.utilization.at(window.start + window.duration() / 2);
-    let after = outcome.utilization.at((window.end + 1800).min(duration - 1));
+    let after = outcome
+        .utilization
+        .at((window.end + 1800).min(duration - 1));
     assert!(
         after.busy_cores() as f64 >= during.busy_cores() as f64 * 0.8,
         "utilisation should recover after the cap is lifted (during {}, after {})",

@@ -1,0 +1,40 @@
+//! Smoke tests compiling and running each `examples/` main path, so the
+//! quickstart documentation cannot rot without a test failure.
+//!
+//! Each example file is mounted as a module via `#[path]` and its `main`
+//! invoked directly; this exercises exactly the code
+//! `cargo run --example <name>` would run (stdout is produced but not
+//! asserted on — these tests only guarantee the examples build and terminate
+//! without panicking).
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[path = "../examples/offline_planning.rs"]
+mod offline_planning;
+
+#[path = "../examples/policy_comparison.rs"]
+mod policy_comparison;
+
+#[path = "../examples/powercap_day.rs"]
+mod powercap_day;
+
+#[test]
+fn quickstart_runs() {
+    quickstart::main();
+}
+
+#[test]
+fn offline_planning_runs() {
+    offline_planning::main();
+}
+
+#[test]
+fn policy_comparison_runs() {
+    policy_comparison::main();
+}
+
+#[test]
+fn powercap_day_runs() {
+    powercap_day::main();
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API slice the bench targets use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box`,
+//! `criterion_group!`, `criterion_main!`) backed by a minimal timing loop:
+//! each benchmark is warmed briefly, then timed for a bounded number of
+//! iterations, and the mean ns/iter is printed. There is no statistical
+//! analysis, no HTML report, and no baseline comparison — the goal is that
+//! `cargo bench` compiles and produces indicative numbers offline. Swap the
+//! path dependency for the real crate when registry access is available.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported from the standard library.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(50),
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(
+            &name.into(),
+            Duration::from_millis(50),
+            Duration::from_millis(300),
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this stub sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Cap the warm-up time (this stub caps it at 100 ms).
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t.min(Duration::from_millis(100));
+        self
+    }
+
+    /// Cap the measurement time (this stub caps it at 500 ms).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t.min(Duration::from_millis(500));
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(&full, self.warm_up_time, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, first warming up, then measuring for the configured budget.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while Instant::now() - start < self.measure && iters < 1_000_000 {
+            black_box(f());
+            iters += 1;
+        }
+        let elapsed = Instant::now() - start;
+        self.iters = iters.max(1);
+        self.ns_per_iter = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn run_bench(name: &str, warm_up: Duration, measure: Duration, f: &mut impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        warm_up,
+        measure,
+        ns_per_iter: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "  {name}: {:.1} ns/iter ({} iterations)",
+        b.ns_per_iter, b.iters
+    );
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,269 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the API slice the workspace's property tests use: the
+//! [`Strategy`](strategy::Strategy) trait over ranges / tuples / `Just` /
+//! `prop_map` / `prop_oneof!` / `collection::vec`, a `proptest!` macro that
+//! expands each property into a deterministic multi-case `#[test]`, and
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * inputs are sampled from a fixed deterministic seed sequence (no
+//!   persisted failure regressions, no env-based seeding);
+//! * there is **no shrinking** — a failing case reports the panic from the
+//!   raw sampled input;
+//! * `prop_assert!` panics (like `assert!`) instead of returning a
+//!   `TestCaseError`.
+//!
+//! Swap the path dependency for the real crate when registry access is
+//! available; the call sites are source-compatible.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+    use std::ops::{Range, RangeInclusive};
+
+    /// The RNG handed to strategies by the `proptest!` harness.
+    pub type TestRng = StdRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Clone,
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Clone,
+        RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// An empty union; combine with [`Union::or`].
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Union { arms: Vec::new() }
+        }
+
+        /// Add one arm.
+        pub fn or(mut self, s: impl Strategy<Value = V> + 'static) -> Self {
+            self.arms.push(Box::new(s));
+            self
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` strategy with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Harness configuration (`ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy, TestRng, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property; panics on failure (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strat))+
+    };
+}
+
+/// Expand property functions into deterministic multi-case `#[test]`s.
+///
+/// Supports the two forms the workspace uses: with a leading
+/// `#![proptest_config(...)]` inner attribute, and without.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                // Bind each strategy once; per-case values shadow these
+                // names inside the loop body.
+                $( let $arg = $strat; )*
+                for __case in 0..__config.cases {
+                    let mut __rng = <$crate::strategy::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        0xC0FF_EE00_u64 ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $( let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}

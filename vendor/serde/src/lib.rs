@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! downstream users can persist logs and scenarios, but nothing inside the
+//! workspace actually serializes. This stub keeps the derive surface
+//! compiling without network access to crates.io: the traits are empty
+//! markers and the derives (from the sibling `serde_derive` stub) emit empty
+//! impls. Replace the path dependencies with the real crates when registry
+//! access is available — no source change is needed in the workspace.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Mirror of `serde::de` with the owned-deserialization alias.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
