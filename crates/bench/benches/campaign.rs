@@ -1,0 +1,72 @@
+//! Campaign-throughput benchmarks: the sharded executor at 1, 2 and 4
+//! worker threads over the same small grid, plus the grid-expansion and
+//! sink-rendering hot paths. On multi-core hardware the multi-threaded
+//! variants should approach a linear speedup over `threads_1`; on a single
+//! core they document the sharding overhead instead.
+
+use apc_campaign::prelude::*;
+use apc_core::PowercapPolicy;
+use apc_workload::IntervalKind;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// A light grid: 2 seeds × (baseline + SHUT/MIX at 60 %) on one rack.
+fn bench_spec() -> CampaignSpec {
+    CampaignSpec {
+        racks: vec![1],
+        intervals: vec![IntervalKind::MedianJob],
+        seeds: vec![1, 2],
+        policies: vec![PowercapPolicy::Shut, PowercapPolicy::Mix],
+        cap_fractions: vec![0.6],
+        load_factor: 0.5,
+        backlog_factor: 0.2,
+        ..CampaignSpec::default()
+    }
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_executor");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let outcome = CampaignRunner::new(bench_spec())
+                    .with_threads(threads)
+                    .run()
+                    .unwrap();
+                black_box(outcome.rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_expansion_and_sinks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_pipeline");
+    group.sample_size(20);
+    let spec = CampaignSpec::paper(2012, 10);
+    group.bench_function("expand_paper_grid_10_seeds", |b| {
+        b.iter(|| black_box(spec.expand(&TraceSource::Synthetic).len()))
+    });
+    let outcome = CampaignRunner::new(bench_spec())
+        .with_threads(1)
+        .run()
+        .unwrap();
+    group.bench_function("render_csv", |b| {
+        b.iter(|| {
+            black_box(render_cells_csv(&outcome.rows).len())
+                + black_box(render_summary_csv(&outcome.summaries).len())
+        })
+    });
+    group.bench_function("render_json", |b| {
+        b.iter(|| {
+            black_box(render_cells_json(&outcome.rows).len())
+                + black_box(render_summary_json(&outcome.summaries).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor, bench_expansion_and_sinks);
+criterion_main!(benches);

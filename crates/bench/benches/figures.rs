@@ -35,19 +35,19 @@ fn bench_replay_figures(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(4));
     group.bench_function("fig6_24h_mix_40", |b| {
-        b.iter(|| black_box(figures::fig6(1, 3).len()))
+        b.iter(|| black_box(figures::fig6(1, 3, None).len()))
     });
     group.bench_function("fig7a_bigjob_shut_60", |b| {
-        b.iter(|| black_box(figures::fig7a(1, 3).len()))
+        b.iter(|| black_box(figures::fig7a(1, 3, None).len()))
     });
     group.bench_function("fig7b_smalljob_dvfs_40", |b| {
-        b.iter(|| black_box(figures::fig7b(1, 3).len()))
+        b.iter(|| black_box(figures::fig7b(1, 3, None).len()))
     });
     group.bench_function("fig8_grid", |b| {
-        b.iter(|| black_box(figures::fig8(1, 3).len()))
+        b.iter(|| black_box(figures::fig8(1, 3, None).len()))
     });
     group.bench_function("claims_section7c", |b| {
-        b.iter(|| black_box(figures::claims(1, 3).len()))
+        b.iter(|| black_box(figures::claims(1, 3, None).len()))
     });
     group.finish();
 }

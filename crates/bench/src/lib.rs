@@ -10,7 +10,9 @@
 //!   hook (per-policy), i.e. the cost the grey boxes of Fig. 1 add to SLURM;
 //! * `workload` — synthetic Curie trace generation and SWF round-trips;
 //! * `figures` — end-to-end replays of reduced-scale versions of the
-//!   Fig. 6/7/8 scenarios (one bench per figure).
+//!   Fig. 6/7/8 scenarios (one bench per figure);
+//! * `campaign` — the sharded campaign executor at 1/2/4 worker threads over
+//!   one grid, plus grid expansion and CSV/JSON sink rendering.
 //!
 //! Absolute throughput numbers are hardware-dependent; the benches exist to
 //! keep the relative costs visible and regressions detectable.

@@ -1,0 +1,360 @@
+//! Streaming result aggregation.
+//!
+//! Workers reduce each heavy [`ReplayOutcome`](apc_replay::ReplayOutcome)
+//! (simulation log + time series) to a flat [`CellRow`] *inside the worker
+//! thread*, immediately after the replay finishes — only rows ever cross the
+//! channel and only rows are retained, so a campaign's resident footprint is
+//! proportional to the number of cells, not to the size of the simulations.
+//!
+//! [`summarize`] then folds the rows, grouped over the seed axis, into
+//! across-replication mean / min / max / stddev [`SummaryRow`]s. Rows are
+//! always folded in cell-index order, so every float accumulation is
+//! order-stable and the summaries are byte-identical for any thread count.
+
+use apc_replay::ReplayOutcome;
+
+use crate::spec::CampaignCell;
+
+/// The flat per-cell result record (one CSV/JSON row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRow {
+    /// Cell index in expansion order.
+    pub index: usize,
+    /// Platform scale in racks.
+    pub racks: usize,
+    /// Workload label ("smalljob", "medianjob", "bigjob", "24h" or "swf").
+    pub workload: String,
+    /// Generator seed (0 for a fixed trace).
+    pub seed: u64,
+    /// Scenario label, e.g. "60%/SHUT" or "100%/None".
+    pub scenario: String,
+    /// Policy name ("none", "shut", "dvfs", "mix").
+    pub policy: String,
+    /// Cap as a percentage of maximum power (100 for the baseline).
+    pub cap_percent: f64,
+    /// Grouping strategy name.
+    pub grouping: String,
+    /// Decision rule name.
+    pub decision_rule: String,
+    /// Jobs started during the interval.
+    pub launched_jobs: usize,
+    /// Jobs run to completion.
+    pub completed_jobs: usize,
+    /// Jobs killed by the controller.
+    pub killed_jobs: usize,
+    /// Jobs still pending at the horizon.
+    pub pending_jobs: usize,
+    /// Useful work delivered, in core-seconds.
+    pub work_core_seconds: f64,
+    /// Total energy, in joules.
+    pub energy_joules: f64,
+    /// Energy normalised by the flat-out maximum (Fig. 8).
+    pub energy_normalized: f64,
+    /// Launched jobs normalised by the trace size (Fig. 8).
+    pub launched_jobs_normalized: f64,
+    /// Work normalised by the interval capacity (Fig. 8).
+    pub work_normalized: f64,
+    /// Mean queue wait of started jobs, in seconds.
+    pub mean_wait_seconds: f64,
+    /// Peak power inside the cap window (whole interval for the baseline).
+    pub peak_power_watts: f64,
+}
+
+impl CellRow {
+    /// Reduce a replay outcome to its flat row. This is the only place the
+    /// heavyweight outcome is read; the caller drops it right after.
+    pub fn from_outcome(cell: &CampaignCell, outcome: &ReplayOutcome) -> Self {
+        let scenario = &cell.scenario;
+        let duration_end = outcome.report.horizon;
+        let (peak_start, peak_end) = match scenario.window() {
+            Some(w) => (w.start, w.end),
+            None => (0, duration_end),
+        };
+        CellRow {
+            index: cell.index,
+            racks: cell.racks,
+            workload: cell.workload.label().to_string(),
+            seed: cell.workload.seed(),
+            scenario: scenario.label(),
+            policy: scenario.policy.name().to_ascii_lowercase(),
+            cap_percent: scenario.cap_fraction.map_or(100.0, |f| f * 100.0),
+            grouping: scenario.grouping.name().to_string(),
+            decision_rule: scenario.decision_rule.name().to_string(),
+            launched_jobs: outcome.report.launched_jobs,
+            completed_jobs: outcome.report.completed_jobs,
+            killed_jobs: outcome.report.killed_jobs,
+            pending_jobs: outcome.report.pending_jobs,
+            work_core_seconds: outcome.report.work_core_seconds,
+            energy_joules: outcome.report.energy.as_joules(),
+            energy_normalized: outcome.normalized.energy_normalized,
+            launched_jobs_normalized: outcome.normalized.launched_jobs_normalized,
+            work_normalized: outcome.normalized.work_normalized,
+            mean_wait_seconds: outcome.report.mean_wait_seconds,
+            peak_power_watts: outcome.power.peak_within(peak_start, peak_end).as_watts(),
+        }
+    }
+
+    /// The across-seed grouping key: everything except the seed (and index).
+    /// The exact cap bits are part of the key because the scenario label
+    /// rounds to whole percents — `--caps 59.6,60.4` must stay two groups
+    /// even though both label as "60%/…".
+    fn group_key(&self) -> GroupKey {
+        (
+            self.racks,
+            self.cap_percent.to_bits(),
+            self.workload.clone(),
+            self.scenario.clone(),
+            self.grouping.clone(),
+            self.decision_rule.clone(),
+        )
+    }
+}
+
+type GroupKey = (usize, u64, String, String, String, String);
+
+/// Mean / min / max / standard deviation of one metric across seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Population standard deviation (0 for a single replication).
+    pub stddev: f64,
+}
+
+/// Running accumulator behind a [`MetricSummary`].
+#[derive(Debug, Clone, Copy, Default)]
+struct MetricAcc {
+    n: usize,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+    saw_nan: bool,
+}
+
+impl MetricAcc {
+    fn push(&mut self, v: f64) {
+        // An undefined observation (e.g. mean wait of an interval that
+        // launched nothing) poisons the whole group — see finish().
+        if v.is_nan() {
+            self.saw_nan = true;
+        }
+        if self.n == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.n += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+    }
+
+    fn finish(&self) -> MetricSummary {
+        // All four statistics become NaN together if any observation was
+        // NaN (the sinks render them as empty/null); `f64::min`/`max` skip
+        // NaN and `.max(0.0)` would map a NaN variance to 0, so without
+        // this a group could report a defined min/max/stddev next to an
+        // undefined mean.
+        if self.saw_nan {
+            return MetricSummary {
+                mean: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                stddev: f64::NAN,
+            };
+        }
+        let n = self.n.max(1) as f64;
+        let mean = self.sum / n;
+        let variance = (self.sum_sq / n - mean * mean).max(0.0);
+        MetricSummary {
+            mean,
+            min: self.min,
+            max: self.max,
+            stddev: variance.sqrt(),
+        }
+    }
+}
+
+/// Across-seed statistics for one scenario of one workload at one scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Platform scale in racks.
+    pub racks: usize,
+    /// Workload label.
+    pub workload: String,
+    /// Scenario label.
+    pub scenario: String,
+    /// Exact cap percentage (100 for the baseline) — kept alongside the
+    /// label because the label rounds to whole percents.
+    pub cap_percent: f64,
+    /// Grouping strategy name.
+    pub grouping: String,
+    /// Decision rule name.
+    pub decision_rule: String,
+    /// Number of seed replications folded in.
+    pub replications: usize,
+    /// Launched jobs across seeds.
+    pub launched_jobs: MetricSummary,
+    /// Normalised energy across seeds.
+    pub energy_normalized: MetricSummary,
+    /// Normalised work across seeds.
+    pub work_normalized: MetricSummary,
+    /// Mean wait time across seeds.
+    pub mean_wait_seconds: MetricSummary,
+    /// Peak power across seeds.
+    pub peak_power_watts: MetricSummary,
+}
+
+/// Running accumulator for one summary group.
+#[derive(Debug, Clone, Default)]
+struct GroupAcc {
+    replications: usize,
+    launched_jobs: MetricAcc,
+    energy_normalized: MetricAcc,
+    work_normalized: MetricAcc,
+    mean_wait_seconds: MetricAcc,
+    peak_power_watts: MetricAcc,
+}
+
+/// Fold cell rows into across-seed summaries.
+///
+/// `rows` **must already be sorted by cell index** (the executor guarantees
+/// this): groups appear in first-occurrence order and floats accumulate in a
+/// fixed order, making the output independent of worker scheduling.
+pub fn summarize(rows: &[CellRow]) -> Vec<SummaryRow> {
+    debug_assert!(rows.windows(2).all(|w| w[0].index < w[1].index));
+    let mut order: Vec<GroupKey> = Vec::new();
+    let mut groups: std::collections::HashMap<GroupKey, GroupAcc> =
+        std::collections::HashMap::new();
+    for row in rows {
+        let key = row.group_key();
+        let acc = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            GroupAcc::default()
+        });
+        acc.replications += 1;
+        acc.launched_jobs.push(row.launched_jobs as f64);
+        acc.energy_normalized.push(row.energy_normalized);
+        acc.work_normalized.push(row.work_normalized);
+        acc.mean_wait_seconds.push(row.mean_wait_seconds);
+        acc.peak_power_watts.push(row.peak_power_watts);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let acc = &groups[&key];
+            let (racks, cap_bits, workload, scenario, grouping, decision_rule) = key;
+            SummaryRow {
+                racks,
+                workload,
+                scenario,
+                cap_percent: f64::from_bits(cap_bits),
+                grouping,
+                decision_rule,
+                replications: acc.replications,
+                launched_jobs: acc.launched_jobs.finish(),
+                energy_normalized: acc.energy_normalized.finish(),
+                work_normalized: acc.work_normalized.finish(),
+                mean_wait_seconds: acc.mean_wait_seconds.finish(),
+                peak_power_watts: acc.peak_power_watts.finish(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(index: usize, seed: u64, scenario: &str, launched: usize, work: f64) -> CellRow {
+        CellRow {
+            index,
+            racks: 1,
+            workload: "medianjob".into(),
+            seed,
+            scenario: scenario.into(),
+            policy: "shut".into(),
+            cap_percent: 60.0,
+            grouping: "grouped".into(),
+            decision_rule: "paper-rho".into(),
+            launched_jobs: launched,
+            completed_jobs: launched,
+            killed_jobs: 0,
+            pending_jobs: 0,
+            work_core_seconds: work,
+            energy_joules: 1.0,
+            energy_normalized: 0.5,
+            launched_jobs_normalized: 0.5,
+            work_normalized: work / 100.0,
+            mean_wait_seconds: 10.0,
+            peak_power_watts: 100.0,
+        }
+    }
+
+    #[test]
+    fn summaries_group_across_seeds() {
+        let rows = vec![
+            row(0, 1, "60%/SHUT", 10, 40.0),
+            row(1, 2, "60%/SHUT", 20, 60.0),
+            row(2, 1, "40%/MIX", 5, 20.0),
+        ];
+        let summaries = summarize(&rows);
+        assert_eq!(summaries.len(), 2);
+        let shut = &summaries[0];
+        assert_eq!(shut.scenario, "60%/SHUT");
+        assert_eq!(shut.replications, 2);
+        assert!((shut.launched_jobs.mean - 15.0).abs() < 1e-12);
+        assert!((shut.launched_jobs.min - 10.0).abs() < 1e-12);
+        assert!((shut.launched_jobs.max - 20.0).abs() < 1e-12);
+        assert!((shut.launched_jobs.stddev - 5.0).abs() < 1e-12);
+        let mix = &summaries[1];
+        assert_eq!(mix.replications, 1);
+        assert_eq!(mix.launched_jobs.stddev, 0.0);
+        assert_eq!(mix.launched_jobs.min, mix.launched_jobs.max);
+    }
+
+    #[test]
+    fn one_nan_observation_poisons_all_four_statistics() {
+        let mut a = row(0, 1, "60%/SHUT", 10, 40.0);
+        a.mean_wait_seconds = f64::NAN;
+        let b = row(1, 2, "60%/SHUT", 12, 42.0);
+        let summaries = summarize(&[a, b]);
+        assert_eq!(summaries.len(), 1);
+        let wait = &summaries[0].mean_wait_seconds;
+        assert!(wait.mean.is_nan());
+        assert!(wait.min.is_nan());
+        assert!(wait.max.is_nan());
+        assert!(wait.stddev.is_nan());
+        // Other metrics of the same group are unaffected.
+        assert!((summaries[0].launched_jobs.mean - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caps_rounding_to_the_same_label_stay_separate_groups() {
+        let mut a = row(0, 1, "60%/SHUT", 10, 40.0);
+        a.cap_percent = 59.6;
+        let mut b = row(1, 2, "60%/SHUT", 12, 42.0);
+        b.cap_percent = 60.4;
+        let summaries = summarize(&[a, b]);
+        assert_eq!(summaries.len(), 2);
+        assert!(summaries.iter().all(|s| s.replications == 1));
+    }
+
+    #[test]
+    fn groups_appear_in_first_occurrence_order() {
+        let rows = vec![
+            row(0, 1, "B", 1, 1.0),
+            row(1, 1, "A", 1, 1.0),
+            row(2, 2, "B", 1, 1.0),
+        ];
+        let summaries = summarize(&rows);
+        let labels: Vec<&str> = summaries.iter().map(|s| s.scenario.as_str()).collect();
+        assert_eq!(labels, ["B", "A"]);
+    }
+}

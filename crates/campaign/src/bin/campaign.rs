@@ -1,0 +1,278 @@
+//! Command-line driver for parallel experiment campaigns.
+//!
+//! ```text
+//! cargo run --release -p apc-campaign --bin campaign -- [options]
+//!
+//! options:
+//!   --threads N        worker threads (0 = all cores; default 1)
+//!   --seeds K          seed replications per cell group (default 3)
+//!   --seed-base S      first seed; replications use S, S+1, … (default 2012)
+//!   --racks LIST       rack scales, e.g. 1,2,6 (default 2; >= 56 = full Curie)
+//!   --intervals LIST   smalljob,medianjob,bigjob,24h (default: all four)
+//!   --policies LIST    shut,dvfs,mix (default: all three)
+//!   --caps LIST        cap percentages, e.g. 80,60,40 (default)
+//!   --no-baseline      skip the uncapped 100%/None rows
+//!   --groupings LIST   grouped,scattered (default grouped)
+//!   --rules LIST       paper-rho,work-max (default paper-rho)
+//!   --load F           generator arrival load factor (default 1.8)
+//!   --backlog F        generator initial backlog factor (default 1.3)
+//!   --swf PATH         replay an SWF trace instead of the synthetic grid
+//!   --out DIR          results directory (default campaign-results)
+//!   --format WHICH     csv | json | both (default both)
+//!   --quiet            suppress the per-group stdout table
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use apc_campaign::prelude::*;
+use apc_core::PowercapPolicy;
+use apc_power::bonus::GroupingStrategy;
+use apc_power::tradeoff::DecisionRule;
+use apc_workload::{load_swf_file, IntervalKind, Trace};
+
+const USAGE: &str = "usage: campaign [--threads N] [--seeds K] [--seed-base S] [--racks LIST] \
+[--intervals LIST] [--policies LIST] [--caps LIST] [--no-baseline] [--groupings LIST] \
+[--rules LIST] [--load F] [--backlog F] [--swf PATH] [--out DIR] [--format csv|json|both] \
+[--quiet]";
+
+/// Parse a comma-separated list with a `FromStr` item type.
+fn parse_list<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let items: Result<Vec<T>, String> = raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse::<T>().map_err(|e| format!("{flag}: {e}")))
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(format!("{flag} needs a non-empty comma-separated list"));
+    }
+    Ok(items)
+}
+
+struct Options {
+    spec: CampaignSpec,
+    threads: usize,
+    swf: Option<Trace>,
+    out_dir: String,
+    format: Format,
+    quiet: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Csv,
+    Json,
+    Both,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut spec = CampaignSpec::paper(2012, 3);
+    let mut threads = 1usize;
+    let mut seeds = 3usize;
+    let mut seed_base = 2012u64;
+    let mut swf = None;
+    let mut out_dir = "campaign-results".to_string();
+    let mut format = Format::Both;
+    let mut quiet = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            iter.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
+            }
+            "--seeds" => {
+                seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|_| "--seeds needs an integer".to_string())?;
+                if seeds == 0 {
+                    return Err("--seeds must be >= 1".into());
+                }
+            }
+            "--seed-base" => {
+                seed_base = value("--seed-base")?
+                    .parse()
+                    .map_err(|_| "--seed-base needs an integer".to_string())?;
+            }
+            "--racks" => spec.racks = parse_list::<usize>("--racks", value("--racks")?)?,
+            "--intervals" => {
+                spec.intervals = parse_list::<IntervalKind>("--intervals", value("--intervals")?)?;
+            }
+            "--policies" => {
+                spec.policies = parse_list::<PowercapPolicy>("--policies", value("--policies")?)?;
+            }
+            "--caps" => {
+                let percents = parse_list::<f64>("--caps", value("--caps")?)?;
+                // Validate in the unit the user typed; the spec re-checks
+                // the fractions for library callers.
+                if let Some(p) = percents
+                    .iter()
+                    .find(|&&p| !(p.is_finite() && p > 0.0 && p < 100.0))
+                {
+                    return Err(format!(
+                        "--caps: cap percent must be in (0, 100), got {p} \
+                         (the 100% baseline is included unless --no-baseline)"
+                    ));
+                }
+                spec.cap_fractions = percents.iter().map(|p| p / 100.0).collect();
+            }
+            "--no-baseline" => spec.include_baseline = false,
+            "--groupings" => {
+                spec.groupings =
+                    parse_list::<GroupingStrategy>("--groupings", value("--groupings")?)?;
+            }
+            "--rules" => {
+                spec.decision_rules = parse_list::<DecisionRule>("--rules", value("--rules")?)?;
+            }
+            "--load" => {
+                spec.load_factor = value("--load")?
+                    .parse()
+                    .map_err(|_| "--load needs a number".to_string())?;
+            }
+            "--backlog" => {
+                spec.backlog_factor = value("--backlog")?
+                    .parse()
+                    .map_err(|_| "--backlog needs a number".to_string())?;
+            }
+            "--swf" => swf = Some(value("--swf")?.clone()),
+            "--out" => out_dir = value("--out")?.clone(),
+            "--format" => {
+                format = match value("--format")?.as_str() {
+                    "csv" => Format::Csv,
+                    "json" => Format::Json,
+                    "both" => Format::Both,
+                    other => {
+                        return Err(format!("--format must be csv, json or both, got {other}"))
+                    }
+                };
+            }
+            "--quiet" => quiet = true,
+            unknown => return Err(format!("unknown option: {unknown}")),
+        }
+    }
+    spec.seeds = (0..seeds as u64).map(|i| seed_base + i).collect();
+    spec.validate()?;
+    // Load the SWF here, in the parse phase, so a bad --swf value exits 2
+    // with usage like every other bad flag value.
+    let swf = match swf {
+        None => None,
+        Some(path) => {
+            let trace = load_swf_file(&path)?;
+            eprintln!(
+                "loaded {} jobs over {} s from {path}; interval/seed axes collapse to one workload",
+                trace.len(),
+                trace.duration
+            );
+            Some(trace)
+        }
+    };
+    Ok(Some(Options {
+        spec,
+        threads,
+        swf,
+        out_dir,
+        format,
+        quiet,
+    }))
+}
+
+fn run(options: Options) -> Result<(), String> {
+    let mut runner = CampaignRunner::new(options.spec.clone()).with_threads(options.threads);
+    if let Some(trace) = options.swf {
+        runner = runner.with_source(TraceSource::Fixed(Arc::new(trace)));
+    }
+
+    let cells = runner.cells().len();
+    eprintln!(
+        "campaign: {cells} cells on {} thread(s)",
+        runner.effective_threads()
+    );
+    let outcome = runner.run()?;
+
+    if !options.quiet {
+        print!("{}", summary_table(&outcome.summaries));
+    }
+
+    let mut written = Vec::new();
+    if options.format != Format::Json {
+        written.extend(
+            CsvSink::new(&options.out_dir)
+                .write(&outcome.rows, &outcome.summaries)
+                .map_err(|e| format!("cannot write CSV results to {}: {e}", options.out_dir))?,
+        );
+    }
+    if options.format != Format::Csv {
+        written.extend(
+            JsonSink::new(&options.out_dir)
+                .write(&outcome.rows, &outcome.summaries)
+                .map_err(|e| format!("cannot write JSON results to {}: {e}", options.out_dir))?,
+        );
+    }
+
+    eprintln!(
+        "ran {} cells on {} thread(s) in {:.2} s ({} trace(s) generated, {} cache hits)",
+        outcome.stats.cells,
+        outcome.stats.threads,
+        outcome.wall.as_secs_f64(),
+        outcome.stats.trace_cache_misses,
+        outcome.stats.trace_cache_hits,
+    );
+    for path in written {
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+/// Aligned stdout table of the across-seed summaries.
+fn summary_table(summaries: &[SummaryRow]) -> String {
+    let mut out = String::from(
+        "racks  workload    scenario      n   launched (mean±sd)   energy   work     wait(s)\n",
+    );
+    for s in summaries {
+        out.push_str(&format!(
+            "{:<6} {:<11} {:<12} {:>3} {:>10.1} ±{:<7.1} {:>7.3} {:>7.3} {:>9.0}\n",
+            s.racks,
+            s.workload,
+            s.scenario,
+            s.replications,
+            s.launched_jobs.mean,
+            s.launched_jobs.stddev,
+            s.energy_normalized.mean,
+            s.work_normalized.mean,
+            s.mean_wait_seconds.mean,
+        ));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Some(options)) => match run(options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::from(1)
+            }
+        },
+        Ok(None) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The deterministic sharded campaign executor.
+//!
+//! Cells are partitioned across `N` `std::thread` workers by **stable cell
+//! index** (worker `w` owns cells `w, w + N, w + 2N, …`). Each worker builds
+//! the cell's platform, fetches the workload from the shared
+//! [`TraceCache`] (each distinct `(platform, interval, seed)` trace is
+//! generated once per campaign, not once per cell), replays the scenario
+//! with the ordinary [`ReplayHarness`], reduces the outcome to a
+//! [`CellRow`] and streams the row back over a channel.
+//!
+//! Determinism contract: each cell's replay depends only on its own
+//! `(platform, trace, scenario)` triple — workers share nothing mutable but
+//! the trace cache, whose values are pure functions of their keys. Rows are
+//! re-ordered by cell index before aggregation, so the campaign output is
+//! **byte-identical for any thread count** (asserted by
+//! `tests/campaign_determinism.rs`).
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use apc_replay::ReplayHarness;
+use apc_rjms::cluster::Platform;
+use apc_workload::{CurieTraceGenerator, TraceCache};
+
+use crate::agg::{summarize, CellRow, SummaryRow};
+use crate::spec::{CampaignCell, CampaignSpec, CellWorkload, TraceSource};
+
+/// Run-wide counters reported next to the results.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Number of cells executed.
+    pub cells: usize,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Trace-cache lookups served without regeneration.
+    pub trace_cache_hits: usize,
+    /// Distinct traces generated.
+    pub trace_cache_misses: usize,
+}
+
+/// Everything a finished campaign produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    /// One row per cell, sorted by cell index.
+    pub rows: Vec<CellRow>,
+    /// Across-seed summaries, in first-occurrence order.
+    pub summaries: Vec<SummaryRow>,
+    /// Run-wide counters.
+    pub stats: RunStats,
+    /// Wall-clock time of the execution phase.
+    pub wall: Duration,
+}
+
+/// A configured, runnable campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    spec: CampaignSpec,
+    source: TraceSource,
+    threads: usize,
+}
+
+impl CampaignRunner {
+    /// A campaign over the synthetic generator with one worker thread.
+    pub fn new(spec: CampaignSpec) -> Self {
+        CampaignRunner {
+            spec,
+            source: TraceSource::Synthetic,
+            threads: 1,
+        }
+    }
+
+    /// Replace the workload source (builder style).
+    pub fn with_source(mut self, source: TraceSource) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Set the worker-thread count; 0 means "all available cores"
+    /// (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The spec being run.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// The expanded cell grid this runner would execute.
+    pub fn cells(&self) -> Vec<CampaignCell> {
+        self.spec.expand(&self.source)
+    }
+
+    /// The thread count after resolving 0 ⇒ available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+
+    /// The worker count [`run`](Self::run) will actually use: the resolved
+    /// thread count clamped to the number of cells.
+    pub fn effective_threads(&self) -> usize {
+        self.clamped_threads(self.cells().len())
+    }
+
+    fn clamped_threads(&self, cell_count: usize) -> usize {
+        self.resolved_threads().clamp(1, cell_count.max(1))
+    }
+
+    /// Execute every cell and aggregate the results.
+    ///
+    /// Fails fast (before spawning anything) if the spec does not validate.
+    pub fn run(&self) -> Result<CampaignOutcome, String> {
+        self.spec.validate()?;
+        let cells = self.cells();
+        let threads = self.clamped_threads(cells.len());
+        let cache = TraceCache::new();
+        let started = Instant::now();
+
+        let mut rows: Vec<CellRow> = Vec::with_capacity(cells.len());
+        let (tx, rx) = mpsc::channel::<CellRow>();
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let tx = tx.clone();
+                let cells = &cells;
+                let cache = &cache;
+                let spec = &self.spec;
+                let source = &self.source;
+                scope.spawn(move || {
+                    for cell in cells.iter().skip(worker).step_by(threads) {
+                        let row = run_cell(spec, source, cache, cell);
+                        // The receiver only disappears if the parent
+                        // panicked; nothing useful to do with the row then.
+                        let _ = tx.send(row);
+                    }
+                });
+            }
+            drop(tx);
+            // Stream rows in as workers produce them (only flat rows are
+            // ever buffered — never whole replay outcomes).
+            for row in rx {
+                rows.push(row);
+            }
+        });
+        let wall = started.elapsed();
+
+        rows.sort_by_key(|r| r.index);
+        let summaries = summarize(&rows);
+        Ok(CampaignOutcome {
+            stats: RunStats {
+                cells: rows.len(),
+                threads,
+                trace_cache_hits: cache.hits(),
+                trace_cache_misses: cache.misses(),
+            },
+            rows,
+            summaries,
+            wall,
+        })
+    }
+}
+
+/// The platform for a cell's rack scale (>= 56 racks ⇒ the full Curie).
+pub fn platform_for(racks: usize) -> Platform {
+    if racks >= 56 {
+        Platform::curie()
+    } else {
+        Platform::curie_scaled(racks)
+    }
+}
+
+/// Replay one cell and reduce it to its row (runs on a worker thread).
+fn run_cell(
+    spec: &CampaignSpec,
+    source: &TraceSource,
+    cache: &TraceCache,
+    cell: &CampaignCell,
+) -> CellRow {
+    let platform = platform_for(cell.racks);
+    let trace = match (&cell.workload, source) {
+        (CellWorkload::Fixed, TraceSource::Fixed(trace)) => std::sync::Arc::clone(trace),
+        (CellWorkload::Synthetic { interval, seed }, _) => {
+            let generator = CurieTraceGenerator::new(*seed)
+                .interval(*interval)
+                .load_factor(spec.load_factor)
+                .backlog_factor(spec.backlog_factor);
+            cache.get_or_generate(&generator, &platform)
+        }
+        (CellWorkload::Fixed, TraceSource::Synthetic) => {
+            unreachable!("fixed cells only come from fixed-source expansions")
+        }
+    };
+    let harness = ReplayHarness::from_shared(platform, trace)
+        .with_initial_fairshare(spec.initial_fairshare_core_hours);
+    let outcome = harness.run(&cell.scenario);
+    CellRow::from_outcome(cell, &outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_workload::IntervalKind;
+
+    /// A grid small and light enough for unit tests.
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec {
+            racks: vec![1],
+            intervals: vec![IntervalKind::MedianJob],
+            seeds: vec![1, 2],
+            policies: vec![apc_core::PowercapPolicy::Shut],
+            cap_fractions: vec![0.6],
+            load_factor: 0.5,
+            backlog_factor: 0.2,
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn run_produces_one_row_per_cell_in_index_order() {
+        let runner = CampaignRunner::new(small_spec()).with_threads(2);
+        let outcome = runner.run().unwrap();
+        assert_eq!(outcome.rows.len(), runner.cells().len());
+        for (i, row) in outcome.rows.iter().enumerate() {
+            assert_eq!(row.index, i);
+        }
+        assert_eq!(outcome.stats.cells, outcome.rows.len());
+        assert_eq!(outcome.stats.threads, 2);
+        // 2 seeds × 1 interval × 1 platform ⇒ 2 distinct traces over 4
+        // lookups. Concurrent first lookups of the same key may both count
+        // as misses (the duplicate generation is discarded), so only the
+        // totals are exact.
+        assert_eq!(
+            outcome.stats.trace_cache_hits + outcome.stats.trace_cache_misses,
+            4
+        );
+        assert!(outcome.stats.trace_cache_misses >= 2);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_rows() {
+        let spec = small_spec();
+        let one = CampaignRunner::new(spec.clone())
+            .with_threads(1)
+            .run()
+            .unwrap();
+        let four = CampaignRunner::new(spec).with_threads(4).run().unwrap();
+        assert_eq!(one.rows, four.rows);
+        assert_eq!(one.summaries, four.summaries);
+    }
+
+    #[test]
+    fn baseline_delivers_at_least_as_much_work_as_capped() {
+        let outcome = CampaignRunner::new(small_spec())
+            .with_threads(2)
+            .run()
+            .unwrap();
+        let baseline = outcome
+            .rows
+            .iter()
+            .find(|r| r.scenario == "100%/None")
+            .unwrap();
+        let capped = outcome
+            .rows
+            .iter()
+            .find(|r| r.scenario == "60%/SHUT")
+            .unwrap();
+        assert!(capped.work_core_seconds <= baseline.work_core_seconds + 1e-6);
+        assert!(baseline.launched_jobs > 0);
+    }
+
+    #[test]
+    fn summaries_fold_the_seed_axis() {
+        let outcome = CampaignRunner::new(small_spec())
+            .with_threads(3)
+            .run()
+            .unwrap();
+        // 4 rows (2 seeds × 2 scenarios) fold into 2 summary groups.
+        assert_eq!(outcome.rows.len(), 4);
+        assert_eq!(outcome.summaries.len(), 2);
+        assert!(outcome.summaries.iter().all(|s| s.replications == 2));
+        for s in &outcome.summaries {
+            assert!(s.launched_jobs.min <= s.launched_jobs.mean);
+            assert!(s.launched_jobs.mean <= s.launched_jobs.max);
+        }
+    }
+
+    #[test]
+    fn fixed_source_replays_the_supplied_trace() {
+        let platform = platform_for(1);
+        let trace = CurieTraceGenerator::new(9)
+            .load_factor(0.4)
+            .backlog_factor(0.1)
+            .generate_for(&platform);
+        let runner = CampaignRunner::new(small_spec())
+            .with_source(TraceSource::Fixed(std::sync::Arc::new(trace)))
+            .with_threads(2);
+        let outcome = runner.run().unwrap();
+        // Seeds collapse: one workload × 2 scenarios.
+        assert_eq!(outcome.rows.len(), 2);
+        assert!(outcome.rows.iter().all(|r| r.workload == "swf"));
+        assert_eq!(outcome.stats.trace_cache_misses, 0);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_running() {
+        let spec = CampaignSpec {
+            cap_fractions: vec![2.0],
+            ..small_spec()
+        };
+        assert!(CampaignRunner::new(spec).run().is_err());
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let runner = CampaignRunner::new(small_spec()).with_threads(0);
+        assert!(runner.resolved_threads() >= 1);
+    }
+}

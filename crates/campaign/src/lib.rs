@@ -1,0 +1,75 @@
+//! # apc-campaign — parallel experiment campaigns
+//!
+//! The paper's evaluation is a grid — {SHUT, DVFS, MIX} policies ×
+//! {80, 60, 40 %} cap fractions × four workload intervals × seeds — but the
+//! replay harness runs one `(Scenario, Trace)` cell at a time. This crate
+//! turns "replay one scenario" into "run a campaign":
+//!
+//! * [`spec`] — a declarative [`CampaignSpec`](spec::CampaignSpec) expanding
+//!   policies × caps × ablation knobs × intervals × seeds × rack scales into
+//!   densely-indexed [`CampaignCell`](spec::CampaignCell)s;
+//! * [`exec`] — a sharded [`CampaignRunner`](exec::CampaignRunner) on
+//!   `std::thread` that partitions cells across workers by stable index and
+//!   shares generated traces through the
+//!   [`TraceCache`](apc_workload::TraceCache), producing **byte-identical
+//!   results for any thread count**;
+//! * [`agg`] — streaming reduction of each replay outcome to a flat
+//!   [`CellRow`](agg::CellRow) plus across-seed mean/min/max/stddev
+//!   [`SummaryRow`](agg::SummaryRow)s, without ever buffering whole
+//!   [`ReplayOutcome`](apc_replay::ReplayOutcome)s;
+//! * [`sink`] — pluggable CSV and JSON sinks writing `cells.*` and
+//!   `summary.*` into a results directory;
+//! * the `campaign` binary (`cargo run --release -p apc-campaign --bin
+//!   campaign -- --threads N --seeds K …`) exposing all of the above.
+//!
+//! ```no_run
+//! use apc_campaign::prelude::*;
+//!
+//! let spec = CampaignSpec::paper(2012, 3); // the paper grid, 3 seeds
+//! let outcome = CampaignRunner::new(spec).with_threads(4).run().unwrap();
+//! println!("{}", render_summary_csv(&outcome.summaries));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod exec;
+pub mod sink;
+pub mod spec;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::agg::{summarize, CellRow, MetricSummary, SummaryRow};
+    pub use crate::exec::{platform_for, CampaignOutcome, CampaignRunner, RunStats};
+    pub use crate::sink::{
+        render_cells_csv, render_cells_json, render_summary_csv, render_summary_json, CampaignSink,
+        CsvSink, JsonSink,
+    };
+    pub use crate::spec::{CampaignCell, CampaignSpec, CellWorkload, TraceSource};
+}
+
+pub use prelude::*;
+
+/// Compile-time audit that everything the sharded executor moves across or
+/// shares between worker threads really is `Send`/`Sync`. The replay stack
+/// is plain owned data (no `Rc`, no interior mutability besides the trace
+/// cache's own locks), so these hold structurally — this pins that property
+/// against future regressions.
+#[allow(dead_code)]
+fn thread_safety_audit() {
+    fn send<T: Send>() {}
+    fn send_sync<T: Send + Sync>() {}
+    // Shared read-only between workers.
+    send_sync::<apc_rjms::cluster::Platform>();
+    send_sync::<apc_workload::Trace>();
+    send_sync::<apc_workload::TraceCache>();
+    send_sync::<apc_replay::Scenario>();
+    send_sync::<spec::CampaignSpec>();
+    send_sync::<spec::TraceSource>();
+    send_sync::<spec::CampaignCell>();
+    // Moved from workers to the aggregator.
+    send::<apc_replay::ReplayOutcome>();
+    send::<apc_rjms::controller::SimulationReport>();
+    send::<agg::CellRow>();
+}

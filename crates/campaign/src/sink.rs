@@ -1,0 +1,430 @@
+//! Result sinks: CSV and JSON renderers plus directory writers.
+//!
+//! The workspace's serde dependency is an offline marker stub (nothing
+//! actually serializes through it), so the renderers here are hand-rolled —
+//! which also makes the byte layout fully explicit, a requirement for the
+//! campaign's "byte-identical across thread counts" guarantee. Floats are
+//! printed with fixed precisions; non-finite values (an empty interval's
+//! mean wait, say) become empty CSV fields and JSON `null`s.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::agg::{CellRow, MetricSummary, SummaryRow};
+
+/// Decimal places used for every floating-point column.
+const FLOAT_PRECISION: usize = 6;
+
+/// Fixed-precision float field; empty/`null` for non-finite values.
+fn float_field(v: f64, json: bool) -> String {
+    if v.is_finite() {
+        format!("{v:.FLOAT_PRECISION$}")
+    } else if json {
+        "null".to_string()
+    } else {
+        String::new()
+    }
+}
+
+/// Quote a CSV field if it contains a separator, quote or newline.
+fn csv_field(raw: &str) -> String {
+    if raw.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_string()
+    }
+}
+
+/// Escape a JSON string (the labels here are ASCII, but stay correct).
+fn json_string(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Header of the per-cell CSV.
+pub const CELLS_CSV_HEADER: &str = "index,racks,workload,seed,scenario,policy,cap_percent,\
+grouping,decision_rule,launched_jobs,completed_jobs,killed_jobs,pending_jobs,\
+work_core_seconds,energy_joules,energy_normalized,launched_jobs_normalized,\
+work_normalized,mean_wait_seconds,peak_power_watts";
+
+/// Render the per-cell rows as CSV (with header and trailing newline).
+pub fn render_cells_csv(rows: &[CellRow]) -> String {
+    let mut out = String::from(CELLS_CSV_HEADER);
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.index,
+            r.racks,
+            csv_field(&r.workload),
+            r.seed,
+            csv_field(&r.scenario),
+            csv_field(&r.policy),
+            float_field(r.cap_percent, false),
+            csv_field(&r.grouping),
+            csv_field(&r.decision_rule),
+            r.launched_jobs,
+            r.completed_jobs,
+            r.killed_jobs,
+            r.pending_jobs,
+            float_field(r.work_core_seconds, false),
+            float_field(r.energy_joules, false),
+            float_field(r.energy_normalized, false),
+            float_field(r.launched_jobs_normalized, false),
+            float_field(r.work_normalized, false),
+            float_field(r.mean_wait_seconds, false),
+            float_field(r.peak_power_watts, false),
+        ));
+    }
+    out
+}
+
+fn summary_metric_csv(m: &MetricSummary) -> String {
+    format!(
+        "{},{},{},{}",
+        float_field(m.mean, false),
+        float_field(m.min, false),
+        float_field(m.max, false),
+        float_field(m.stddev, false)
+    )
+}
+
+/// Header of the across-seed summary CSV.
+pub const SUMMARY_CSV_HEADER: &str =
+    "racks,workload,scenario,cap_percent,grouping,decision_rule,replications,\
+launched_jobs_mean,launched_jobs_min,launched_jobs_max,launched_jobs_stddev,\
+energy_normalized_mean,energy_normalized_min,energy_normalized_max,energy_normalized_stddev,\
+work_normalized_mean,work_normalized_min,work_normalized_max,work_normalized_stddev,\
+mean_wait_seconds_mean,mean_wait_seconds_min,mean_wait_seconds_max,mean_wait_seconds_stddev,\
+peak_power_watts_mean,peak_power_watts_min,peak_power_watts_max,peak_power_watts_stddev";
+
+/// Render the across-seed summaries as CSV (with header and trailing
+/// newline).
+pub fn render_summary_csv(summaries: &[SummaryRow]) -> String {
+    let mut out = String::from(SUMMARY_CSV_HEADER);
+    out.push('\n');
+    for s in summaries {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            s.racks,
+            csv_field(&s.workload),
+            csv_field(&s.scenario),
+            float_field(s.cap_percent, false),
+            csv_field(&s.grouping),
+            csv_field(&s.decision_rule),
+            s.replications,
+            summary_metric_csv(&s.launched_jobs),
+            summary_metric_csv(&s.energy_normalized),
+            summary_metric_csv(&s.work_normalized),
+            summary_metric_csv(&s.mean_wait_seconds),
+            summary_metric_csv(&s.peak_power_watts),
+        ));
+    }
+    out
+}
+
+/// Render the per-cell rows as a JSON array (pretty, two-space indent).
+pub fn render_cells_json(rows: &[CellRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"index\": {}, ", r.index));
+        out.push_str(&format!("\"racks\": {}, ", r.racks));
+        out.push_str(&format!("\"workload\": {}, ", json_string(&r.workload)));
+        out.push_str(&format!("\"seed\": {}, ", r.seed));
+        out.push_str(&format!("\"scenario\": {}, ", json_string(&r.scenario)));
+        out.push_str(&format!("\"policy\": {}, ", json_string(&r.policy)));
+        out.push_str(&format!(
+            "\"cap_percent\": {}, ",
+            float_field(r.cap_percent, true)
+        ));
+        out.push_str(&format!("\"grouping\": {}, ", json_string(&r.grouping)));
+        out.push_str(&format!(
+            "\"decision_rule\": {}, ",
+            json_string(&r.decision_rule)
+        ));
+        out.push_str(&format!("\"launched_jobs\": {}, ", r.launched_jobs));
+        out.push_str(&format!("\"completed_jobs\": {}, ", r.completed_jobs));
+        out.push_str(&format!("\"killed_jobs\": {}, ", r.killed_jobs));
+        out.push_str(&format!("\"pending_jobs\": {}, ", r.pending_jobs));
+        out.push_str(&format!(
+            "\"work_core_seconds\": {}, ",
+            float_field(r.work_core_seconds, true)
+        ));
+        out.push_str(&format!(
+            "\"energy_joules\": {}, ",
+            float_field(r.energy_joules, true)
+        ));
+        out.push_str(&format!(
+            "\"energy_normalized\": {}, ",
+            float_field(r.energy_normalized, true)
+        ));
+        out.push_str(&format!(
+            "\"launched_jobs_normalized\": {}, ",
+            float_field(r.launched_jobs_normalized, true)
+        ));
+        out.push_str(&format!(
+            "\"work_normalized\": {}, ",
+            float_field(r.work_normalized, true)
+        ));
+        out.push_str(&format!(
+            "\"mean_wait_seconds\": {}, ",
+            float_field(r.mean_wait_seconds, true)
+        ));
+        out.push_str(&format!(
+            "\"peak_power_watts\": {}",
+            float_field(r.peak_power_watts, true)
+        ));
+        out.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn summary_metric_json(name: &str, m: &MetricSummary) -> String {
+    format!(
+        "\"{name}\": {{\"mean\": {}, \"min\": {}, \"max\": {}, \"stddev\": {}}}",
+        float_field(m.mean, true),
+        float_field(m.min, true),
+        float_field(m.max, true),
+        float_field(m.stddev, true)
+    )
+}
+
+/// Render the across-seed summaries as a JSON array.
+pub fn render_summary_json(summaries: &[SummaryRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, s) in summaries.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"racks\": {}, ", s.racks));
+        out.push_str(&format!("\"workload\": {}, ", json_string(&s.workload)));
+        out.push_str(&format!("\"scenario\": {}, ", json_string(&s.scenario)));
+        out.push_str(&format!(
+            "\"cap_percent\": {}, ",
+            float_field(s.cap_percent, true)
+        ));
+        out.push_str(&format!("\"grouping\": {}, ", json_string(&s.grouping)));
+        out.push_str(&format!(
+            "\"decision_rule\": {}, ",
+            json_string(&s.decision_rule)
+        ));
+        out.push_str(&format!("\"replications\": {}, ", s.replications));
+        out.push_str(&summary_metric_json("launched_jobs", &s.launched_jobs));
+        out.push_str(", ");
+        out.push_str(&summary_metric_json(
+            "energy_normalized",
+            &s.energy_normalized,
+        ));
+        out.push_str(", ");
+        out.push_str(&summary_metric_json("work_normalized", &s.work_normalized));
+        out.push_str(", ");
+        out.push_str(&summary_metric_json(
+            "mean_wait_seconds",
+            &s.mean_wait_seconds,
+        ));
+        out.push_str(", ");
+        out.push_str(&summary_metric_json(
+            "peak_power_watts",
+            &s.peak_power_watts,
+        ));
+        out.push_str(if i + 1 == summaries.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// A pluggable results sink.
+pub trait CampaignSink {
+    /// Persist the rows and summaries; returns the paths written.
+    fn write(&mut self, rows: &[CellRow], summaries: &[SummaryRow]) -> io::Result<Vec<PathBuf>>;
+}
+
+fn write_into(dir: &Path, name: &str, content: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Writes `cells.csv` and `summary.csv` into a results directory.
+#[derive(Debug, Clone)]
+pub struct CsvSink {
+    dir: PathBuf,
+}
+
+impl CsvSink {
+    /// A CSV sink rooted at `dir` (created on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CsvSink { dir: dir.into() }
+    }
+}
+
+impl CampaignSink for CsvSink {
+    fn write(&mut self, rows: &[CellRow], summaries: &[SummaryRow]) -> io::Result<Vec<PathBuf>> {
+        Ok(vec![
+            write_into(&self.dir, "cells.csv", &render_cells_csv(rows))?,
+            write_into(&self.dir, "summary.csv", &render_summary_csv(summaries))?,
+        ])
+    }
+}
+
+/// Writes `cells.json` and `summary.json` into a results directory.
+#[derive(Debug, Clone)]
+pub struct JsonSink {
+    dir: PathBuf,
+}
+
+impl JsonSink {
+    /// A JSON sink rooted at `dir` (created on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        JsonSink { dir: dir.into() }
+    }
+}
+
+impl CampaignSink for JsonSink {
+    fn write(&mut self, rows: &[CellRow], summaries: &[SummaryRow]) -> io::Result<Vec<PathBuf>> {
+        Ok(vec![
+            write_into(&self.dir, "cells.json", &render_cells_json(rows))?,
+            write_into(&self.dir, "summary.json", &render_summary_json(summaries))?,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<CellRow> {
+        vec![CellRow {
+            index: 0,
+            racks: 1,
+            workload: "medianjob".into(),
+            seed: 7,
+            scenario: "60%/SHUT".into(),
+            policy: "shut".into(),
+            cap_percent: 60.0,
+            grouping: "grouped".into(),
+            decision_rule: "paper-rho".into(),
+            launched_jobs: 12,
+            completed_jobs: 10,
+            killed_jobs: 0,
+            pending_jobs: 2,
+            work_core_seconds: 123.456789,
+            energy_joules: 9.875,
+            energy_normalized: 0.5,
+            launched_jobs_normalized: 0.25,
+            work_normalized: 0.125,
+            mean_wait_seconds: f64::NAN,
+            peak_power_watts: 1000.0,
+        }]
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_row() {
+        let csv = render_cells_csv(&rows());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("index,racks,workload"));
+        assert!(lines[1].starts_with("0,1,medianjob,7,60%/SHUT,shut,60.000000"));
+        assert!(lines[1].contains("123.456789"));
+        // NaN mean wait renders as an empty field, keeping the column count.
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
+        assert!(lines[1].contains(",,"));
+    }
+
+    #[test]
+    fn csv_quotes_separator_carrying_fields() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn json_is_well_formed_and_null_for_nan() {
+        let json = render_cells_json(&rows());
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"mean_wait_seconds\": null"));
+        assert!(json.contains("\"scenario\": \"60%/SHUT\""));
+        // Balanced braces and a single object.
+        assert_eq!(json.matches('{').count(), 1);
+        assert_eq!(json.matches('}').count(), 1);
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn summary_renderers_cover_every_metric_block() {
+        let summaries = vec![SummaryRow {
+            racks: 1,
+            workload: "medianjob".into(),
+            scenario: "60%/SHUT".into(),
+            cap_percent: 60.0,
+            grouping: "grouped".into(),
+            decision_rule: "paper-rho".into(),
+            replications: 3,
+            launched_jobs: MetricSummary {
+                mean: 10.0,
+                min: 8.0,
+                max: 12.0,
+                stddev: 1.63,
+            },
+            energy_normalized: MetricSummary::default(),
+            work_normalized: MetricSummary::default(),
+            mean_wait_seconds: MetricSummary::default(),
+            peak_power_watts: MetricSummary::default(),
+        }];
+        let csv = render_summary_csv(&summaries);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+        assert!(
+            lines[1].starts_with("1,medianjob,60%/SHUT,60.000000,grouped,paper-rho,3,10.000000")
+        );
+        let json = render_summary_json(&summaries);
+        assert!(json.contains("\"launched_jobs\": {\"mean\": 10.000000"));
+        assert!(json.contains("\"replications\": 3"));
+    }
+
+    #[test]
+    fn sinks_write_into_the_results_directory() {
+        let dir =
+            std::env::temp_dir().join(format!("apc-campaign-sink-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let rows = rows();
+        let summaries = crate::agg::summarize(&rows);
+        let mut csv = CsvSink::new(&dir);
+        let mut json = JsonSink::new(&dir);
+        let mut written = csv.write(&rows, &summaries).unwrap();
+        written.extend(json.write(&rows, &summaries).unwrap());
+        assert_eq!(written.len(), 4);
+        for path in &written {
+            assert!(path.exists(), "{path:?} missing");
+            assert!(!fs::read_to_string(path).unwrap().is_empty());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,357 @@
+//! Declarative campaign specifications and their grid expansion.
+//!
+//! A [`CampaignSpec`] describes a whole experiment campaign the way the
+//! paper's evaluation is laid out: a grid of powercap policies × cap
+//! fractions × ablation knobs (grouping strategy, decision rule) × workload
+//! intervals × seed replications × rack scales. [`CampaignSpec::expand`]
+//! turns the description into concrete [`CampaignCell`]s with **stable,
+//! dense indices** — the executor shards cells across threads by index, and
+//! every aggregation step orders by index, so the expansion order *is* the
+//! determinism contract of the whole subsystem.
+
+use apc_core::PowercapPolicy;
+use apc_power::bonus::GroupingStrategy;
+use apc_power::tradeoff::DecisionRule;
+use apc_replay::Scenario;
+use apc_workload::IntervalKind;
+
+/// Where the replayed workload comes from.
+#[derive(Debug, Clone)]
+pub enum TraceSource {
+    /// The calibrated synthetic Curie generator, driven by the spec's
+    /// interval × seed grid.
+    Synthetic,
+    /// One fixed trace shared by every cell (e.g. parsed from an SWF file).
+    /// The interval and seed axes collapse: replays are deterministic, so
+    /// replications of an identical trace would produce identical rows.
+    Fixed(std::sync::Arc<apc_workload::Trace>),
+}
+
+/// The workload coordinate of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellWorkload {
+    /// A synthetic interval replayed with a generator seed.
+    Synthetic {
+        /// Interval flavour.
+        interval: IntervalKind,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// The campaign's fixed (SWF) trace.
+    Fixed,
+}
+
+impl CellWorkload {
+    /// Label used in result tables ("medianjob", "24h", "swf", …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellWorkload::Synthetic { interval, .. } => interval.name(),
+            CellWorkload::Fixed => "swf",
+        }
+    }
+
+    /// The generator seed, or 0 for a fixed trace.
+    pub fn seed(&self) -> u64 {
+        match self {
+            CellWorkload::Synthetic { seed, .. } => *seed,
+            CellWorkload::Fixed => 0,
+        }
+    }
+}
+
+/// One concrete experiment: a workload replayed under one scenario.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// Dense index in expansion order — the sharding and ordering key.
+    pub index: usize,
+    /// Platform scale in racks of 90 nodes (>= 56 means the full Curie).
+    pub racks: usize,
+    /// The workload coordinate.
+    pub workload: CellWorkload,
+    /// The powercap scenario to replay.
+    pub scenario: Scenario,
+}
+
+/// A declarative experiment campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Platform scales, in racks of 90 nodes each.
+    pub racks: Vec<usize>,
+    /// Workload intervals (ignored when the campaign runs on a fixed trace).
+    pub intervals: Vec<IntervalKind>,
+    /// Generator seeds — one replication per seed (ignored for fixed traces).
+    pub seeds: Vec<u64>,
+    /// Policies applied to the capped cells.
+    pub policies: Vec<PowercapPolicy>,
+    /// Cap fractions in `(0, 1)`, e.g. `[0.8, 0.6, 0.4]`.
+    pub cap_fractions: Vec<f64>,
+    /// Also run the uncapped "100 %/None" baseline for every workload.
+    pub include_baseline: bool,
+    /// Switch-off grouping strategies (ablation axis).
+    pub groupings: Vec<GroupingStrategy>,
+    /// DVFS-vs-shutdown decision rules (ablation axis).
+    pub decision_rules: Vec<DecisionRule>,
+    /// Arrival load factor handed to the synthetic generator.
+    pub load_factor: f64,
+    /// Initial backlog factor handed to the synthetic generator.
+    pub backlog_factor: f64,
+    /// Seeded per-user fair-share history, in core-hours.
+    pub initial_fairshare_core_hours: f64,
+}
+
+impl Default for CampaignSpec {
+    /// The paper's full evaluation grid: {SHUT, DVFS, MIX} × {80, 60, 40 %}
+    /// plus the baseline, over all four intervals, one seed, at a 2-rack
+    /// reduced scale.
+    fn default() -> Self {
+        CampaignSpec {
+            racks: vec![2],
+            intervals: IntervalKind::ALL.to_vec(),
+            seeds: vec![2012],
+            policies: vec![
+                PowercapPolicy::Shut,
+                PowercapPolicy::Dvfs,
+                PowercapPolicy::Mix,
+            ],
+            cap_fractions: vec![0.80, 0.60, 0.40],
+            include_baseline: true,
+            groupings: vec![GroupingStrategy::Grouped],
+            decision_rules: vec![DecisionRule::PaperRho],
+            load_factor: 1.8,
+            backlog_factor: 1.3,
+            initial_fairshare_core_hours: 1_000.0,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// The paper grid with `replications` consecutive seeds starting at
+    /// `base_seed`.
+    pub fn paper(base_seed: u64, replications: usize) -> Self {
+        CampaignSpec {
+            seeds: (0..replications as u64).map(|i| base_seed + i).collect(),
+            ..CampaignSpec::default()
+        }
+    }
+
+    /// Check the spec is runnable; returns a human-readable complaint if not.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.racks.is_empty() {
+            return Err("spec has no rack scales".into());
+        }
+        if let Some(r) = self.racks.iter().find(|&&r| r == 0) {
+            return Err(format!("rack scale must be >= 1, got {r}"));
+        }
+        if self.intervals.is_empty() {
+            return Err("spec has no intervals".into());
+        }
+        if self.seeds.is_empty() {
+            return Err("spec has no seeds".into());
+        }
+        if !self.include_baseline && (self.policies.is_empty() || self.cap_fractions.is_empty()) {
+            return Err(
+                "spec expands to zero cells: no baseline and an empty policy/cap grid".into(),
+            );
+        }
+        if let Some(f) = self
+            .cap_fractions
+            .iter()
+            .find(|&&f| !(f > 0.0 && f < 1.0 && f.is_finite()))
+        {
+            return Err(format!("cap fraction must be in (0, 1), got {f}"));
+        }
+        if !(self.load_factor.is_finite() && self.load_factor > 0.0) {
+            return Err(format!("load factor must be > 0, got {}", self.load_factor));
+        }
+        if self.backlog_factor < 0.0 || !self.backlog_factor.is_finite() {
+            return Err(format!(
+                "backlog factor must be >= 0, got {}",
+                self.backlog_factor
+            ));
+        }
+        if self.groupings.is_empty() || self.decision_rules.is_empty() {
+            return Err("spec needs at least one grouping and one decision rule".into());
+        }
+        Ok(())
+    }
+
+    /// The scenarios of one workload cell, in stable order: the baseline
+    /// first (once, with the default knobs), then caps × policies for every
+    /// grouping × decision-rule combination.
+    fn scenarios(&self, duration: u64) -> Vec<Scenario> {
+        let mut scenarios = Vec::new();
+        if self.include_baseline {
+            scenarios.push(Scenario::baseline());
+        }
+        for &grouping in &self.groupings {
+            for &rule in &self.decision_rules {
+                for &fraction in &self.cap_fractions {
+                    for &policy in &self.policies {
+                        scenarios.push(
+                            Scenario::paper(policy, fraction, duration)
+                                .with_grouping(grouping)
+                                .with_decision_rule(rule),
+                        );
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+
+    /// Expand the grid into concrete cells, densely indexed in a stable
+    /// order: racks → interval → seed → (baseline, then grouping → rule →
+    /// cap → policy).
+    pub fn expand(&self, source: &TraceSource) -> Vec<CampaignCell> {
+        let workloads: Vec<(CellWorkload, u64)> = match source {
+            TraceSource::Fixed(trace) => vec![(CellWorkload::Fixed, trace.duration)],
+            TraceSource::Synthetic => {
+                let mut w = Vec::new();
+                for &interval in &self.intervals {
+                    for &seed in &self.seeds {
+                        w.push((
+                            CellWorkload::Synthetic { interval, seed },
+                            interval.duration(),
+                        ));
+                    }
+                }
+                w
+            }
+        };
+        let mut cells = Vec::new();
+        for &racks in &self.racks {
+            for &(workload, duration) in &workloads {
+                for scenario in self.scenarios(duration) {
+                    cells.push(CampaignCell {
+                        index: cells.len(),
+                        racks,
+                        workload,
+                        scenario,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Number of cells [`expand`](Self::expand) would produce for a
+    /// synthetic-source campaign.
+    pub fn cell_count(&self) -> usize {
+        let per_workload = usize::from(self.include_baseline)
+            + self.groupings.len()
+                * self.decision_rules.len()
+                * self.cap_fractions.len()
+                * self.policies.len();
+        self.racks.len() * self.intervals.len() * self.seeds.len() * per_workload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_the_paper_grid() {
+        let spec = CampaignSpec::default();
+        spec.validate().unwrap();
+        // 1 rack scale × 4 intervals × 1 seed × (1 baseline + 3 × 3 capped).
+        assert_eq!(spec.cell_count(), 4 * 10);
+        let cells = spec.expand(&TraceSource::Synthetic);
+        assert_eq!(cells.len(), spec.cell_count());
+    }
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        let spec = CampaignSpec::paper(100, 3);
+        let a = spec.expand(&TraceSource::Synthetic);
+        let b = spec.expand(&TraceSource::Synthetic);
+        for (i, (ca, cb)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(ca.index, i);
+            assert_eq!(cb.index, i);
+            assert_eq!(ca.scenario, cb.scenario);
+            assert_eq!(ca.workload, cb.workload);
+        }
+        assert_eq!(a.len(), 4 * 3 * 10);
+    }
+
+    #[test]
+    fn baseline_is_emitted_once_per_workload() {
+        let spec = CampaignSpec {
+            groupings: vec![GroupingStrategy::Grouped, GroupingStrategy::Scattered],
+            decision_rules: vec![DecisionRule::PaperRho, DecisionRule::WorkMaximizing],
+            intervals: vec![IntervalKind::MedianJob],
+            ..CampaignSpec::default()
+        };
+        let cells = spec.expand(&TraceSource::Synthetic);
+        let baselines = cells
+            .iter()
+            .filter(|c| c.scenario.cap_fraction.is_none())
+            .count();
+        assert_eq!(baselines, 1);
+        // 1 baseline + 2 groupings × 2 rules × 3 caps × 3 policies.
+        assert_eq!(cells.len(), 1 + 2 * 2 * 3 * 3);
+        assert_eq!(cells.len(), spec.cell_count());
+    }
+
+    #[test]
+    fn fixed_source_collapses_the_workload_axes() {
+        let platform = apc_rjms::cluster::Platform::curie_scaled(1);
+        let trace = apc_workload::CurieTraceGenerator::new(1)
+            .load_factor(0.3)
+            .backlog_factor(0.0)
+            .generate_for(&platform);
+        let spec = CampaignSpec::paper(1, 5);
+        let cells = spec.expand(&TraceSource::Fixed(std::sync::Arc::new(trace)));
+        assert_eq!(
+            cells.len(),
+            10,
+            "intervals × seeds collapse to one workload"
+        );
+        assert!(cells.iter().all(|c| c.workload == CellWorkload::Fixed));
+        assert_eq!(cells[0].workload.label(), "swf");
+        assert_eq!(cells[0].workload.seed(), 0);
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let ok = CampaignSpec::default();
+        assert!(ok.validate().is_ok());
+        let bad = CampaignSpec {
+            cap_fractions: vec![1.5],
+            ..CampaignSpec::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("cap fraction"));
+        let bad = CampaignSpec {
+            seeds: vec![],
+            ..CampaignSpec::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("seeds"));
+        let bad = CampaignSpec {
+            racks: vec![0],
+            ..CampaignSpec::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("rack"));
+        let bad = CampaignSpec {
+            include_baseline: false,
+            policies: vec![],
+            ..CampaignSpec::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("zero cells"));
+    }
+
+    #[test]
+    fn scenario_windows_follow_the_interval_duration() {
+        let spec = CampaignSpec {
+            intervals: vec![IntervalKind::Day24h],
+            ..CampaignSpec::default()
+        };
+        let cells = spec.expand(&TraceSource::Synthetic);
+        let capped = cells
+            .iter()
+            .find(|c| c.scenario.cap_fraction.is_some())
+            .unwrap();
+        let w = capped.scenario.window().unwrap();
+        assert_eq!(w.duration(), 3600);
+        assert_eq!(w.start, (24 * 3600 - 3600) / 2);
+    }
+}

@@ -30,6 +30,36 @@ pub enum GroupingStrategy {
     Scattered,
 }
 
+impl GroupingStrategy {
+    /// Stable lower-case name, used in CLI flags and result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            GroupingStrategy::Grouped => "grouped",
+            GroupingStrategy::Scattered => "scattered",
+        }
+    }
+}
+
+impl std::fmt::Display for GroupingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for GroupingStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "grouped" => Ok(GroupingStrategy::Grouped),
+            "scattered" => Ok(GroupingStrategy::Scattered),
+            other => Err(format!(
+                "unknown grouping strategy: {other} (valid: grouped, scattered)"
+            )),
+        }
+    }
+}
+
 /// The outcome of planning a shutdown.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShutdownPlan {

@@ -49,6 +49,36 @@ pub enum DecisionRule {
     WorkMaximizing,
 }
 
+impl DecisionRule {
+    /// Stable lower-case name, used in CLI flags and result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionRule::PaperRho => "paper-rho",
+            DecisionRule::WorkMaximizing => "work-max",
+        }
+    }
+}
+
+impl std::fmt::Display for DecisionRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DecisionRule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "paper-rho" | "rho" | "paper" => Ok(DecisionRule::PaperRho),
+            "work-max" | "work-maximizing" | "workmax" => Ok(DecisionRule::WorkMaximizing),
+            other => Err(format!(
+                "unknown decision rule: {other} (valid: paper-rho, work-max)"
+            )),
+        }
+    }
+}
+
 /// The mechanism selected for a given power cap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Mechanism {

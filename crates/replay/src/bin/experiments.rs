@@ -8,40 +8,96 @@
 //! options: --racks N   replay scale in racks of 90 nodes (default 6)
 //!          --full      replay at the full 56-rack / 5040-node Curie scale
 //!          --seed S    workload generator seed (default 2012)
+//!          --swf PATH  replay a Standard Workload Format trace (e.g. the
+//!                      real CEA-Curie trace) instead of the synthetic
+//!                      generator for fig6/fig7/fig8/claims/ablations
 //! ```
 
-use apc_replay::figures;
+use std::process::ExitCode;
+use std::sync::Arc;
 
-fn main() {
+use apc_replay::figures;
+use apc_workload::{load_swf_file, Trace};
+
+/// Every target this binary understands, in canonical output order.
+const VALID_TARGETS: [&str; 11] = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "model",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig8",
+    "claims",
+    "ablations",
+];
+
+const USAGE: &str =
+    "usage: experiments [fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|fig8|claims|ablations|model|all]... \
+     [--racks N|--full] [--seed S] [--swf PATH]";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut racks = figures::DEFAULT_RACKS;
     let mut seed = 2012u64;
+    let mut swf_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--racks" => {
-                racks = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--racks needs an integer argument");
+                racks = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(r) => r,
+                    None => return fail("--racks needs an integer argument"),
+                };
             }
             "--seed" => {
-                seed = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed needs an integer argument");
+                seed = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => s,
+                    None => return fail("--seed needs an integer argument"),
+                };
+            }
+            "--swf" => {
+                swf_path = match iter.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return fail("--swf needs a file path argument"),
+                };
             }
             "--full" => racks = 56,
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: experiments [fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|fig8|claims|ablations|model|all]... [--racks N|--full] [--seed S]"
-                );
-                return;
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
             }
             other => targets.push(other.to_string()),
         }
     }
+
+    // Validate every target up front: a typo like `fig9` aborts with the
+    // valid list instead of silently running everything else first.
+    let invalid: Vec<&String> = targets
+        .iter()
+        .filter(|t| t.as_str() != "all" && !VALID_TARGETS.contains(&t.as_str()))
+        .collect();
+    if !invalid.is_empty() {
+        let unknown = invalid
+            .iter()
+            .map(|t| t.as_str())
+            .collect::<Vec<_>>()
+            .join(", ");
+        return fail(&format!(
+            "unknown target(s): {unknown}\nvalid targets: {} or all",
+            VALID_TARGETS.join(", ")
+        ));
+    }
+
     if targets.is_empty() {
         targets = vec![
             "fig2".into(),
@@ -52,23 +108,35 @@ fn main() {
         ];
     }
     if targets.iter().any(|t| t == "all") {
-        targets = [
-            "fig2",
-            "fig3",
-            "fig4",
-            "fig5",
-            "model",
-            "fig6",
-            "fig7a",
-            "fig7b",
-            "fig8",
-            "claims",
-            "ablations",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        targets = VALID_TARGETS.iter().map(|s| s.to_string()).collect();
     }
+
+    // Only load (and announce) the SWF trace when a requested target
+    // actually replays a workload — fig2..fig5 and the model sweep are pure
+    // model evaluations and never touch it.
+    const REPLAY_TARGETS: [&str; 6] = ["fig6", "fig7a", "fig7b", "fig8", "claims", "ablations"];
+    let replays_requested = targets.iter().any(|t| REPLAY_TARGETS.contains(&t.as_str()));
+    let swf_trace: Option<Arc<Trace>> = match &swf_path {
+        Some(path) if replays_requested => match load_swf_file(path) {
+            Ok(trace) => {
+                eprintln!(
+                    "replaying {} jobs over {} s from {path} instead of the synthetic trace",
+                    trace.len(),
+                    trace.duration
+                );
+                Some(Arc::new(trace))
+            }
+            Err(e) => return fail(&e),
+        },
+        Some(path) => {
+            eprintln!(
+                "note: --swf {path} ignored — none of the requested targets replays a workload"
+            );
+            None
+        }
+        None => None,
+    };
+    let swf = swf_trace.as_ref();
 
     for target in targets {
         let output = match target.as_str() {
@@ -77,25 +145,23 @@ fn main() {
             "fig4" => figures::fig4(),
             "fig5" => figures::fig5(),
             "model" => figures::model_sweep(),
-            "fig6" => figures::fig6(racks, seed),
-            "fig7a" => figures::fig7a(racks, seed),
-            "fig7b" => figures::fig7b(racks, seed),
-            "fig8" => figures::fig8(racks, seed),
-            "claims" => figures::claims(racks, seed),
+            "fig6" => figures::fig6(racks, seed, swf),
+            "fig7a" => figures::fig7a(racks, seed, swf),
+            "fig7b" => figures::fig7b(racks, seed, swf),
+            "fig8" => figures::fig8(racks, seed, swf),
+            "claims" => figures::claims(racks, seed, swf),
             "ablations" => {
-                let mut s = figures::ablation_grouping(racks, seed);
+                let mut s = figures::ablation_grouping(racks, seed, swf);
                 s.push('\n');
-                s.push_str(&figures::ablation_decision_rule(racks, seed));
+                s.push_str(&figures::ablation_decision_rule(racks, seed, swf));
                 s.push('\n');
-                s.push_str(&figures::ablation_app_aware(racks, seed));
+                s.push_str(&figures::ablation_app_aware(racks, seed, swf));
                 s
             }
-            unknown => {
-                eprintln!("unknown target: {unknown} (try --help)");
-                continue;
-            }
+            _ => unreachable!("targets were validated above"),
         };
         println!("{output}");
         println!("{}", "=".repeat(100));
     }
+    ExitCode::SUCCESS
 }

@@ -18,7 +18,9 @@ use apc_power::{
     Watts,
 };
 use apc_rjms::cluster::Platform;
-use apc_workload::{CurieTraceGenerator, IntervalKind, TraceStats};
+use apc_workload::{CurieTraceGenerator, IntervalKind, Trace, TraceStats};
+
+use std::sync::Arc;
 
 use crate::harness::{ReplayHarness, ReplayOutcome};
 use crate::scenario::Scenario;
@@ -35,12 +37,27 @@ fn platform(racks: usize) -> Platform {
     }
 }
 
-fn harness(racks: usize, seed: u64, interval: IntervalKind) -> ReplayHarness {
+/// Build the replay harness for a figure: the calibrated synthetic
+/// generator by default, or a fixed trace (e.g. parsed from an SWF file via
+/// `--swf` in the experiments binary) when one is supplied. The fixed trace
+/// arrives as an `Arc` so `experiments all` shares one copy across all
+/// eight replay figures instead of deep-cloning a potentially huge trace.
+fn harness(
+    racks: usize,
+    seed: u64,
+    interval: IntervalKind,
+    swf: Option<&Arc<Trace>>,
+) -> ReplayHarness {
     let platform = platform(racks);
-    let trace = CurieTraceGenerator::new(seed)
-        .interval(interval)
-        .generate_for(&platform);
-    ReplayHarness::new(platform, trace)
+    match swf {
+        Some(trace) => ReplayHarness::from_shared(platform, Arc::clone(trace)),
+        None => {
+            let trace = CurieTraceGenerator::new(seed)
+                .interval(interval)
+                .generate_for(&platform);
+            ReplayHarness::new(platform, trace)
+        }
+    }
 }
 
 /// Fig. 2 — power consumption and power bonus of each Curie aggregation
@@ -191,8 +208,8 @@ pub fn render_timeseries(outcome: &ReplayOutcome, horizon: u64, step: u64) -> St
 
 /// Fig. 6 — 24-hour workload, MIX policy, 1-hour reservation of 40 % of the
 /// total power: core-state and power time series.
-pub fn fig6(racks: usize, seed: u64) -> String {
-    let h = harness(racks, seed, IntervalKind::Day24h);
+pub fn fig6(racks: usize, seed: u64, swf: Option<&Arc<Trace>>) -> String {
+    let h = harness(racks, seed, IntervalKind::Day24h, swf);
     let duration = h.trace().duration;
     let scenario = Scenario::paper(PowercapPolicy::Mix, 0.40, duration);
     let outcome = h.run(&scenario);
@@ -205,8 +222,8 @@ pub fn fig6(racks: usize, seed: u64) -> String {
 }
 
 /// Fig. 7a — 5-hour *bigjob* workload, SHUT policy, 60 % powercap.
-pub fn fig7a(racks: usize, seed: u64) -> String {
-    let h = harness(racks, seed, IntervalKind::BigJob);
+pub fn fig7a(racks: usize, seed: u64, swf: Option<&Arc<Trace>>) -> String {
+    let h = harness(racks, seed, IntervalKind::BigJob, swf);
     let duration = h.trace().duration;
     let scenario = Scenario::paper(PowercapPolicy::Shut, 0.60, duration);
     let outcome = h.run(&scenario);
@@ -220,8 +237,8 @@ pub fn fig7a(racks: usize, seed: u64) -> String {
 }
 
 /// Fig. 7b — 5-hour *smalljob* workload, DVFS policy, 40 % powercap.
-pub fn fig7b(racks: usize, seed: u64) -> String {
-    let h = harness(racks, seed, IntervalKind::SmallJob);
+pub fn fig7b(racks: usize, seed: u64, swf: Option<&Arc<Trace>>) -> String {
+    let h = harness(racks, seed, IntervalKind::SmallJob, swf);
     let duration = h.trace().duration;
     let scenario = Scenario::paper(PowercapPolicy::Dvfs, 0.40, duration);
     let outcome = h.run(&scenario);
@@ -236,23 +253,34 @@ pub fn fig7b(racks: usize, seed: u64) -> String {
 
 /// Fig. 8 — normalised energy, launched jobs and work for every
 /// workload × cap × policy combination.
-pub fn fig8(racks: usize, seed: u64) -> String {
+pub fn fig8(racks: usize, seed: u64, swf: Option<&Arc<Trace>>) -> String {
     let mut out = String::from(
         "Fig. 8 — normalised energy / launched jobs / work per workload, cap and policy\n\
          workload    scenario     energy   launched   work\n",
     );
-    for interval in [
-        IntervalKind::BigJob,
-        IntervalKind::MedianJob,
-        IntervalKind::SmallJob,
-    ] {
-        let h = harness(racks, seed, interval);
+    // With a fixed trace every interval flavour would replay the same jobs,
+    // so the workload axis collapses to a single "swf" row group.
+    let intervals: &[IntervalKind] = if swf.is_some() {
+        &[IntervalKind::MedianJob]
+    } else {
+        &[
+            IntervalKind::BigJob,
+            IntervalKind::MedianJob,
+            IntervalKind::SmallJob,
+        ]
+    };
+    for &interval in intervals {
+        let h = harness(racks, seed, interval, swf);
         let duration = h.trace().duration;
         for scenario in Scenario::paper_grid(duration) {
             let outcome = h.run(&scenario);
             out.push_str(&format!(
                 "{:<11} {:<12} {:>7.3} {:>10.3} {:>7.3}\n",
-                interval.name(),
+                if swf.is_some() {
+                    "swf"
+                } else {
+                    interval.name()
+                },
                 scenario.label(),
                 outcome.normalized.energy_normalized,
                 outcome.normalized.launched_jobs_normalized,
@@ -267,8 +295,8 @@ pub fn fig8(racks: usize, seed: u64) -> String {
 /// SHUT delivers more work than DVFS/MIX at a 40 % cap, MIX consumes the
 /// least energy, and the idle-only fallback (no shutdown, no DVFS) loses
 /// much more work.
-pub fn claims(racks: usize, seed: u64) -> String {
-    let h = harness(racks, seed, IntervalKind::MedianJob);
+pub fn claims(racks: usize, seed: u64, swf: Option<&Arc<Trace>>) -> String {
+    let h = harness(racks, seed, IntervalKind::MedianJob, swf);
     let duration = h.trace().duration;
     let shut = h.run(&Scenario::paper(PowercapPolicy::Shut, 0.40, duration));
     let dvfs = h.run(&Scenario::paper(PowercapPolicy::Dvfs, 0.40, duration));
@@ -297,8 +325,8 @@ pub fn claims(racks: usize, seed: u64) -> String {
 
 /// Ablation — grouped vs scattered switch-off selection (the value of the
 /// power bonus preparation done by the offline phase).
-pub fn ablation_grouping(racks: usize, seed: u64) -> String {
-    let h = harness(racks, seed, IntervalKind::MedianJob);
+pub fn ablation_grouping(racks: usize, seed: u64, swf: Option<&Arc<Trace>>) -> String {
+    let h = harness(racks, seed, IntervalKind::MedianJob, swf);
     let duration = h.trace().duration;
     let grouped = h.run(&Scenario::paper(PowercapPolicy::Shut, 0.40, duration));
     let scattered = h.run(
@@ -332,8 +360,8 @@ pub fn ablation_grouping(racks: usize, seed: u64) -> String {
 
 /// Ablation — published ρ rule vs direct work-maximising rule in the offline
 /// planner (MIX policy).
-pub fn ablation_decision_rule(racks: usize, seed: u64) -> String {
-    let h = harness(racks, seed, IntervalKind::MedianJob);
+pub fn ablation_decision_rule(racks: usize, seed: u64, swf: Option<&Arc<Trace>>) -> String {
+    let h = harness(racks, seed, IntervalKind::MedianJob, swf);
     let duration = h.trace().duration;
     let paper = h.run(&Scenario::paper(PowercapPolicy::Mix, 0.60, duration));
     let direct = h.run(
@@ -349,8 +377,8 @@ pub fn ablation_decision_rule(racks: usize, seed: u64) -> String {
 /// Ablation — policy-wide "common value" degradation vs per-application
 /// degradation (the paper's future-work extension where applications provide
 /// their own DVFS sensitivity).
-pub fn ablation_app_aware(racks: usize, seed: u64) -> String {
-    let h = harness(racks, seed, IntervalKind::MedianJob);
+pub fn ablation_app_aware(racks: usize, seed: u64, swf: Option<&Arc<Trace>>) -> String {
+    let h = harness(racks, seed, IntervalKind::MedianJob, swf);
     let duration = h.trace().duration;
     let common = h.run(&Scenario::paper(PowercapPolicy::Dvfs, 0.40, duration));
     let aware = h.run(
@@ -432,15 +460,33 @@ mod tests {
     #[test]
     fn replay_figures_run_at_tiny_scale() {
         // 1 rack keeps this test fast while covering the whole pipeline.
-        let out = fig7b(1, 5);
+        let out = fig7b(1, 5, None);
         assert!(out.contains("smalljob"));
         assert!(out.contains("power(kW)"));
-        let claims_out = claims(1, 5);
+        let claims_out = claims(1, 5, None);
         assert!(claims_out.contains("SHUT work / DVFS work"));
     }
 
     #[test]
     fn curie_cap_scales_with_fraction() {
         assert!(curie_cap(0.4).as_watts() < curie_cap(0.8).as_watts());
+    }
+
+    #[test]
+    fn replay_figures_accept_a_fixed_swf_trace() {
+        let platform = Platform::curie_scaled(1);
+        let synthetic = CurieTraceGenerator::new(5)
+            .load_factor(0.5)
+            .backlog_factor(0.2)
+            .generate_for(&platform);
+        let trace =
+            Arc::new(apc_workload::parse_swf(&apc_workload::write_swf(&synthetic)).unwrap());
+        let out = fig8(1, 5, Some(&trace));
+        // The workload axis collapses to one "swf" group of 10 scenarios.
+        assert!(out.contains("swf"));
+        assert!(!out.contains("bigjob"));
+        assert_eq!(out.lines().filter(|l| l.starts_with("swf")).count(), 10);
+        let ablation = ablation_grouping(1, 5, Some(&trace));
+        assert!(ablation.contains("grouped"));
     }
 }

@@ -63,10 +63,14 @@ impl ReplayOutcome {
 }
 
 /// The replay harness: a platform plus a workload trace.
+///
+/// The trace is held behind an [`Arc`](std::sync::Arc) so harnesses over the
+/// same workload (e.g. the cells of one campaign group) share one copy
+/// instead of deep-cloning thousands of jobs each.
 #[derive(Debug, Clone)]
 pub struct ReplayHarness {
     platform: Platform,
-    trace: Trace,
+    trace: std::sync::Arc<Trace>,
     /// Seed historical fair-share usage for the users appearing in the trace
     /// (phase ii); expressed in core-hours per user.
     initial_fairshare_core_hours: f64,
@@ -75,6 +79,12 @@ pub struct ReplayHarness {
 impl ReplayHarness {
     /// Create a harness for a platform and a trace.
     pub fn new(platform: Platform, trace: Trace) -> Self {
+        Self::from_shared(platform, std::sync::Arc::new(trace))
+    }
+
+    /// Create a harness sharing an already-`Arc`ed trace (no deep clone) —
+    /// the form the campaign executor uses with its trace cache.
+    pub fn from_shared(platform: Platform, trace: std::sync::Arc<Trace>) -> Self {
         ReplayHarness {
             platform,
             trace,

@@ -35,3 +35,27 @@ pub mod prelude {
 }
 
 pub use prelude::*;
+
+// Re-export the lower-layer pieces a replay driver (the `experiments` bin,
+// the `apc-campaign` executor) needs, so such drivers can be written against
+// `apc_replay` alone.
+pub use apc_rjms::cluster::Platform;
+pub use apc_rjms::controller::SimulationReport;
+pub use apc_workload::{CurieTraceGenerator, IntervalKind, Trace, TraceCache};
+
+/// Compile-time audit that the replay pipeline is thread-compatible: the
+/// campaign executor shares one [`Scenario`] grid across workers and runs
+/// one [`ReplayHarness`] per worker, so the whole chain must be `Send` (and
+/// `Sync` where shared read-only).
+#[allow(dead_code)]
+fn thread_safety_audit() {
+    fn send<T: Send>() {}
+    fn send_sync<T: Send + Sync>() {}
+    send_sync::<Scenario>();
+    send_sync::<ReplayHarness>();
+    send_sync::<Trace>();
+    send::<ReplayOutcome>();
+    send::<NormalizedOutcome>();
+    send::<PowerSeries>();
+    send::<UtilizationSeries>();
+}

@@ -62,3 +62,23 @@ pub mod prelude {
 }
 
 pub use prelude::*;
+
+/// Compile-time audit that the simulator's data types can cross thread
+/// boundaries: the campaign executor (`apc-campaign`) shares platforms and
+/// moves reports/logs between `std::thread` workers. Everything here is
+/// plain owned data — no `Rc`, no raw pointers, no interior mutability — so
+/// these bounds hold structurally; the audit pins them against regressions
+/// (e.g. someone caching an `Rc` inside `Platform`).
+#[allow(dead_code)]
+fn thread_safety_audit() {
+    fn send<T: Send>() {}
+    fn send_sync<T: Send + Sync>() {}
+    send_sync::<cluster::Platform>();
+    send_sync::<config::ControllerConfig>();
+    send_sync::<job::JobSubmission>();
+    send_sync::<time::TimeWindow>();
+    send::<cluster::Cluster>();
+    send::<controller::SimulationReport>();
+    send::<log::SimLog>();
+    send::<log::SimEvent>();
+}

@@ -19,12 +19,15 @@
 //!   profiles (Linpack/IMB/STREAM/GROMACS) for degradation-sensitivity
 //!   studies;
 //! * [`stats`] — trace statistics used both by the calibration tests and by
-//!   the experiment reports.
+//!   the experiment reports;
+//! * [`cache`] — a concurrency-safe trace cache so multi-threaded experiment
+//!   campaigns generate each `(platform, interval, seed)` workload only once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod cache;
 pub mod stats;
 pub mod swf;
 pub mod synth;
@@ -33,8 +36,9 @@ pub mod trace;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::apps::AppClass;
+    pub use crate::cache::{TraceCache, TraceCacheKey};
     pub use crate::stats::TraceStats;
-    pub use crate::swf::{parse_swf, write_swf};
+    pub use crate::swf::{load_swf_file, parse_swf, write_swf};
     pub use crate::synth::{CurieTraceGenerator, IntervalKind};
     pub use crate::trace::{Trace, TraceJob};
 }

@@ -115,6 +115,21 @@ pub fn parse_swf(input: &str) -> Result<Trace, SwfError> {
     Ok(Trace::new(jobs, max_submit))
 }
 
+/// Read and parse an SWF file, rejecting traces with no replayable jobs.
+///
+/// This is the shared front door for `--swf PATH` flags: it folds the I/O
+/// error, the parse error and the empty-trace case into one human-readable
+/// message naming the offending file.
+pub fn load_swf_file(path: &str) -> Result<Trace, String> {
+    let raw =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read SWF file {path}: {e}"))?;
+    let trace = parse_swf(&raw).map_err(|e| format!("cannot parse SWF file {path}: {e}"))?;
+    if trace.is_empty() {
+        return Err(format!("SWF file {path} contains no replayable jobs"));
+    }
+    Ok(trace)
+}
+
 /// Serialise a trace back to SWF (unknown fields are written as `-1`).
 pub fn write_swf(trace: &Trace) -> String {
     let mut out = String::new();

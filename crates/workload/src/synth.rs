@@ -83,6 +83,22 @@ impl std::fmt::Display for IntervalKind {
     }
 }
 
+impl std::str::FromStr for IntervalKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "smalljob" | "small" => Ok(IntervalKind::SmallJob),
+            "medianjob" | "median" => Ok(IntervalKind::MedianJob),
+            "bigjob" | "big" => Ok(IntervalKind::BigJob),
+            "24h" | "day24h" | "day" => Ok(IntervalKind::Day24h),
+            other => Err(format!(
+                "unknown interval: {other} (valid: smalljob, medianjob, bigjob, 24h)"
+            )),
+        }
+    }
+}
+
 /// Size classes used internally by the generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SizeClass {
@@ -150,6 +166,22 @@ impl CurieTraceGenerator {
     /// The interval kind currently selected.
     pub fn interval_kind(&self) -> IntervalKind {
         self.interval
+    }
+
+    /// The [`TraceCacheKey`](crate::cache::TraceCacheKey) identifying the
+    /// trace this generator would produce for `platform` — every parameter
+    /// that influences generation is part of the key.
+    pub fn cache_key(&self, platform: &Platform) -> crate::cache::TraceCacheKey {
+        crate::cache::TraceCacheKey {
+            nodes: platform.total_nodes(),
+            cores_per_node: platform.cores_per_node,
+            seed: self.seed,
+            interval: self.interval,
+            load_bits: self.load_factor.to_bits(),
+            backlog_bits: self.backlog_factor.to_bits(),
+            overestimation_bits: self.overestimation_median.to_bits(),
+            user_count: self.user_count,
+        }
     }
 
     /// Generate the trace for `platform`.

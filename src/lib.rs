@@ -18,6 +18,9 @@
 //!   generator.
 //! * [`replay`] — the experiment harness regenerating every table and figure
 //!   of the paper's evaluation.
+//! * [`campaign`] — the parallel experiment-campaign subsystem: declarative
+//!   grids, a sharded multi-threaded executor, streaming aggregation and
+//!   CSV/JSON sinks (plus the `campaign` binary).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use apc_campaign as campaign;
 pub use apc_core as core;
 pub use apc_power as power;
 pub use apc_replay as replay;
@@ -51,6 +55,7 @@ pub use apc_workload as workload;
 /// One-stop prelude re-exporting the items used by the examples and most
 /// downstream code.
 pub mod prelude {
+    pub use apc_campaign::prelude::*;
     pub use apc_core::prelude::*;
     pub use apc_power::prelude::*;
     pub use apc_replay::prelude::*;
