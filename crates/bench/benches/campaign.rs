@@ -1,8 +1,13 @@
-//! Campaign-throughput benchmarks: the sharded executor at 1, 2 and 4
-//! worker threads over the same small grid, plus the grid-expansion and
-//! sink-rendering hot paths. On multi-core hardware the multi-threaded
-//! variants should approach a linear speedup over `threads_1`; on a single
-//! core they document the sharding overhead instead.
+//! Campaign-throughput benchmarks: the work-stealing executor against the
+//! legacy static shard at 1, 2 and 4 worker threads over the same small
+//! grid, the append throughput of the partitioned result store, plus the
+//! grid-expansion and sink-rendering hot paths. On multi-core hardware the
+//! multi-threaded variants should approach a linear speedup over one
+//! thread — with `steal_*` at least matching `static_*` (and beating it
+//! whenever per-cell runtimes are skewed); on a single core they document
+//! the scheduling overhead instead. The store target appends 256 rows per
+//! iteration — manifest and partition writes included — bounding the
+//! per-cell persistence cost the executor pays while streaming.
 
 use apc_campaign::prelude::*;
 use apc_core::PowercapPolicy;
@@ -28,18 +33,70 @@ fn bench_executor(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(5));
-    for threads in [1usize, 2, 4] {
-        group.bench_function(format!("threads_{threads}"), |b| {
-            b.iter(|| {
-                let outcome = CampaignRunner::new(bench_spec())
-                    .with_threads(threads)
-                    .run()
-                    .unwrap();
-                black_box(outcome.rows.len())
-            })
-        });
+    for (name, strategy) in [
+        ("steal", ExecStrategy::WorkStealing),
+        ("static", ExecStrategy::StaticShard),
+    ] {
+        for threads in [1usize, 2, 4] {
+            group.bench_function(format!("{name}_threads_{threads}"), |b| {
+                b.iter(|| {
+                    let outcome = CampaignRunner::new(bench_spec())
+                        .with_threads(threads)
+                        .with_strategy(strategy)
+                        .run()
+                        .unwrap();
+                    black_box(outcome.rows.len())
+                })
+            });
+        }
     }
     group.finish();
+}
+
+/// A synthetic row for the store-append target (no replay involved — this
+/// measures pure persistence throughput).
+fn store_row(index: usize) -> CellRow {
+    CellRow {
+        index,
+        racks: 2,
+        workload: "medianjob".into(),
+        seed: index as u64,
+        scenario: "60%/SHUT".into(),
+        policy: "shut".into(),
+        cap_percent: 60.0,
+        grouping: "grouped".into(),
+        decision_rule: "paper-rho".into(),
+        launched_jobs: index,
+        completed_jobs: index / 2,
+        killed_jobs: 0,
+        pending_jobs: index / 3,
+        work_core_seconds: index as f64 * 1234.5678,
+        energy_joules: index as f64 * 9.876e6,
+        energy_normalized: 0.5,
+        launched_jobs_normalized: 0.25,
+        work_normalized: 0.125,
+        mean_wait_seconds: 42.0,
+        peak_power_watts: 1.0e6,
+    }
+}
+
+fn bench_store_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_store");
+    group.sample_size(20);
+    let dir = std::env::temp_dir().join(format!("apc-store-bench-{}", std::process::id()));
+    let rows: Vec<CellRow> = (0..256).map(store_row).collect();
+    group.bench_function("append_256_rows", |b| {
+        b.iter(|| {
+            // create() wipes the previous iteration's partitions.
+            let mut store = ResultStore::create(&dir, 1, rows.len()).unwrap();
+            for row in &rows {
+                store.append(row).unwrap();
+            }
+            black_box(store.completed_count())
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn bench_expansion_and_sinks(c: &mut Criterion) {
@@ -47,7 +104,7 @@ fn bench_expansion_and_sinks(c: &mut Criterion) {
     group.sample_size(20);
     let spec = CampaignSpec::paper(2012, 10);
     group.bench_function("expand_paper_grid_10_seeds", |b| {
-        b.iter(|| black_box(spec.expand(&TraceSource::Synthetic).len()))
+        b.iter(|| black_box(spec.expand(&TraceSource::Synthetic).unwrap().len()))
     });
     let outcome = CampaignRunner::new(bench_spec())
         .with_threads(1)
@@ -68,5 +125,10 @@ fn bench_expansion_and_sinks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_executor, bench_expansion_and_sinks);
+criterion_group!(
+    benches,
+    bench_executor,
+    bench_store_append,
+    bench_expansion_and_sinks
+);
 criterion_main!(benches);

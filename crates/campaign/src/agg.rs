@@ -94,6 +94,86 @@ impl CellRow {
         }
     }
 
+    /// Encode the row as one CSV record for the on-disk result store.
+    ///
+    /// Unlike the rendered `cells.csv` (which rounds floats to six decimals
+    /// for human consumption), the store keeps every float in Rust's
+    /// shortest round-trip `Display` form, so
+    /// [`parse_store_line`](Self::parse_store_line) recovers the exact bit
+    /// pattern and a resumed campaign aggregates the same values an
+    /// uninterrupted one would. Non-finite values print as `NaN`/`inf`,
+    /// which `f64::from_str` accepts back.
+    pub fn to_store_line(&self) -> String {
+        use crate::sink::csv_field;
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.index,
+            self.racks,
+            csv_field(&self.workload),
+            self.seed,
+            csv_field(&self.scenario),
+            csv_field(&self.policy),
+            self.cap_percent,
+            csv_field(&self.grouping),
+            csv_field(&self.decision_rule),
+            self.launched_jobs,
+            self.completed_jobs,
+            self.killed_jobs,
+            self.pending_jobs,
+            self.work_core_seconds,
+            self.energy_joules,
+            self.energy_normalized,
+            self.launched_jobs_normalized,
+            self.work_normalized,
+            self.mean_wait_seconds,
+            self.peak_power_watts,
+        )
+    }
+
+    /// Decode a store record written by [`to_store_line`](Self::to_store_line).
+    ///
+    /// Any malformed input — wrong field count, bad quoting, an unparsable
+    /// number — is an error, never a panic: the store loader treats such
+    /// lines (e.g. a row torn in half by a crash) as "cell not recorded".
+    pub fn parse_store_line(line: &str) -> Result<CellRow, String> {
+        let fields = crate::sink::split_csv_line(line)?;
+        if fields.len() != 20 {
+            return Err(format!("expected 20 fields, got {}", fields.len()));
+        }
+        fn int(raw: &str, what: &str) -> Result<usize, String> {
+            raw.parse()
+                .map_err(|_| format!("bad {what} field: {raw:?}"))
+        }
+        fn float(raw: &str, what: &str) -> Result<f64, String> {
+            raw.parse()
+                .map_err(|_| format!("bad {what} field: {raw:?}"))
+        }
+        Ok(CellRow {
+            index: int(&fields[0], "index")?,
+            racks: int(&fields[1], "racks")?,
+            workload: fields[2].clone(),
+            seed: fields[3]
+                .parse()
+                .map_err(|_| format!("bad seed field: {:?}", fields[3]))?,
+            scenario: fields[4].clone(),
+            policy: fields[5].clone(),
+            cap_percent: float(&fields[6], "cap_percent")?,
+            grouping: fields[7].clone(),
+            decision_rule: fields[8].clone(),
+            launched_jobs: int(&fields[9], "launched_jobs")?,
+            completed_jobs: int(&fields[10], "completed_jobs")?,
+            killed_jobs: int(&fields[11], "killed_jobs")?,
+            pending_jobs: int(&fields[12], "pending_jobs")?,
+            work_core_seconds: float(&fields[13], "work_core_seconds")?,
+            energy_joules: float(&fields[14], "energy_joules")?,
+            energy_normalized: float(&fields[15], "energy_normalized")?,
+            launched_jobs_normalized: float(&fields[16], "launched_jobs_normalized")?,
+            work_normalized: float(&fields[17], "work_normalized")?,
+            mean_wait_seconds: float(&fields[18], "mean_wait_seconds")?,
+            peak_power_watts: float(&fields[19], "peak_power_watts")?,
+        })
+    }
+
     /// The across-seed grouping key: everything except the seed (and index).
     /// The exact cap bits are part of the key because the scenario label
     /// rounds to whole percents — `--caps 59.6,60.4` must stay two groups
@@ -344,6 +424,60 @@ mod tests {
         let summaries = summarize(&[a, b]);
         assert_eq!(summaries.len(), 2);
         assert!(summaries.iter().all(|s| s.replications == 1));
+    }
+
+    #[test]
+    fn store_codec_round_trips_exactly() {
+        let mut r = row(42, 7, "60%/SHUT", 13, 123.456);
+        // Values that 6-decimal rendering would mangle must survive the
+        // store: shortest-Display round-trips are bit-exact.
+        r.work_core_seconds = 0.1 + 0.2;
+        r.energy_joules = 1.0 / 3.0;
+        r.mean_wait_seconds = f64::NAN;
+        r.peak_power_watts = f64::INFINITY;
+        let line = r.to_store_line();
+        let back = CellRow::parse_store_line(&line).unwrap();
+        assert_eq!(back.index, r.index);
+        assert_eq!(
+            back.work_core_seconds.to_bits(),
+            r.work_core_seconds.to_bits()
+        );
+        assert_eq!(back.energy_joules.to_bits(), r.energy_joules.to_bits());
+        assert!(back.mean_wait_seconds.is_nan());
+        assert_eq!(back.peak_power_watts, f64::INFINITY);
+        assert_eq!(back.scenario, r.scenario);
+        // Re-encoding is byte-stable.
+        assert_eq!(back.to_store_line(), line);
+    }
+
+    #[test]
+    fn store_codec_quotes_separator_carrying_labels() {
+        let mut r = row(0, 1, "odd,\"label\"", 1, 1.0);
+        r.workload = "a,b".into();
+        let line = r.to_store_line();
+        let back = CellRow::parse_store_line(&line).unwrap();
+        assert_eq!(back.scenario, "odd,\"label\"");
+        assert_eq!(back.workload, "a,b");
+    }
+
+    #[test]
+    fn store_codec_rejects_torn_lines() {
+        let r = row(3, 1, "60%/SHUT", 5, 9.0);
+        let line = r.to_store_line();
+        // A crash can truncate the final record anywhere. Any prefix short
+        // of the last separator must parse as an error, not a bogus row or
+        // a panic. (A cut inside the very last numeric field can still
+        // parse — which is why the store only trusts rows whose `done`
+        // manifest entry, written *after* the row, is present.)
+        let last_comma = line.rfind(',').unwrap();
+        for cut in 0..=last_comma {
+            assert!(
+                CellRow::parse_store_line(&line[..cut]).is_err(),
+                "prefix of length {cut} unexpectedly parsed"
+            );
+        }
+        assert!(CellRow::parse_store_line("").is_err());
+        assert!(CellRow::parse_store_line("not,a,row").is_err());
     }
 
     #[test]

@@ -18,9 +18,18 @@
 //!   --backlog F        generator initial backlog factor (default 1.3)
 //!   --swf PATH         replay an SWF trace instead of the synthetic grid
 //!   --out DIR          results directory (default campaign-results)
+//!   --resume DIR       resume the interrupted campaign stored in DIR
+//!                      (grid flags must match; validated by spec hash)
+//!   --strategy WHICH   work-steal | static (default work-steal)
 //!   --format WHICH     csv | json | both (default both)
 //!   --quiet            suppress the per-group stdout table
 //! ```
+//!
+//! Results stream into an append-only partitioned store
+//! (`DIR/cells/part-NNNN.csv` + `DIR/manifest.txt`) while cells run, so a
+//! killed campaign can be picked up with `--resume DIR`; the rendered
+//! `cells.*`/`summary.*` files are produced from the store at the end and
+//! are byte-identical whether or not the campaign was interrupted.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -33,8 +42,8 @@ use apc_workload::{load_swf_file, IntervalKind, Trace};
 
 const USAGE: &str = "usage: campaign [--threads N] [--seeds K] [--seed-base S] [--racks LIST] \
 [--intervals LIST] [--policies LIST] [--caps LIST] [--no-baseline] [--groupings LIST] \
-[--rules LIST] [--load F] [--backlog F] [--swf PATH] [--out DIR] [--format csv|json|both] \
-[--quiet]";
+[--rules LIST] [--load F] [--backlog F] [--swf PATH] [--out DIR] [--resume DIR] \
+[--strategy work-steal|static] [--format csv|json|both] [--quiet]";
 
 /// Parse a comma-separated list with a `FromStr` item type.
 fn parse_list<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<Vec<T>, String>
@@ -56,8 +65,10 @@ where
 struct Options {
     spec: CampaignSpec,
     threads: usize,
+    strategy: ExecStrategy,
     swf: Option<Trace>,
     out_dir: String,
+    resume: bool,
     format: Format,
     quiet: bool,
 }
@@ -72,10 +83,12 @@ enum Format {
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut spec = CampaignSpec::paper(2012, 3);
     let mut threads = 1usize;
+    let mut strategy = ExecStrategy::WorkStealing;
     let mut seeds = 3usize;
     let mut seed_base = 2012u64;
     let mut swf = None;
-    let mut out_dir = "campaign-results".to_string();
+    let mut out_dir: Option<String> = None;
+    let mut resume_dir: Option<String> = None;
     let mut format = Format::Both;
     let mut quiet = false;
 
@@ -148,7 +161,19 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .map_err(|_| "--backlog needs a number".to_string())?;
             }
             "--swf" => swf = Some(value("--swf")?.clone()),
-            "--out" => out_dir = value("--out")?.clone(),
+            "--out" => out_dir = Some(value("--out")?.clone()),
+            "--resume" => resume_dir = Some(value("--resume")?.clone()),
+            "--strategy" => {
+                strategy = match value("--strategy")?.as_str() {
+                    "work-steal" | "steal" => ExecStrategy::WorkStealing,
+                    "static" => ExecStrategy::StaticShard,
+                    other => {
+                        return Err(format!(
+                            "--strategy must be work-steal or static, got {other}"
+                        ))
+                    }
+                };
+            }
             "--format" => {
                 format = match value("--format")?.as_str() {
                     "csv" => Format::Csv,
@@ -165,6 +190,17 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     }
     spec.seeds = (0..seeds as u64).map(|i| seed_base + i).collect();
     spec.validate()?;
+    // Resuming means "continue the campaign stored in DIR" — the store is
+    // both input and output, so a separate --out makes no sense.
+    let (out_dir, resume) = match (out_dir, resume_dir) {
+        (Some(_), Some(_)) => {
+            return Err("--out and --resume are mutually exclusive (results are \
+                        appended into the resumed directory)"
+                .into())
+        }
+        (None, Some(dir)) => (dir, true),
+        (out, None) => (out.unwrap_or_else(|| "campaign-results".to_string()), false),
+    };
     // Load the SWF here, in the parse phase, so a bad --swf value exits 2
     // with usage like every other bad flag value.
     let swf = match swf {
@@ -182,30 +218,54 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     Ok(Some(Options {
         spec,
         threads,
+        strategy,
         swf,
         out_dir,
+        resume,
         format,
         quiet,
     }))
 }
 
 fn run(options: Options) -> Result<(), String> {
-    let mut runner = CampaignRunner::new(options.spec.clone()).with_threads(options.threads);
+    let mut runner = CampaignRunner::new(options.spec.clone())
+        .with_threads(options.threads)
+        .with_strategy(options.strategy);
     if let Some(trace) = options.swf {
         runner = runner.with_source(TraceSource::Fixed(Arc::new(trace)));
     }
 
-    let cells = runner.cells().len();
+    let cells = runner.cells()?.len();
+    // Open (resume) or create the append-only result store; every finished
+    // cell streams into it, so a killed run can be resumed from here.
+    let mut store = if options.resume {
+        let store = ResultStore::open(&options.out_dir)?;
+        eprintln!(
+            "resuming {}: {} of {} cells already recorded",
+            options.out_dir,
+            store.completed_count(),
+            store.total_cells()
+        );
+        store
+    } else {
+        ResultStore::create(&options.out_dir, runner.fingerprint(), cells)
+            .map_err(|e| format!("cannot create result store in {}: {e}", options.out_dir))?
+    };
+    let pending = cells - store.completed_count().min(cells);
     eprintln!(
-        "campaign: {cells} cells on {} thread(s)",
-        runner.effective_threads()
+        "campaign: {cells} cells ({pending} to run) on {} thread(s)",
+        runner.resolved_threads().min(pending.max(1))
     );
-    let outcome = runner.run()?;
+    let outcome = runner.run_with_store(&mut store)?;
 
     if !options.quiet {
         print!("{}", summary_table(&outcome.summaries));
     }
 
+    // Render the store-derived outcome (run_with_store reads every row —
+    // including resumed ones — back out of the store, so this is the
+    // render-from-store path without re-cloning and re-folding per sink;
+    // `write_store_renders_the_same_bytes_as_write` pins the equivalence).
     let mut written = Vec::new();
     if options.format != Format::Json {
         written.extend(
@@ -222,14 +282,30 @@ fn run(options: Options) -> Result<(), String> {
         );
     }
 
+    let skipped = if outcome.stats.skipped > 0 {
+        format!(", {} resumed from store", outcome.stats.skipped)
+    } else {
+        String::new()
+    };
     eprintln!(
-        "ran {} cells on {} thread(s) in {:.2} s ({} trace(s) generated, {} cache hits)",
+        "ran {} cells on {} thread(s) in {:.2} s ({} trace(s) generated, {} cache hits, \
+         {} steal(s){skipped})",
         outcome.stats.cells,
         outcome.stats.threads,
         outcome.wall.as_secs_f64(),
         outcome.stats.trace_cache_misses,
         outcome.stats.trace_cache_hits,
+        outcome.stats.total_steals(),
     );
+    if !outcome.stats.per_worker.is_empty() {
+        let per_worker: Vec<String> = outcome
+            .stats
+            .per_worker
+            .iter()
+            .map(|w| format!("w{} {} cell(s), {} stolen", w.worker, w.completed, w.stolen))
+            .collect();
+        eprintln!("workers: {}", per_worker.join(" | "));
+    }
     for path in written {
         eprintln!("wrote {}", path.display());
     }

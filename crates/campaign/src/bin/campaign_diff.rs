@@ -1,0 +1,129 @@
+//! Compare two `summary.csv` files from the same campaign grid.
+//!
+//! ```text
+//! cargo run --release -p apc-campaign --bin campaign-diff -- A.csv B.csv [options]
+//!
+//! options:
+//!   --threshold PCT    max tolerated relative change per metric, in percent
+//!                      (default 0: any delta fails)
+//!   --quiet            only print breaches, not the full delta list
+//!
+//! exit status:
+//!   0  same grid, no metric beyond the threshold
+//!   1  grids differ, or at least one metric breached the threshold
+//!   2  usage or input error
+//! ```
+
+use std::process::ExitCode;
+
+use apc_campaign::diff::diff_summary_csv;
+
+const USAGE: &str = "usage: campaign-diff A.csv B.csv [--threshold PCT] [--quiet]";
+
+struct Options {
+    a_path: String,
+    b_path: String,
+    threshold_percent: f64,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold_percent = 0.0f64;
+    let mut quiet = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--threshold" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| "--threshold needs a value".to_string())?;
+                threshold_percent = raw
+                    .parse()
+                    .map_err(|_| "--threshold needs a number (percent)".to_string())?;
+                if threshold_percent.is_nan() || threshold_percent < 0.0 {
+                    return Err(format!("--threshold must be >= 0, got {threshold_percent}"));
+                }
+            }
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown option: {flag}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [a_path, b_path] = <[String; 2]>::try_from(paths)
+        .map_err(|got| format!("expected exactly 2 summary.csv paths, got {}", got.len()))?;
+    Ok(Some(Options {
+        a_path,
+        b_path,
+        threshold_percent,
+        quiet,
+    }))
+}
+
+fn run(options: &Options) -> Result<bool, String> {
+    let a = std::fs::read_to_string(&options.a_path)
+        .map_err(|e| format!("cannot read {}: {e}", options.a_path))?;
+    let b = std::fs::read_to_string(&options.b_path)
+        .map_err(|e| format!("cannot read {}: {e}", options.b_path))?;
+    let report = diff_summary_csv(&a, &b)?;
+    let breaches = report.breaches(options.threshold_percent);
+    if options.quiet {
+        for d in &breaches {
+            println!(
+                "{} {}: {} -> {} ({:.3}% > {:.3}%)",
+                d.key,
+                d.metric,
+                d.a,
+                d.b,
+                d.rel_percent(),
+                options.threshold_percent
+            );
+        }
+        if !report.grid_matches() {
+            println!(
+                "grid mismatch: {} rows only in A, {} only in B",
+                report.only_in_a.len(),
+                report.only_in_b.len()
+            );
+        }
+    } else {
+        print!("{}", report.render(options.threshold_percent));
+    }
+    eprintln!(
+        "compared {} rows: {} metric deltas, {} beyond {}% threshold{}",
+        report.compared_rows,
+        report.deltas.len(),
+        breaches.len(),
+        options.threshold_percent,
+        if report.grid_matches() {
+            ""
+        } else {
+            " (GRID MISMATCH)"
+        },
+    );
+    Ok(report.grid_matches() && breaches.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Some(options)) => match run(&options) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(1),
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::from(2)
+            }
+        },
+        Ok(None) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

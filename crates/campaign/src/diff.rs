@@ -1,0 +1,378 @@
+//! Cross-campaign diffing of `summary.csv` files.
+//!
+//! Two campaigns over the **same grid** (same racks × workloads × scenarios
+//! × ablation knobs) but different code revisions should agree row for row;
+//! where they don't, the per-metric deltas are exactly the policy
+//! regressions CI wants to catch. [`diff_summary_csv`] matches rows by
+//! their identity columns and compares every numeric column;
+//! [`DiffReport::breaches`] applies a relative-change threshold so noisy
+//! metrics can be tolerated while real regressions still fail the build.
+//!
+//! The `campaign-diff` binary is a thin CLI over this module: exit 0 when
+//! the grids match and no delta breaches the threshold, exit 1 otherwise.
+
+use std::collections::BTreeMap;
+
+use crate::sink::split_csv_line;
+
+/// Columns that identify a summary row rather than measure it.
+const KEY_COLUMNS: [&str; 6] = [
+    "racks",
+    "workload",
+    "scenario",
+    "cap_percent",
+    "grouping",
+    "decision_rule",
+];
+
+/// One metric of one grid row whose value differs between the two files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Human-readable row identity, e.g. `racks=2 workload=24h scenario=60%/SHUT …`.
+    pub key: String,
+    /// Column name, e.g. `work_normalized_mean`.
+    pub metric: String,
+    /// Value in the first (baseline) file; `NaN` for an empty field.
+    pub a: f64,
+    /// Value in the second (candidate) file.
+    pub b: f64,
+}
+
+impl MetricDelta {
+    /// Absolute change `b - a` (`NaN` when either side is undefined).
+    pub fn delta(&self) -> f64 {
+        self.b - self.a
+    }
+
+    /// Relative change in percent, against the baseline value.
+    ///
+    /// Defined-vs-undefined (`NaN`) disagreements and changes away from an
+    /// exact zero baseline report `inf` — they breach every finite
+    /// threshold, which is the conservative reading of "the metric moved".
+    pub fn rel_percent(&self) -> f64 {
+        if self.a.is_nan() && self.b.is_nan() {
+            return 0.0;
+        }
+        if self.a.is_nan() || self.b.is_nan() {
+            return f64::INFINITY;
+        }
+        if self.a == 0.0 {
+            return if self.b == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        ((self.b - self.a) / self.a).abs() * 100.0
+    }
+}
+
+/// Everything [`diff_summary_csv`] found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Number of grid rows present in both files.
+    pub compared_rows: usize,
+    /// Metrics whose values differ (bit-compared after parsing; two `NaN`s
+    /// count as equal). Empty for identical campaigns.
+    pub deltas: Vec<MetricDelta>,
+    /// Row identities only the first file has.
+    pub only_in_a: Vec<String>,
+    /// Row identities only the second file has.
+    pub only_in_b: Vec<String>,
+}
+
+impl DiffReport {
+    /// Do the two files cover exactly the same grid rows?
+    pub fn grid_matches(&self) -> bool {
+        self.only_in_a.is_empty() && self.only_in_b.is_empty()
+    }
+
+    /// Deltas whose relative change exceeds `threshold_percent`.
+    pub fn breaches(&self, threshold_percent: f64) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.rel_percent() > threshold_percent)
+            .collect()
+    }
+
+    /// Render the report as human-readable text (one line per finding).
+    pub fn render(&self, threshold_percent: f64) -> String {
+        let mut out = String::new();
+        for key in &self.only_in_a {
+            out.push_str(&format!("only in A: {key}\n"));
+        }
+        for key in &self.only_in_b {
+            out.push_str(&format!("only in B: {key}\n"));
+        }
+        for d in &self.deltas {
+            let breach = if d.rel_percent() > threshold_percent {
+                "  ** breach"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "{} {}: {} -> {} (delta {:+.6}, {:.3}%){breach}\n",
+                d.key,
+                d.metric,
+                d.a,
+                d.b,
+                d.delta(),
+                d.rel_percent(),
+            ));
+        }
+        if out.is_empty() {
+            out.push_str(&format!(
+                "identical summaries: {} rows, no metric deltas\n",
+                self.compared_rows
+            ));
+        }
+        out
+    }
+}
+
+/// One parsed summary file: row identity → (metric name → value).
+type ParsedSummary = BTreeMap<String, BTreeMap<String, f64>>;
+
+/// Parse a rendered `summary.csv` (header + data lines).
+fn parse_summary_csv(which: &str, text: &str) -> Result<ParsedSummary, String> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| format!("{which} is empty — not a summary.csv"))?;
+    let columns: Vec<&str> = header.split(',').collect();
+    for key in KEY_COLUMNS {
+        if !columns.contains(&key) {
+            return Err(format!(
+                "{which} has no {key:?} column — not a summary.csv (header: {header})"
+            ));
+        }
+    }
+    let mut rows = ParsedSummary::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields =
+            split_csv_line(line).map_err(|e| format!("{which} line {}: {e}", lineno + 2))?;
+        if fields.len() != columns.len() {
+            return Err(format!(
+                "{which} line {}: {} fields but {} header columns",
+                lineno + 2,
+                fields.len(),
+                columns.len()
+            ));
+        }
+        let mut key_parts = Vec::with_capacity(KEY_COLUMNS.len());
+        let mut metrics = BTreeMap::new();
+        for (column, field) in columns.iter().zip(&fields) {
+            if KEY_COLUMNS.contains(column) {
+                key_parts.push(format!("{column}={field}"));
+            } else {
+                // An empty field is a rendered NaN (e.g. the mean wait of
+                // an interval that launched nothing).
+                let value = if field.is_empty() {
+                    f64::NAN
+                } else {
+                    field.parse().map_err(|_| {
+                        format!("{which} line {}: bad {column} value {field:?}", lineno + 2)
+                    })?
+                };
+                metrics.insert((*column).to_string(), value);
+            }
+        }
+        let key = key_parts.join(" ");
+        if rows.insert(key.clone(), metrics).is_some() {
+            return Err(format!("{which} repeats grid row {key}"));
+        }
+    }
+    Ok(rows)
+}
+
+/// Compare two rendered `summary.csv` texts from the same grid.
+///
+/// Errors on malformed input (not a summary.csv, torn lines, duplicate
+/// rows); grid mismatches and metric deltas are reported in the
+/// [`DiffReport`], not as errors.
+pub fn diff_summary_csv(a_text: &str, b_text: &str) -> Result<DiffReport, String> {
+    let a = parse_summary_csv("A", a_text)?;
+    let b = parse_summary_csv("B", b_text)?;
+    let mut report = DiffReport::default();
+    for (key, a_metrics) in &a {
+        let Some(b_metrics) = b.get(key) else {
+            report.only_in_a.push(key.clone());
+            continue;
+        };
+        report.compared_rows += 1;
+        // Walk the union of both rows' metric columns: a column missing on
+        // either side compares as NaN and therefore breaches, whether the
+        // schema shrank (A-only) or grew (B-only).
+        let metrics = a_metrics.keys().chain(
+            b_metrics
+                .keys()
+                .filter(|metric| !a_metrics.contains_key(*metric)),
+        );
+        for metric in metrics {
+            let va = a_metrics.get(metric).copied().unwrap_or(f64::NAN);
+            let vb = b_metrics.get(metric).copied().unwrap_or(f64::NAN);
+            let equal = (va.is_nan() && vb.is_nan()) || va == vb;
+            if !equal {
+                report.deltas.push(MetricDelta {
+                    key: key.clone(),
+                    metric: metric.clone(),
+                    a: va,
+                    b: vb,
+                });
+            }
+        }
+    }
+    for key in b.keys() {
+        if !a.contains_key(key) {
+            report.only_in_b.push(key.clone());
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{summarize, CellRow};
+    use crate::sink::render_summary_csv;
+
+    fn row(index: usize, scenario: &str, launched: usize, wait: f64) -> CellRow {
+        CellRow {
+            index,
+            racks: 1,
+            workload: "medianjob".into(),
+            seed: index as u64,
+            scenario: scenario.into(),
+            policy: "shut".into(),
+            cap_percent: 60.0,
+            grouping: "grouped".into(),
+            decision_rule: "paper-rho".into(),
+            launched_jobs: launched,
+            completed_jobs: launched,
+            killed_jobs: 0,
+            pending_jobs: 0,
+            work_core_seconds: 100.0,
+            energy_joules: 1.0,
+            energy_normalized: 0.5,
+            launched_jobs_normalized: 0.5,
+            work_normalized: 0.25,
+            mean_wait_seconds: wait,
+            peak_power_watts: 900.0,
+        }
+    }
+
+    fn csv(rows: &[CellRow]) -> String {
+        render_summary_csv(&summarize(rows))
+    }
+
+    #[test]
+    fn identical_summaries_have_no_deltas() {
+        let a = csv(&[row(0, "60%/SHUT", 10, 5.0), row(1, "40%/MIX", 8, 7.0)]);
+        let report = diff_summary_csv(&a, &a).unwrap();
+        assert!(report.grid_matches());
+        assert_eq!(report.compared_rows, 2);
+        assert!(report.deltas.is_empty());
+        assert!(report.breaches(0.0).is_empty());
+        assert!(report.render(0.0).contains("identical summaries"));
+    }
+
+    #[test]
+    fn regressions_are_reported_per_metric_and_thresholded() {
+        let a = csv(&[row(0, "60%/SHUT", 100, 5.0)]);
+        let b = csv(&[row(0, "60%/SHUT", 98, 5.0)]); // 2 % fewer launches
+        let report = diff_summary_csv(&a, &b).unwrap();
+        assert!(report.grid_matches());
+        assert!(!report.deltas.is_empty());
+        let launched: Vec<&MetricDelta> = report
+            .deltas
+            .iter()
+            .filter(|d| d.metric.starts_with("launched_jobs"))
+            .collect();
+        assert!(!launched.is_empty());
+        assert!((launched[0].rel_percent() - 2.0).abs() < 1e-9);
+        // A 5 % tolerance swallows it; a 1 % tolerance flags it.
+        assert!(report.breaches(5.0).is_empty());
+        assert!(!report.breaches(1.0).is_empty());
+        assert!(report.render(1.0).contains("** breach"));
+    }
+
+    #[test]
+    fn grid_mismatches_are_not_silently_compared() {
+        let a = csv(&[row(0, "60%/SHUT", 10, 5.0), row(1, "40%/MIX", 8, 7.0)]);
+        let b = csv(&[row(0, "60%/SHUT", 10, 5.0), row(1, "80%/DVFS", 8, 7.0)]);
+        let report = diff_summary_csv(&a, &b).unwrap();
+        assert!(!report.grid_matches());
+        assert_eq!(report.compared_rows, 1);
+        assert_eq!(report.only_in_a.len(), 1);
+        assert_eq!(report.only_in_b.len(), 1);
+        assert!(report.only_in_a[0].contains("40%/MIX"));
+        let rendered = report.render(0.0);
+        assert!(rendered.contains("only in A"));
+        assert!(rendered.contains("only in B"));
+    }
+
+    #[test]
+    fn nan_fields_compare_as_equal_but_mismatches_breach() {
+        let a = csv(&[row(0, "60%/SHUT", 0, f64::NAN)]);
+        let report = diff_summary_csv(&a, &a).unwrap();
+        assert!(report.deltas.is_empty(), "NaN == NaN for diffing purposes");
+        let b = csv(&[row(0, "60%/SHUT", 0, 9.0)]);
+        let report = diff_summary_csv(&a, &b).unwrap();
+        let wait: Vec<&MetricDelta> = report
+            .deltas
+            .iter()
+            .filter(|d| d.metric.starts_with("mean_wait"))
+            .collect();
+        assert!(!wait.is_empty());
+        assert_eq!(wait[0].rel_percent(), f64::INFINITY);
+        assert!(
+            !report.breaches(1e12).is_empty(),
+            "NaN mismatch always breaches"
+        );
+    }
+
+    #[test]
+    fn schema_drift_in_either_direction_breaches() {
+        let a = csv(&[row(0, "60%/SHUT", 10, 5.0)]);
+        // Append an extra metric column to one side only.
+        let grow = |text: &str, value: &str| -> String {
+            let mut lines = text.lines();
+            let header = lines.next().unwrap();
+            let row = lines.next().unwrap();
+            format!("{header},new_metric_mean\n{row},{value}\n")
+        };
+        let b = grow(&a, "1.5");
+        // B grew a column: every row breaches regardless of threshold.
+        let report = diff_summary_csv(&a, &b).unwrap();
+        assert!(report.deltas.iter().any(|d| d.metric == "new_metric_mean"));
+        assert!(!report.breaches(1e12).is_empty());
+        // And symmetrically when A has the extra column.
+        let report = diff_summary_csv(&b, &a).unwrap();
+        assert!(report.deltas.iter().any(|d| d.metric == "new_metric_mean"));
+        assert!(!report.breaches(1e12).is_empty());
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_panic() {
+        assert!(diff_summary_csv("", "").is_err());
+        assert!(diff_summary_csv("index,foo\n1,2\n", "index,foo\n1,2\n").is_err());
+        let good = csv(&[row(0, "60%/SHUT", 10, 5.0)]);
+        let torn = good.lines().next().unwrap().to_string() + "\n1,medianjob\n";
+        assert!(diff_summary_csv(&good, &torn).is_err());
+        // Duplicate grid rows are ambiguous — refuse.
+        let dup = good.clone() + good.lines().nth(1).unwrap() + "\n";
+        assert!(diff_summary_csv(&good, &dup).is_err());
+    }
+
+    #[test]
+    fn zero_baseline_changes_report_infinite_relative_delta() {
+        let d = MetricDelta {
+            key: "k".into(),
+            metric: "m".into(),
+            a: 0.0,
+            b: 0.5,
+        };
+        assert_eq!(d.rel_percent(), f64::INFINITY);
+        let same = MetricDelta { b: 0.0, ..d };
+        assert_eq!(same.rel_percent(), 0.0);
+    }
+}

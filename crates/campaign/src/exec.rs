@@ -1,21 +1,32 @@
-//! The deterministic sharded campaign executor.
+//! The deterministic work-stealing campaign executor.
 //!
-//! Cells are partitioned across `N` `std::thread` workers by **stable cell
-//! index** (worker `w` owns cells `w, w + N, w + 2N, …`). Each worker builds
-//! the cell's platform, fetches the workload from the shared
-//! [`TraceCache`] (each distinct `(platform, interval, seed)` trace is
-//! generated once per campaign, not once per cell), replays the scenario
-//! with the ordinary [`ReplayHarness`], reduces the outcome to a
-//! [`CellRow`] and streams the row back over a channel.
+//! Cells are seeded round-robin by **stable cell index** into one deque per
+//! worker (worker `w` starts with cells `w, w + N, w + 2N, …`). Each worker
+//! pulls from the *front* of its own deque; when that runs dry it steals
+//! from the *back* of a victim's deque instead of idling — so one 24 h
+//! straggler cell no longer pins every other worker to an empty shard, the
+//! failure mode of the old static-sharding executor (still available as
+//! [`ExecStrategy::StaticShard`] for comparison benchmarks).
+//!
+//! For every pulled cell the worker builds (or **reuses**, when the cell
+//! shares the previous cell's platform scale and workload) a
+//! [`ReplayHarness`], fetches the trace from the shared [`TraceCache`],
+//! replays the scenario, reduces the outcome to a [`CellRow`] and streams
+//! the row to the coordinator, which hands it to the caller's sink — the
+//! in-memory collector for [`CampaignRunner::run`], or an incremental
+//! [`ResultStore`] append for [`CampaignRunner::run_with_store`].
 //!
 //! Determinism contract: each cell's replay depends only on its own
 //! `(platform, trace, scenario)` triple — workers share nothing mutable but
 //! the trace cache, whose values are pure functions of their keys. Rows are
 //! re-ordered by cell index before aggregation, so the campaign output is
-//! **byte-identical for any thread count** (asserted by
-//! `tests/campaign_determinism.rs`).
+//! **byte-identical for any thread count and either strategy** (asserted by
+//! `tests/campaign_determinism.rs`), even though which worker runs which
+//! cell is scheduling-dependent under stealing.
 
+use std::collections::VecDeque;
 use std::sync::mpsc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use apc_replay::ReplayHarness;
@@ -24,18 +35,56 @@ use apc_workload::{CurieTraceGenerator, TraceCache};
 
 use crate::agg::{summarize, CellRow, SummaryRow};
 use crate::spec::{CampaignCell, CampaignSpec, CellWorkload, TraceSource};
+use crate::store::ResultStore;
+
+/// How cells are distributed across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// Per-worker deques with steal-on-empty: an idle worker takes cells
+    /// from the back of a busy worker's deque. The default.
+    #[default]
+    WorkStealing,
+    /// The PR-2 static partition (worker `w` owns cells `w, w + N, …`,
+    /// nothing moves): kept for benchmarks and as a scheduling baseline.
+    StaticShard,
+}
+
+/// Per-worker execution counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Worker id in `0..threads`.
+    pub worker: usize,
+    /// Cells this worker completed.
+    pub completed: usize,
+    /// Of those, cells stolen from another worker's deque.
+    pub stolen: usize,
+}
 
 /// Run-wide counters reported next to the results.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RunStats {
-    /// Number of cells executed.
+    /// Number of cells executed by this run.
     pub cells: usize,
+    /// Cells skipped because a resumed [`ResultStore`] already recorded
+    /// them (always 0 for a fresh run).
+    pub skipped: usize,
     /// Worker threads actually used.
     pub threads: usize,
     /// Trace-cache lookups served without regeneration.
     pub trace_cache_hits: usize,
     /// Distinct traces generated.
     pub trace_cache_misses: usize,
+    /// Per-worker completion/steal counters, indexed by worker id. (Which
+    /// worker ran which cell is scheduling-dependent; only the results are
+    /// deterministic.)
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl RunStats {
+    /// Total cells that moved between workers via stealing.
+    pub fn total_steals(&self) -> usize {
+        self.per_worker.iter().map(|w| w.stolen).sum()
+    }
 }
 
 /// Everything a finished campaign produced.
@@ -57,6 +106,7 @@ pub struct CampaignRunner {
     spec: CampaignSpec,
     source: TraceSource,
     threads: usize,
+    strategy: ExecStrategy,
 }
 
 impl CampaignRunner {
@@ -66,6 +116,7 @@ impl CampaignRunner {
             spec,
             source: TraceSource::Synthetic,
             threads: 1,
+            strategy: ExecStrategy::default(),
         }
     }
 
@@ -82,14 +133,32 @@ impl CampaignRunner {
         self
     }
 
+    /// Choose the scheduling strategy (builder style).
+    pub fn with_strategy(mut self, strategy: ExecStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// The spec being run.
     pub fn spec(&self) -> &CampaignSpec {
         &self.spec
     }
 
+    /// The scheduling strategy in effect.
+    pub fn strategy(&self) -> ExecStrategy {
+        self.strategy
+    }
+
     /// The expanded cell grid this runner would execute.
-    pub fn cells(&self) -> Vec<CampaignCell> {
+    pub fn cells(&self) -> Result<Vec<CampaignCell>, String> {
         self.spec.expand(&self.source)
+    }
+
+    /// The stable fingerprint identifying this campaign (spec + workload
+    /// source) — what a [`ResultStore`] manifest records and resume
+    /// validates.
+    pub fn fingerprint(&self) -> u64 {
+        self.spec.fingerprint(&self.source)
     }
 
     /// The thread count after resolving 0 ⇒ available parallelism.
@@ -104,65 +173,228 @@ impl CampaignRunner {
     /// The worker count [`run`](Self::run) will actually use: the resolved
     /// thread count clamped to the number of cells.
     pub fn effective_threads(&self) -> usize {
-        self.clamped_threads(self.cells().len())
+        let cell_count = self.cells().map_or(1, |c| c.len());
+        self.clamped_threads(cell_count)
     }
 
     fn clamped_threads(&self, cell_count: usize) -> usize {
         self.resolved_threads().clamp(1, cell_count.max(1))
     }
 
-    /// Execute every cell and aggregate the results.
+    /// Execute every cell in memory and aggregate the results.
     ///
     /// Fails fast (before spawning anything) if the spec does not validate.
     pub fn run(&self) -> Result<CampaignOutcome, String> {
         self.spec.validate()?;
-        let cells = self.cells();
-        let threads = self.clamped_threads(cells.len());
-        let cache = TraceCache::new();
+        let cells = self.cells()?;
+        let pending: Vec<usize> = (0..cells.len()).collect();
         let started = Instant::now();
-
         let mut rows: Vec<CellRow> = Vec::with_capacity(cells.len());
-        let (tx, rx) = mpsc::channel::<CellRow>();
-        std::thread::scope(|scope| {
-            for worker in 0..threads {
-                let tx = tx.clone();
-                let cells = &cells;
-                let cache = &cache;
-                let spec = &self.spec;
-                let source = &self.source;
-                scope.spawn(move || {
-                    for cell in cells.iter().skip(worker).step_by(threads) {
-                        let row = run_cell(spec, source, cache, cell);
-                        // The receiver only disappears if the parent
-                        // panicked; nothing useful to do with the row then.
-                        let _ = tx.send(row);
-                    }
-                });
-            }
-            drop(tx);
-            // Stream rows in as workers produce them (only flat rows are
-            // ever buffered — never whole replay outcomes).
-            for row in rx {
-                rows.push(row);
-            }
-        });
+        let inner = self.execute(&cells, &pending, |row| {
+            rows.push(row);
+            Ok(())
+        })?;
         let wall = started.elapsed();
-
         rows.sort_by_key(|r| r.index);
         let summaries = summarize(&rows);
         Ok(CampaignOutcome {
             stats: RunStats {
                 cells: rows.len(),
-                threads,
-                trace_cache_hits: cache.hits(),
-                trace_cache_misses: cache.misses(),
+                skipped: 0,
+                threads: inner.threads,
+                trace_cache_hits: inner.hits,
+                trace_cache_misses: inner.misses,
+                per_worker: inner.per_worker,
             },
             rows,
             summaries,
             wall,
         })
     }
+
+    /// Execute the campaign against an on-disk [`ResultStore`], appending
+    /// each cell's row as it completes and **skipping cells the store
+    /// already records** — pointing this at a store that crashed mid-run
+    /// resumes it, and the final output is byte-identical to an
+    /// uninterrupted run (asserted by `tests/campaign_resume.rs`).
+    ///
+    /// The store must belong to this campaign: its manifest fingerprint is
+    /// checked against [`fingerprint`](Self::fingerprint) before anything
+    /// runs.
+    pub fn run_with_store(&self, store: &mut ResultStore) -> Result<CampaignOutcome, String> {
+        self.spec.validate()?;
+        let cells = self.cells()?;
+        store.validate_spec(self.fingerprint(), cells.len())?;
+        let skipped = store.completed_count();
+        let pending: Vec<usize> = (0..cells.len()).filter(|i| !store.contains(*i)).collect();
+        let executed = pending.len();
+        let started = Instant::now();
+        let inner = self.execute(&cells, &pending, |row| {
+            store
+                .append(&row)
+                .map_err(|e| format!("cannot append cell {} to result store: {e}", row.index))
+        })?;
+        let wall = started.elapsed();
+        // Rows come back out of the store — including the skipped ones from
+        // the previous run — so every render frontend downstream reads one
+        // consistent, index-sorted view.
+        let rows = store.rows();
+        debug_assert_eq!(rows.len(), cells.len());
+        let summaries = summarize(&rows);
+        Ok(CampaignOutcome {
+            stats: RunStats {
+                cells: executed,
+                skipped,
+                threads: inner.threads,
+                trace_cache_hits: inner.hits,
+                trace_cache_misses: inner.misses,
+                per_worker: inner.per_worker,
+            },
+            rows,
+            summaries,
+            wall,
+        })
+    }
+
+    /// Run the `pending` cell indices through the worker pool, handing each
+    /// finished row to `on_row` on the coordinator thread (in completion
+    /// order, *not* index order). An `on_row` error stops the run early.
+    fn execute(
+        &self,
+        cells: &[CampaignCell],
+        pending: &[usize],
+        mut on_row: impl FnMut(CellRow) -> Result<(), String>,
+    ) -> Result<ExecInner, String> {
+        let threads = self.clamped_threads(pending.len());
+        let cache = TraceCache::new();
+        if pending.is_empty() {
+            return Ok(ExecInner {
+                threads,
+                per_worker: Vec::new(),
+                hits: 0,
+                misses: 0,
+            });
+        }
+        let queues = WorkQueues::seed(pending, threads);
+        let steal = self.strategy == ExecStrategy::WorkStealing;
+        let (tx, rx) = mpsc::channel::<CellRow>();
+        let mut sink_err: Option<String> = None;
+        let mut per_worker: Vec<WorkerStats> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for worker in 0..threads {
+                let tx = tx.clone();
+                let queues = &queues;
+                let cache = &cache;
+                let spec = &self.spec;
+                let source = &self.source;
+                handles.push(scope.spawn(move || {
+                    let mut stats = WorkerStats {
+                        worker,
+                        ..WorkerStats::default()
+                    };
+                    // Worker-local harness slot: consecutive pulled cells of
+                    // the same (racks, workload) reuse one ReplayHarness
+                    // instead of rebuilding the platform and re-fetching the
+                    // trace per cell.
+                    let mut harness: Option<HarnessSlot> = None;
+                    while let Some((idx, was_stolen)) = queues.next(worker, steal) {
+                        let row = run_cell(spec, source, cache, &cells[idx], &mut harness);
+                        stats.completed += 1;
+                        if was_stolen {
+                            stats.stolen += 1;
+                        }
+                        // The receiver only disappears if the coordinator's
+                        // sink failed; stop producing rows then.
+                        if tx.send(row).is_err() {
+                            break;
+                        }
+                    }
+                    stats
+                }));
+            }
+            drop(tx);
+            // Stream rows in as workers produce them (only flat rows are
+            // ever buffered — never whole replay outcomes).
+            for row in rx {
+                if let Err(e) = on_row(row) {
+                    sink_err = Some(e);
+                    break;
+                }
+            }
+            for handle in handles {
+                per_worker.push(handle.join().expect("campaign worker panicked"));
+            }
+        });
+        if let Some(e) = sink_err {
+            return Err(e);
+        }
+        Ok(ExecInner {
+            threads,
+            per_worker,
+            hits: cache.hits(),
+            misses: cache.misses(),
+        })
+    }
 }
+
+/// What [`CampaignRunner::execute`] hands back to the run wrappers.
+struct ExecInner {
+    threads: usize,
+    per_worker: Vec<WorkerStats>,
+    hits: usize,
+    misses: usize,
+}
+
+/// One deque of pending cell indices per worker, stealable from the back.
+struct WorkQueues {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl WorkQueues {
+    /// Deal `pending` round-robin so worker `w` starts with the same shard
+    /// the static executor would give it.
+    fn seed(pending: &[usize], workers: usize) -> Self {
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, &cell) in pending.iter().enumerate() {
+            deques[i % workers].push_back(cell);
+        }
+        WorkQueues {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Pull the next cell for `worker`: own deque front first, then (when
+    /// stealing is on) the back of the nearest non-empty victim. Returns
+    /// `(cell index, was_stolen)`, or `None` when every deque is drained —
+    /// cells never re-enter a deque, so drained means done.
+    fn next(&self, worker: usize, steal: bool) -> Option<(usize, bool)> {
+        if let Some(idx) = self.deques[worker]
+            .lock()
+            .expect("work deque poisoned")
+            .pop_front()
+        {
+            return Some((idx, false));
+        }
+        if steal {
+            let n = self.deques.len();
+            for offset in 1..n {
+                let victim = (worker + offset) % n;
+                if let Some(idx) = self.deques[victim]
+                    .lock()
+                    .expect("work deque poisoned")
+                    .pop_back()
+                {
+                    return Some((idx, true));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A worker's cached harness and the coordinates it was built for.
+type HarnessSlot = (usize, CellWorkload, ReplayHarness);
 
 /// The platform for a cell's rack scale (>= 56 racks ⇒ the full Curie).
 pub fn platform_for(racks: usize) -> Platform {
@@ -174,28 +406,39 @@ pub fn platform_for(racks: usize) -> Platform {
 }
 
 /// Replay one cell and reduce it to its row (runs on a worker thread).
+/// `slot` carries the worker's previous harness for reuse when the cell
+/// shares its (racks, workload) coordinates.
 fn run_cell(
     spec: &CampaignSpec,
     source: &TraceSource,
     cache: &TraceCache,
     cell: &CampaignCell,
+    slot: &mut Option<HarnessSlot>,
 ) -> CellRow {
-    let platform = platform_for(cell.racks);
-    let trace = match (&cell.workload, source) {
-        (CellWorkload::Fixed, TraceSource::Fixed(trace)) => std::sync::Arc::clone(trace),
-        (CellWorkload::Synthetic { interval, seed }, _) => {
-            let generator = CurieTraceGenerator::new(*seed)
-                .interval(*interval)
-                .load_factor(spec.load_factor)
-                .backlog_factor(spec.backlog_factor);
-            cache.get_or_generate(&generator, &platform)
-        }
-        (CellWorkload::Fixed, TraceSource::Synthetic) => {
-            unreachable!("fixed cells only come from fixed-source expansions")
-        }
-    };
-    let harness = ReplayHarness::from_shared(platform, trace)
-        .with_initial_fairshare(spec.initial_fairshare_core_hours);
+    let reusable = matches!(
+        slot,
+        Some((racks, workload, _)) if *racks == cell.racks && *workload == cell.workload
+    );
+    if !reusable {
+        let platform = platform_for(cell.racks);
+        let trace = match (&cell.workload, source) {
+            (CellWorkload::Fixed, TraceSource::Fixed(trace)) => std::sync::Arc::clone(trace),
+            (CellWorkload::Synthetic { interval, seed }, _) => {
+                let generator = CurieTraceGenerator::new(*seed)
+                    .interval(*interval)
+                    .load_factor(spec.load_factor)
+                    .backlog_factor(spec.backlog_factor);
+                cache.get_or_generate(&generator, &platform)
+            }
+            (CellWorkload::Fixed, TraceSource::Synthetic) => {
+                unreachable!("fixed cells only come from fixed-source expansions")
+            }
+        };
+        let harness = ReplayHarness::from_shared(platform, trace)
+            .with_initial_fairshare(spec.initial_fairshare_core_hours);
+        *slot = Some((cell.racks, cell.workload, harness));
+    }
+    let (_, _, harness) = slot.as_ref().expect("harness slot just filled");
     let outcome = harness.run(&cell.scenario);
     CellRow::from_outcome(cell, &outcome)
 }
@@ -223,21 +466,69 @@ mod tests {
     fn run_produces_one_row_per_cell_in_index_order() {
         let runner = CampaignRunner::new(small_spec()).with_threads(2);
         let outcome = runner.run().unwrap();
-        assert_eq!(outcome.rows.len(), runner.cells().len());
+        assert_eq!(outcome.rows.len(), runner.cells().unwrap().len());
         for (i, row) in outcome.rows.iter().enumerate() {
             assert_eq!(row.index, i);
         }
         assert_eq!(outcome.stats.cells, outcome.rows.len());
+        assert_eq!(outcome.stats.skipped, 0);
         assert_eq!(outcome.stats.threads, 2);
-        // 2 seeds × 1 interval × 1 platform ⇒ 2 distinct traces over 4
-        // lookups. Concurrent first lookups of the same key may both count
-        // as misses (the duplicate generation is discarded), so only the
-        // totals are exact.
-        assert_eq!(
-            outcome.stats.trace_cache_hits + outcome.stats.trace_cache_misses,
-            4
-        );
-        assert!(outcome.stats.trace_cache_misses >= 2);
+        // 2 seeds × 1 interval × 1 platform ⇒ 2 distinct traces over at
+        // most 4 lookups: each distinct trace is generated at least once
+        // (a miss), while harness reuse can skip lookups entirely and
+        // concurrent first lookups of the same key may both count as
+        // misses, so only these bounds are exact.
+        assert!(outcome.stats.trace_cache_hits + outcome.stats.trace_cache_misses <= 4);
+        assert!((2..=4).contains(&outcome.stats.trace_cache_misses));
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_cell() {
+        let runner = CampaignRunner::new(small_spec()).with_threads(3);
+        let outcome = runner.run().unwrap();
+        assert_eq!(outcome.stats.per_worker.len(), 3);
+        let completed: usize = outcome.stats.per_worker.iter().map(|w| w.completed).sum();
+        assert_eq!(completed, outcome.rows.len());
+        assert!(outcome.stats.total_steals() <= completed);
+        for (i, w) in outcome.stats.per_worker.iter().enumerate() {
+            assert_eq!(w.worker, i);
+            assert!(w.stolen <= w.completed);
+        }
+    }
+
+    #[test]
+    fn static_sharding_matches_work_stealing_results() {
+        let spec = small_spec();
+        let stealing = CampaignRunner::new(spec.clone())
+            .with_threads(2)
+            .run()
+            .unwrap();
+        let static_shard = CampaignRunner::new(spec)
+            .with_threads(2)
+            .with_strategy(ExecStrategy::StaticShard)
+            .run()
+            .unwrap();
+        assert_eq!(stealing.rows, static_shard.rows);
+        assert_eq!(stealing.summaries, static_shard.summaries);
+        // The static shard never steals, by construction.
+        assert_eq!(static_shard.stats.total_steals(), 0);
+    }
+
+    #[test]
+    fn oversubscribed_workers_drain_the_queue_by_stealing() {
+        // 8 workers over 4 cells: most workers own an empty or one-cell
+        // deque and must steal or exit cleanly — the run still completes
+        // with every cell executed exactly once.
+        let outcome = CampaignRunner::new(small_spec())
+            .with_threads(8)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.rows.len(), 4);
+        let mut indices: Vec<usize> = outcome.rows.iter().map(|r| r.index).collect();
+        indices.dedup();
+        assert_eq!(indices, [0, 1, 2, 3]);
+        // Thread count clamps to the cell count.
+        assert_eq!(outcome.stats.threads, 4);
     }
 
     #[test]
@@ -318,5 +609,32 @@ mod tests {
     fn zero_threads_resolves_to_available_parallelism() {
         let runner = CampaignRunner::new(small_spec()).with_threads(0);
         assert!(runner.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn work_queues_hand_out_every_cell_exactly_once() {
+        let pending = [3usize, 5, 8, 13, 21, 34];
+        let queues = WorkQueues::seed(&pending, 3);
+        // Worker 2 drains everything alone: 2 cells of its own, 4 stolen.
+        let mut own = 0;
+        let mut stolen = 0;
+        let mut seen = Vec::new();
+        while let Some((idx, was_stolen)) = queues.next(2, true) {
+            seen.push(idx);
+            if was_stolen {
+                stolen += 1;
+            } else {
+                own += 1;
+            }
+        }
+        assert_eq!(own, 2);
+        assert_eq!(stolen, 4);
+        seen.sort_unstable();
+        assert_eq!(seen, pending);
+        // And without stealing, an empty own deque ends the worker.
+        let queues = WorkQueues::seed(&pending, 3);
+        assert!(queues.next(0, false).is_some());
+        assert!(queues.next(0, false).is_some());
+        assert!(queues.next(0, false).is_none());
     }
 }

@@ -8,25 +8,40 @@
 //! * [`spec`] — a declarative [`CampaignSpec`](spec::CampaignSpec) expanding
 //!   policies × caps × ablation knobs × intervals × seeds × rack scales into
 //!   densely-indexed [`CampaignCell`](spec::CampaignCell)s;
-//! * [`exec`] — a sharded [`CampaignRunner`](exec::CampaignRunner) on
-//!   `std::thread` that partitions cells across workers by stable index and
-//!   shares generated traces through the
-//!   [`TraceCache`](apc_workload::TraceCache), producing **byte-identical
-//!   results for any thread count**;
+//! * [`exec`] — a **work-stealing** [`CampaignRunner`](exec::CampaignRunner)
+//!   on `std::thread`: per-worker deques seeded by stable cell index with
+//!   steal-on-empty (so a straggler cell no longer idles the other
+//!   workers), shared generated traces through the
+//!   [`TraceCache`](apc_workload::TraceCache), worker-local harness reuse,
+//!   and **byte-identical results for any thread count**;
+//! * [`store`] — the append-only partitioned
+//!   [`ResultStore`](store::ResultStore) (`cells/part-NNNN.csv` plus a
+//!   manifest recording the spec fingerprint and completed cell indices)
+//!   that rows stream into as they finish, giving crash-safe campaigns
+//!   and `--resume`;
 //! * [`agg`] — streaming reduction of each replay outcome to a flat
 //!   [`CellRow`](agg::CellRow) plus across-seed mean/min/max/stddev
 //!   [`SummaryRow`](agg::SummaryRow)s, without ever buffering whole
 //!   [`ReplayOutcome`](apc_replay::ReplayOutcome)s;
-//! * [`sink`] — pluggable CSV and JSON sinks writing `cells.*` and
-//!   `summary.*` into a results directory;
+//! * [`sink`] — CSV and JSON render frontends over the store (or an
+//!   in-memory outcome) writing `cells.*` and `summary.*`;
+//! * [`diff`] — cross-campaign comparison of two `summary.csv` files with
+//!   a regression threshold, exposed as the `campaign-diff` binary;
 //! * the `campaign` binary (`cargo run --release -p apc-campaign --bin
-//!   campaign -- --threads N --seeds K …`) exposing all of the above.
+//!   campaign -- --threads N --seeds K [--resume DIR] …`) exposing all of
+//!   the above.
 //!
 //! ```no_run
 //! use apc_campaign::prelude::*;
 //!
 //! let spec = CampaignSpec::paper(2012, 3); // the paper grid, 3 seeds
-//! let outcome = CampaignRunner::new(spec).with_threads(4).run().unwrap();
+//! let runner = CampaignRunner::new(spec).with_threads(4);
+//! // Stream rows into a crash-resumable on-disk store as cells finish…
+//! let mut store =
+//!     ResultStore::create("results", runner.fingerprint(), runner.cells().unwrap().len())
+//!         .unwrap();
+//! let outcome = runner.run_with_store(&mut store).unwrap();
+//! // …or run purely in memory.
 //! println!("{}", render_summary_csv(&outcome.summaries));
 //! ```
 
@@ -34,19 +49,25 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod diff;
 pub mod exec;
 pub mod sink;
 pub mod spec;
+pub mod store;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::agg::{summarize, CellRow, MetricSummary, SummaryRow};
-    pub use crate::exec::{platform_for, CampaignOutcome, CampaignRunner, RunStats};
+    pub use crate::diff::{diff_summary_csv, DiffReport, MetricDelta};
+    pub use crate::exec::{
+        platform_for, CampaignOutcome, CampaignRunner, ExecStrategy, RunStats, WorkerStats,
+    };
     pub use crate::sink::{
         render_cells_csv, render_cells_json, render_summary_csv, render_summary_json, CampaignSink,
         CsvSink, JsonSink,
     };
     pub use crate::spec::{CampaignCell, CampaignSpec, CellWorkload, TraceSource};
+    pub use crate::store::ResultStore;
 }
 
 pub use prelude::*;
@@ -72,4 +93,8 @@ fn thread_safety_audit() {
     send::<apc_replay::ReplayOutcome>();
     send::<apc_rjms::controller::SimulationReport>();
     send::<agg::CellRow>();
+    // Worker-local state and per-worker results under the stealing executor.
+    send::<apc_replay::ReplayHarness>();
+    send::<exec::WorkerStats>();
+    send_sync::<exec::ExecStrategy>();
 }

@@ -28,11 +28,56 @@ fn float_field(v: f64, json: bool) -> String {
 }
 
 /// Quote a CSV field if it contains a separator, quote or newline.
-fn csv_field(raw: &str) -> String {
+pub(crate) fn csv_field(raw: &str) -> String {
     if raw.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", raw.replace('"', "\"\""))
     } else {
         raw.to_string()
+    }
+}
+
+/// Split one CSV line into fields, undoing [`csv_field`] quoting.
+///
+/// Rejects malformed quoting (an unterminated quoted field or a stray quote
+/// mid-field) — the store loader uses that to detect rows torn by a crash.
+pub(crate) fn split_csv_line(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.peek() {
+            Some('"') => {
+                chars.next();
+                loop {
+                    match chars.next() {
+                        Some('"') if chars.peek() == Some(&'"') => {
+                            chars.next();
+                            field.push('"');
+                        }
+                        Some('"') => break,
+                        Some(c) => field.push(c),
+                        None => return Err("unterminated quoted CSV field".into()),
+                    }
+                }
+                match chars.next() {
+                    None => {
+                        fields.push(std::mem::take(&mut field));
+                        return Ok(fields);
+                    }
+                    Some(',') => fields.push(std::mem::take(&mut field)),
+                    Some(c) => return Err(format!("unexpected '{c}' after closing quote")),
+                }
+            }
+            _ => match chars.next() {
+                None => {
+                    fields.push(field);
+                    return Ok(fields);
+                }
+                Some(',') => fields.push(std::mem::take(&mut field)),
+                Some('"') => return Err("stray quote inside unquoted CSV field".into()),
+                Some(c) => field.push(c),
+            },
+        }
     }
 }
 
@@ -252,9 +297,26 @@ pub fn render_summary_json(summaries: &[SummaryRow]) -> String {
 }
 
 /// A pluggable results sink.
+///
+/// Since the executor streams every row into the partitioned
+/// [`ResultStore`](crate::store::ResultStore), the sinks here are **render
+/// frontends over the store**: [`write_store`](CampaignSink::write_store)
+/// pulls the index-sorted rows back out, folds the summaries and renders
+/// `cells.*`/`summary.*` exactly as the pre-store whole-file sinks did —
+/// the output bytes are unchanged.
 pub trait CampaignSink {
     /// Persist the rows and summaries; returns the paths written.
     fn write(&mut self, rows: &[CellRow], summaries: &[SummaryRow]) -> io::Result<Vec<PathBuf>>;
+
+    /// Render everything a result store records (rows sorted by cell
+    /// index, summaries re-folded from them) — byte-identical to a
+    /// [`write`](CampaignSink::write) of the same campaign's in-memory
+    /// outcome.
+    fn write_store(&mut self, store: &crate::store::ResultStore) -> io::Result<Vec<PathBuf>> {
+        let rows = store.rows();
+        let summaries = crate::agg::summarize(&rows);
+        self.write(&rows, &summaries)
+    }
 }
 
 fn write_into(dir: &Path, name: &str, content: &str) -> io::Result<PathBuf> {
@@ -355,6 +417,50 @@ mod tests {
         assert_eq!(csv_field("plain"), "plain");
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_split_undoes_csv_field_quoting() {
+        for raw in ["plain", "a,b", "say \"hi\"", "", "trail,", "\"x\",y\nz"] {
+            let line = format!("{},{},end", csv_field(raw), csv_field(raw));
+            let fields = split_csv_line(&line).unwrap();
+            assert_eq!(fields, [raw, raw, "end"], "round-trip of {raw:?}");
+        }
+        assert_eq!(split_csv_line("a,,c").unwrap(), ["a", "", "c"]);
+        assert_eq!(split_csv_line("").unwrap(), [""]);
+        assert!(split_csv_line("\"unterminated").is_err());
+        assert!(split_csv_line("\"x\"tail,y").is_err());
+        assert!(split_csv_line("mid\"quote").is_err());
+    }
+
+    #[test]
+    fn write_store_renders_the_same_bytes_as_write() {
+        let dir = std::env::temp_dir().join(format!(
+            "apc-campaign-sink-store-test-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let rows = rows();
+        let summaries = crate::agg::summarize(&rows);
+        let mut store =
+            crate::store::ResultStore::create(dir.join("store"), 7, rows.len()).unwrap();
+        for row in &rows {
+            store.append(row).unwrap();
+        }
+        let direct_dir = dir.join("direct");
+        let fronted_dir = dir.join("fronted");
+        CsvSink::new(&direct_dir).write(&rows, &summaries).unwrap();
+        JsonSink::new(&direct_dir).write(&rows, &summaries).unwrap();
+        CsvSink::new(&fronted_dir).write_store(&store).unwrap();
+        JsonSink::new(&fronted_dir).write_store(&store).unwrap();
+        for name in ["cells.csv", "summary.csv", "cells.json", "summary.json"] {
+            assert_eq!(
+                fs::read(direct_dir.join(name)).unwrap(),
+                fs::read(fronted_dir.join(name)).unwrap(),
+                "{name} differs between direct render and store frontend"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

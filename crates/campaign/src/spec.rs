@@ -124,6 +124,23 @@ impl Default for CampaignSpec {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold bytes into a running FNV-1a hash.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// `a * b`, or a clear complaint naming the axes that overflowed.
+fn checked_mul(a: usize, b: usize, what: &str) -> Result<usize, String> {
+    a.checked_mul(b)
+        .ok_or_else(|| format!("campaign grid overflows usize while multiplying {what}"))
+}
+
 impl CampaignSpec {
     /// The paper grid with `replications` consecutive seeds starting at
     /// `base_seed`.
@@ -132,6 +149,73 @@ impl CampaignSpec {
             seeds: (0..replications as u64).map(|i| base_seed + i).collect(),
             ..CampaignSpec::default()
         }
+    }
+
+    /// A stable 64-bit fingerprint of the spec plus its workload source.
+    ///
+    /// Two `(spec, source)` pairs produce the same fingerprint exactly when
+    /// they expand to the same cell grid and replay the same workloads — the
+    /// resume machinery compares it against the hash recorded in a result
+    /// store's manifest before skipping any cell. Floats are hashed by bit
+    /// pattern, fixed traces by folding every job field, so the fingerprint
+    /// is independent of process, platform and run.
+    pub fn fingerprint(&self, source: &TraceSource) -> u64 {
+        let mut h = FNV_OFFSET;
+        let mut put = |label: &str, value: &str| {
+            fnv1a(&mut h, label.as_bytes());
+            fnv1a(&mut h, b"=");
+            fnv1a(&mut h, value.as_bytes());
+            fnv1a(&mut h, b";");
+        };
+        for &r in &self.racks {
+            put("rack", &r.to_string());
+        }
+        for &i in &self.intervals {
+            put("interval", i.name());
+        }
+        for &s in &self.seeds {
+            put("seed", &s.to_string());
+        }
+        for &p in &self.policies {
+            put("policy", p.name());
+        }
+        for &f in &self.cap_fractions {
+            put("cap", &format!("{:016x}", f.to_bits()));
+        }
+        put("baseline", if self.include_baseline { "1" } else { "0" });
+        for &g in &self.groupings {
+            put("grouping", g.name());
+        }
+        for &d in &self.decision_rules {
+            put("rule", d.name());
+        }
+        put("load", &format!("{:016x}", self.load_factor.to_bits()));
+        put(
+            "backlog",
+            &format!("{:016x}", self.backlog_factor.to_bits()),
+        );
+        put(
+            "fairshare",
+            &format!("{:016x}", self.initial_fairshare_core_hours.to_bits()),
+        );
+        match source {
+            TraceSource::Synthetic => put("source", "synthetic"),
+            TraceSource::Fixed(trace) => {
+                let mut t = FNV_OFFSET;
+                fnv1a(&mut t, &trace.duration.to_le_bytes());
+                for job in &trace.jobs {
+                    fnv1a(&mut t, &(job.id as u64).to_le_bytes());
+                    fnv1a(&mut t, &job.submit_time.to_le_bytes());
+                    fnv1a(&mut t, &job.run_time.to_le_bytes());
+                    fnv1a(&mut t, &u64::from(job.cores).to_le_bytes());
+                    fnv1a(&mut t, &job.requested_time.to_le_bytes());
+                    fnv1a(&mut t, &(job.user as u64).to_le_bytes());
+                    fnv1a(&mut t, &u64::from(job.app_class).to_le_bytes());
+                }
+                put("source", &format!("fixed:{t:016x}"));
+            }
+        }
+        h
     }
 
     /// Check the spec is runnable; returns a human-readable complaint if not.
@@ -172,6 +256,8 @@ impl CampaignSpec {
         if self.groupings.is_empty() || self.decision_rules.is_empty() {
             return Err("spec needs at least one grouping and one decision rule".into());
         }
+        // Catch grids too large to even index before any expansion work.
+        self.cell_count()?;
         Ok(())
     }
 
@@ -202,7 +288,18 @@ impl CampaignSpec {
     /// Expand the grid into concrete cells, densely indexed in a stable
     /// order: racks → interval → seed → (baseline, then grouping → rule →
     /// cap → policy).
-    pub fn expand(&self, source: &TraceSource) -> Vec<CampaignCell> {
+    ///
+    /// Errors (instead of silently producing an empty or wrapped grid) when
+    /// an axis is zero-sized or the cell count overflows `usize`.
+    pub fn expand(&self, source: &TraceSource) -> Result<Vec<CampaignCell>, String> {
+        let total = match source {
+            TraceSource::Synthetic => self.cell_count()?,
+            TraceSource::Fixed(_) => checked_mul(
+                self.racks.len(),
+                self.per_workload_count()?,
+                "racks × scenarios",
+            )?,
+        };
         let workloads: Vec<(CellWorkload, u64)> = match source {
             TraceSource::Fixed(trace) => vec![(CellWorkload::Fixed, trace.duration)],
             TraceSource::Synthetic => {
@@ -218,7 +315,7 @@ impl CampaignSpec {
                 w
             }
         };
-        let mut cells = Vec::new();
+        let mut cells = Vec::with_capacity(total);
         for &racks in &self.racks {
             for &(workload, duration) in &workloads {
                 for scenario in self.scenarios(duration) {
@@ -231,18 +328,75 @@ impl CampaignSpec {
                 }
             }
         }
-        cells
+        debug_assert_eq!(cells.len(), total);
+        Ok(cells)
+    }
+
+    /// Scenarios per workload cell: the optional baseline plus the capped
+    /// grid, with overflow and zero-sized-axis checks.
+    fn per_workload_count(&self) -> Result<usize, String> {
+        if !self.include_baseline {
+            for (len, axis) in [
+                (self.policies.len(), "policies"),
+                (self.cap_fractions.len(), "cap fractions"),
+                (self.groupings.len(), "groupings"),
+                (self.decision_rules.len(), "decision rules"),
+            ] {
+                if len == 0 {
+                    return Err(format!(
+                        "campaign grid has a zero-sized {axis} axis and no baseline — \
+                         it would expand to zero cells"
+                    ));
+                }
+            }
+        }
+        let capped = checked_mul(
+            checked_mul(
+                self.groupings.len(),
+                self.decision_rules.len(),
+                "groupings × rules",
+            )?,
+            checked_mul(
+                self.cap_fractions.len(),
+                self.policies.len(),
+                "caps × policies",
+            )?,
+            "groupings × rules × caps × policies",
+        )?;
+        capped
+            .checked_add(usize::from(self.include_baseline))
+            .ok_or_else(|| "campaign grid overflows usize adding the baseline".to_string())
     }
 
     /// Number of cells [`expand`](Self::expand) would produce for a
     /// synthetic-source campaign.
-    pub fn cell_count(&self) -> usize {
-        let per_workload = usize::from(self.include_baseline)
-            + self.groupings.len()
-                * self.decision_rules.len()
-                * self.cap_fractions.len()
-                * self.policies.len();
-        self.racks.len() * self.intervals.len() * self.seeds.len() * per_workload
+    ///
+    /// Uses checked arithmetic throughout: a zero-sized axis or a product
+    /// beyond `usize::MAX` is reported as an error rather than silently
+    /// collapsing the grid to zero or wrapping.
+    pub fn cell_count(&self) -> Result<usize, String> {
+        for (len, axis) in [
+            (self.racks.len(), "rack-scale"),
+            (self.intervals.len(), "interval"),
+            (self.seeds.len(), "seed"),
+        ] {
+            if len == 0 {
+                return Err(format!("campaign grid has a zero-sized {axis} axis"));
+            }
+        }
+        let per_workload = self.per_workload_count()?;
+        if per_workload == 0 {
+            return Err(
+                "campaign grid expands to zero scenarios per workload (no baseline and an \
+                 empty policy/cap grid)"
+                    .to_string(),
+            );
+        }
+        checked_mul(
+            checked_mul(self.racks.len(), self.intervals.len(), "racks × intervals")?,
+            checked_mul(self.seeds.len(), per_workload, "seeds × scenarios")?,
+            "racks × intervals × seeds × scenarios",
+        )
     }
 }
 
@@ -255,16 +409,16 @@ mod tests {
         let spec = CampaignSpec::default();
         spec.validate().unwrap();
         // 1 rack scale × 4 intervals × 1 seed × (1 baseline + 3 × 3 capped).
-        assert_eq!(spec.cell_count(), 4 * 10);
-        let cells = spec.expand(&TraceSource::Synthetic);
-        assert_eq!(cells.len(), spec.cell_count());
+        assert_eq!(spec.cell_count().unwrap(), 4 * 10);
+        let cells = spec.expand(&TraceSource::Synthetic).unwrap();
+        assert_eq!(cells.len(), spec.cell_count().unwrap());
     }
 
     #[test]
     fn indices_are_dense_and_stable() {
         let spec = CampaignSpec::paper(100, 3);
-        let a = spec.expand(&TraceSource::Synthetic);
-        let b = spec.expand(&TraceSource::Synthetic);
+        let a = spec.expand(&TraceSource::Synthetic).unwrap();
+        let b = spec.expand(&TraceSource::Synthetic).unwrap();
         for (i, (ca, cb)) in a.iter().zip(b.iter()).enumerate() {
             assert_eq!(ca.index, i);
             assert_eq!(cb.index, i);
@@ -282,7 +436,7 @@ mod tests {
             intervals: vec![IntervalKind::MedianJob],
             ..CampaignSpec::default()
         };
-        let cells = spec.expand(&TraceSource::Synthetic);
+        let cells = spec.expand(&TraceSource::Synthetic).unwrap();
         let baselines = cells
             .iter()
             .filter(|c| c.scenario.cap_fraction.is_none())
@@ -290,7 +444,7 @@ mod tests {
         assert_eq!(baselines, 1);
         // 1 baseline + 2 groupings × 2 rules × 3 caps × 3 policies.
         assert_eq!(cells.len(), 1 + 2 * 2 * 3 * 3);
-        assert_eq!(cells.len(), spec.cell_count());
+        assert_eq!(cells.len(), spec.cell_count().unwrap());
     }
 
     #[test]
@@ -301,7 +455,9 @@ mod tests {
             .backlog_factor(0.0)
             .generate_for(&platform);
         let spec = CampaignSpec::paper(1, 5);
-        let cells = spec.expand(&TraceSource::Fixed(std::sync::Arc::new(trace)));
+        let cells = spec
+            .expand(&TraceSource::Fixed(std::sync::Arc::new(trace)))
+            .unwrap();
         assert_eq!(
             cells.len(),
             10,
@@ -340,12 +496,93 @@ mod tests {
     }
 
     #[test]
+    fn cell_count_reports_overflow_instead_of_wrapping() {
+        let spec = CampaignSpec {
+            racks: vec![1; 1 << 17],
+            seeds: vec![0; 1 << 17],
+            cap_fractions: vec![0.5; 1 << 17],
+            policies: vec![apc_core::PowercapPolicy::Shut; 1 << 17],
+            ..CampaignSpec::default()
+        };
+        let err = spec.cell_count().unwrap_err();
+        assert!(err.contains("overflow"), "unexpected error: {err}");
+        assert!(spec.expand(&TraceSource::Synthetic).is_err());
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn expand_rejects_zero_sized_axes() {
+        let spec = CampaignSpec {
+            intervals: vec![],
+            ..CampaignSpec::default()
+        };
+        let err = spec.expand(&TraceSource::Synthetic).unwrap_err();
+        assert!(err.contains("zero-sized interval axis"), "got: {err}");
+        // A fixed-source expansion ignores the interval axis but still
+        // rejects an all-empty scenario grid.
+        let spec = CampaignSpec {
+            include_baseline: false,
+            policies: vec![],
+            ..CampaignSpec::default()
+        };
+        let platform = apc_rjms::cluster::Platform::curie_scaled(1);
+        let trace = apc_workload::CurieTraceGenerator::new(1)
+            .load_factor(0.3)
+            .backlog_factor(0.0)
+            .generate_for(&platform);
+        let err = spec
+            .expand(&TraceSource::Fixed(std::sync::Arc::new(trace)))
+            .unwrap_err();
+        assert!(err.contains("zero-sized policies axis"), "got: {err}");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let spec = CampaignSpec::paper(2012, 3);
+        let a = spec.fingerprint(&TraceSource::Synthetic);
+        let b = spec.fingerprint(&TraceSource::Synthetic);
+        assert_eq!(a, b, "fingerprint must be deterministic");
+        // Any grid knob changes the hash.
+        for changed in [
+            CampaignSpec {
+                seeds: vec![2012, 2013],
+                ..spec.clone()
+            },
+            CampaignSpec {
+                cap_fractions: vec![0.8, 0.6],
+                ..spec.clone()
+            },
+            CampaignSpec {
+                include_baseline: false,
+                ..spec.clone()
+            },
+            CampaignSpec {
+                load_factor: 1.9,
+                ..spec.clone()
+            },
+        ] {
+            assert_ne!(changed.fingerprint(&TraceSource::Synthetic), a);
+        }
+        // The workload source is part of the identity.
+        let platform = apc_rjms::cluster::Platform::curie_scaled(1);
+        let trace = apc_workload::CurieTraceGenerator::new(5)
+            .load_factor(0.3)
+            .backlog_factor(0.0)
+            .generate_for(&platform);
+        let fixed = TraceSource::Fixed(std::sync::Arc::new(trace.clone()));
+        assert_ne!(spec.fingerprint(&fixed), a);
+        // Same trace content ⇒ same hash, regardless of the Arc identity.
+        let fixed2 = TraceSource::Fixed(std::sync::Arc::new(trace));
+        assert_eq!(spec.fingerprint(&fixed), spec.fingerprint(&fixed2));
+    }
+
+    #[test]
     fn scenario_windows_follow_the_interval_duration() {
         let spec = CampaignSpec {
             intervals: vec![IntervalKind::Day24h],
             ..CampaignSpec::default()
         };
-        let cells = spec.expand(&TraceSource::Synthetic);
+        let cells = spec.expand(&TraceSource::Synthetic).unwrap();
         let capped = cells
             .iter()
             .find(|c| c.scenario.cap_fraction.is_some())

@@ -1,0 +1,524 @@
+//! The append-only, partitioned on-disk result store.
+//!
+//! A campaign's results live in a directory the executor appends to while
+//! cells are still running, instead of one whole file written at the end:
+//!
+//! ```text
+//! <dir>/
+//!   manifest.txt            # header + one `done <index>` line per cell
+//!   cells/part-0000.csv     # full-precision rows for cells [0, 64)
+//!   cells/part-0001.csv     # cells [64, 128), …
+//! ```
+//!
+//! The manifest header records a format magic, the schema version, the
+//! spec fingerprint ([`CampaignSpec::fingerprint`]), the total cell count
+//! and the partition width. After the header comes the completion log: a
+//! `done <index>` line is appended **after** the cell's row has been
+//! written to its partition, so a row without a matching `done` entry (a
+//! crash between the two writes, or a line torn mid-write) is simply not
+//! trusted and the cell reruns on resume.
+//!
+//! Rows are stored with Rust's shortest round-trip float `Display` (see
+//! [`CellRow::to_store_line`]), so a campaign resumed from disk aggregates
+//! bit-identical values to an uninterrupted run — the byte-identical-output
+//! guarantee survives a crash. Duplicate records for one index (a torn row
+//! followed by its rerun) resolve to the **last** parseable occurrence.
+//!
+//! [`CampaignSpec::fingerprint`]: crate::spec::CampaignSpec::fingerprint
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::agg::CellRow;
+
+/// Store format magic + schema version, the first manifest line.
+const MANIFEST_MAGIC: &str = "apc-campaign-store";
+
+/// On-disk schema version; bump when the row layout changes.
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+/// Default number of cells per partition file.
+pub const DEFAULT_CELLS_PER_PART: usize = 64;
+
+/// Name of the manifest file inside a store directory.
+pub const MANIFEST_NAME: &str = "manifest.txt";
+
+/// Name of the partition subdirectory inside a store directory.
+pub const PARTS_DIR: &str = "cells";
+
+/// Header of every partition file (same columns as the rendered
+/// `cells.csv`, but with full-precision float fields).
+pub const PART_CSV_HEADER: &str = crate::sink::CELLS_CSV_HEADER;
+
+/// Read the final byte of a non-empty file.
+fn last_byte(path: &Path, len: u64) -> io::Result<u8> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = fs::File::open(path)?;
+    file.seek(SeekFrom::Start(len - 1))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    Ok(byte[0])
+}
+
+/// An append-only, crash-resumable campaign result store.
+///
+/// Create one with [`ResultStore::create`] for a fresh campaign or
+/// [`ResultStore::open`] to resume; the executor calls
+/// [`append`](ResultStore::append) once per finished cell.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    spec_hash: u64,
+    total_cells: usize,
+    cells_per_part: usize,
+    /// Completed rows by cell index (trusted: listed in the manifest).
+    rows: BTreeMap<usize, CellRow>,
+    /// Append handle for the manifest completion log.
+    manifest: fs::File,
+    /// Cached append handle for the most recently written partition.
+    current_part: Option<(usize, fs::File)>,
+}
+
+impl ResultStore {
+    /// Create a fresh store at `dir`, wiping any previous store files there.
+    ///
+    /// `spec_hash` is the campaign's [`fingerprint`] and `total_cells` its
+    /// expanded grid size; both are recorded in the manifest and re-checked
+    /// on [`open`](Self::open)+[`validate_spec`](Self::validate_spec).
+    ///
+    /// [`fingerprint`]: crate::spec::CampaignSpec::fingerprint
+    pub fn create(dir: impl Into<PathBuf>, spec_hash: u64, total_cells: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let parts = dir.join(PARTS_DIR);
+        if parts.is_dir() {
+            fs::remove_dir_all(&parts)?;
+        }
+        fs::create_dir_all(&parts)?;
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let mut manifest = fs::File::create(&manifest_path)?;
+        writeln!(manifest, "{MANIFEST_MAGIC} {STORE_SCHEMA_VERSION}")?;
+        writeln!(manifest, "spec {spec_hash:016x}")?;
+        writeln!(manifest, "cells {total_cells}")?;
+        writeln!(manifest, "per-part {DEFAULT_CELLS_PER_PART}")?;
+        manifest.flush()?;
+        Ok(ResultStore {
+            dir,
+            spec_hash,
+            total_cells,
+            cells_per_part: DEFAULT_CELLS_PER_PART,
+            rows: BTreeMap::new(),
+            manifest,
+            current_part: None,
+        })
+    }
+
+    /// Open an existing store, parsing the manifest and loading every
+    /// trusted row from the partition files.
+    ///
+    /// Untrusted data is skipped, never fatal: rows without a `done`
+    /// manifest entry (crash between row and log append), lines that fail
+    /// to parse (torn by a crash), and trailing torn `done` lines.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let text = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        let mut magic = header.split_whitespace();
+        if magic.next() != Some(MANIFEST_MAGIC) {
+            return Err(format!(
+                "{} is not a campaign result store (bad magic line {header:?})",
+                dir.display()
+            ));
+        }
+        let schema: u32 = magic
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("manifest header {header:?} has no schema version"))?;
+        if schema != STORE_SCHEMA_VERSION {
+            return Err(format!(
+                "store schema v{schema} is not the supported v{STORE_SCHEMA_VERSION}"
+            ));
+        }
+        let mut spec_hash = None;
+        let mut total_cells = None;
+        let mut cells_per_part = DEFAULT_CELLS_PER_PART;
+        let mut done = std::collections::BTreeSet::new();
+        for line in lines {
+            let mut words = line.split_whitespace();
+            match (words.next(), words.next()) {
+                (Some("spec"), Some(v)) => {
+                    spec_hash = Some(
+                        u64::from_str_radix(v, 16)
+                            .map_err(|_| format!("bad spec hash in manifest: {v:?}"))?,
+                    );
+                }
+                (Some("cells"), Some(v)) => {
+                    total_cells = Some(
+                        v.parse()
+                            .map_err(|_| format!("bad cell count in manifest: {v:?}"))?,
+                    );
+                }
+                (Some("per-part"), Some(v)) => {
+                    cells_per_part = v
+                        .parse()
+                        .map_err(|_| format!("bad per-part width in manifest: {v:?}"))?;
+                    if cells_per_part == 0 {
+                        return Err("per-part width must be >= 1".into());
+                    }
+                }
+                // A torn trailing `done` line (no index, or a half-written
+                // number) means that cell never finished — skip it.
+                (Some("done"), Some(v)) => {
+                    if let Ok(idx) = v.parse::<usize>() {
+                        done.insert(idx);
+                    }
+                }
+                // Anything else is a line torn by a crash (or a future
+                // extension): skip it rather than refusing to resume.
+                _ => {}
+            }
+        }
+        let spec_hash = spec_hash.ok_or("manifest has no spec hash")?;
+        let total_cells = total_cells.ok_or("manifest has no cell count")?;
+
+        // Load rows from the partitions, trusting only indices in the done
+        // set and keeping the last parseable record per index.
+        let mut rows = BTreeMap::new();
+        let parts_dir = dir.join(PARTS_DIR);
+        let mut part_paths: Vec<PathBuf> = match fs::read_dir(&parts_dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("part-") && n.ends_with(".csv"))
+                })
+                .collect(),
+            Err(e) => return Err(format!("cannot read {}: {e}", parts_dir.display())),
+        };
+        part_paths.sort();
+        for path in part_paths {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            for line in text.lines().skip(1) {
+                if let Ok(row) = CellRow::parse_store_line(line) {
+                    if done.contains(&row.index) {
+                        rows.insert(row.index, row);
+                    }
+                }
+            }
+        }
+        // A done entry whose row is missing or unreadable is dropped from
+        // the trusted set; the executor will simply rerun that cell.
+        let mut manifest = fs::OpenOptions::new()
+            .append(true)
+            .open(&manifest_path)
+            .map_err(|e| format!("cannot reopen {}: {e}", manifest_path.display()))?;
+        // If the previous run died mid-line, terminate the torn line so the
+        // next `done` append starts on a fresh one.
+        if !text.is_empty() && !text.ends_with('\n') {
+            manifest
+                .write_all(b"\n")
+                .map_err(|e| format!("cannot repair {}: {e}", manifest_path.display()))?;
+        }
+        Ok(ResultStore {
+            dir,
+            spec_hash,
+            total_cells,
+            cells_per_part,
+            rows,
+            manifest,
+            current_part: None,
+        })
+    }
+
+    /// Check the store belongs to this campaign before resuming into it.
+    pub fn validate_spec(&self, spec_hash: u64, total_cells: usize) -> Result<(), String> {
+        if self.spec_hash != spec_hash {
+            return Err(format!(
+                "store at {} was produced by a different campaign spec \
+                 (stored fingerprint {:016x}, current {spec_hash:016x}) — \
+                 rerun with the original grid flags or start a fresh --out",
+                self.dir.display(),
+                self.spec_hash,
+            ));
+        }
+        if self.total_cells != total_cells {
+            return Err(format!(
+                "store at {} records {} cells but the spec expands to {total_cells}",
+                self.dir.display(),
+                self.total_cells,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Append one finished cell: the row goes to its partition file first,
+    /// then the `done` line to the manifest — the ordering that makes a
+    /// crash at any point safe.
+    pub fn append(&mut self, row: &CellRow) -> io::Result<()> {
+        let part_no = row.index / self.cells_per_part;
+        if self.current_part.as_ref().map(|(n, _)| *n) != Some(part_no) {
+            let path = self.part_path(part_no);
+            let mut file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)?;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                writeln!(file, "{PART_CSV_HEADER}")?;
+            } else if last_byte(&path, len)? != b'\n' {
+                // The previous run died mid-record: terminate the torn line
+                // so this append starts cleanly (the torn row is already
+                // untrusted — its `done` entry was never written).
+                file.write_all(b"\n")?;
+            }
+            self.current_part = Some((part_no, file));
+        }
+        let (_, file) = self.current_part.as_mut().expect("part handle just set");
+        writeln!(file, "{}", row.to_store_line())?;
+        file.flush()?;
+        writeln!(self.manifest, "done {}", row.index)?;
+        self.manifest.flush()?;
+        self.rows.insert(row.index, row.clone());
+        Ok(())
+    }
+
+    /// Path of partition `part_no`.
+    fn part_path(&self, part_no: usize) -> PathBuf {
+        self.dir
+            .join(PARTS_DIR)
+            .join(format!("part-{part_no:04}.csv"))
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The recorded spec fingerprint.
+    pub fn spec_hash(&self) -> u64 {
+        self.spec_hash
+    }
+
+    /// The campaign's total cell count.
+    pub fn total_cells(&self) -> usize {
+        self.total_cells
+    }
+
+    /// Indices of the cells recorded so far (trusted entries only).
+    pub fn completed(&self) -> impl Iterator<Item = usize> + '_ {
+        self.rows.keys().copied()
+    }
+
+    /// Number of trusted recorded cells.
+    pub fn completed_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether a cell's result is already recorded.
+    pub fn contains(&self, index: usize) -> bool {
+        self.rows.contains_key(&index)
+    }
+
+    /// Has every cell of the campaign been recorded?
+    pub fn is_complete(&self) -> bool {
+        self.rows.len() == self.total_cells
+    }
+
+    /// All recorded rows, sorted by cell index — the input every render
+    /// frontend ([`CsvSink`](crate::sink::CsvSink) /
+    /// [`JsonSink`](crate::sink::JsonSink)) consumes.
+    pub fn rows(&self) -> Vec<CellRow> {
+        self.rows.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(index: usize) -> CellRow {
+        CellRow {
+            index,
+            racks: 1,
+            workload: "medianjob".into(),
+            seed: index as u64,
+            scenario: "60%/SHUT".into(),
+            policy: "shut".into(),
+            cap_percent: 60.0,
+            grouping: "grouped".into(),
+            decision_rule: "paper-rho".into(),
+            launched_jobs: 10 + index,
+            completed_jobs: 9,
+            killed_jobs: 0,
+            pending_jobs: 1,
+            work_core_seconds: 0.1 + index as f64 / 3.0,
+            energy_joules: 1e9 / 7.0,
+            energy_normalized: 0.5,
+            launched_jobs_normalized: 0.25,
+            work_normalized: 0.125,
+            mean_wait_seconds: if index.is_multiple_of(2) {
+                12.5
+            } else {
+                f64::NAN
+            },
+            peak_power_watts: 1000.0,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("apc-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_then_open_recovers_exact_rows() {
+        let dir = temp_dir("roundtrip");
+        let mut store = ResultStore::create(&dir, 0xfeed, 200).unwrap();
+        // Out-of-order appends across several partitions, as a work-stealing
+        // run produces them.
+        for i in [150usize, 3, 64, 0, 199, 65] {
+            store.append(&row(i)).unwrap();
+        }
+        assert_eq!(store.completed_count(), 6);
+        assert!(!store.is_complete());
+        drop(store);
+
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.spec_hash(), 0xfeed);
+        assert_eq!(reopened.total_cells(), 200);
+        let rows = reopened.rows();
+        assert_eq!(
+            rows.iter().map(|r| r.index).collect::<Vec<_>>(),
+            [0, 3, 64, 65, 150, 199],
+            "rows come back sorted by index"
+        );
+        for r in &rows {
+            let expect = row(r.index);
+            assert_eq!(
+                r.work_core_seconds.to_bits(),
+                expect.work_core_seconds.to_bits()
+            );
+            assert_eq!(
+                r.mean_wait_seconds.is_nan(),
+                expect.mean_wait_seconds.is_nan()
+            );
+        }
+        // Partitioning: indices 0,3 → part 0; 64,65 → part 1; 150 → part 2;
+        // 199 → part 3.
+        for part in 0..4 {
+            assert!(dir
+                .join(PARTS_DIR)
+                .join(format!("part-{part:04}.csv"))
+                .exists());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rows_without_done_entries_are_untrusted() {
+        let dir = temp_dir("untrusted");
+        let mut store = ResultStore::create(&dir, 1, 10).unwrap();
+        store.append(&row(0)).unwrap();
+        store.append(&row(1)).unwrap();
+        drop(store);
+        // Simulate a crash after the row write but before the manifest
+        // append: drop row 1's done line.
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let text = fs::read_to_string(&manifest_path).unwrap();
+        let kept: Vec<&str> = text.lines().filter(|l| *l != "done 1").collect();
+        fs::write(&manifest_path, kept.join("\n") + "\n").unwrap();
+
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.completed().collect::<Vec<_>>(), [0]);
+        assert!(!reopened.contains(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_part_lines_and_duplicate_records_resolve_safely() {
+        let dir = temp_dir("torn");
+        let mut store = ResultStore::create(&dir, 1, 10).unwrap();
+        store.append(&row(0)).unwrap();
+        store.append(&row(1)).unwrap();
+        drop(store);
+        // Tear the last part line in half (crash mid-write) …
+        let part = dir.join(PARTS_DIR).join("part-0000.csv");
+        let text = fs::read_to_string(&part).unwrap();
+        fs::write(&part, &text[..text.len() - 30]).unwrap();
+        // … then "rerun" cell 1: reopen and append a fresh record.
+        let mut reopened = ResultStore::open(&dir).unwrap();
+        assert!(!reopened.contains(1), "torn row must not be trusted");
+        let mut fresh = row(1);
+        fresh.launched_jobs = 999;
+        reopened.append(&fresh).unwrap();
+        drop(reopened);
+        // The duplicate resolves to the last parseable record.
+        let last = ResultStore::open(&dir).unwrap();
+        let rows = last.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].launched_jobs, 999);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_done_line_is_skipped() {
+        let dir = temp_dir("torn-manifest");
+        let mut store = ResultStore::create(&dir, 1, 10).unwrap();
+        store.append(&row(0)).unwrap();
+        drop(store);
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let mut text = fs::read_to_string(&manifest_path).unwrap();
+        text.push_str("done"); // interrupted mid-line, no index, no newline
+        fs::write(&manifest_path, text).unwrap();
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.completed_count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_spec_rejects_mismatches() {
+        let dir = temp_dir("validate");
+        let store = ResultStore::create(&dir, 0xabc, 40).unwrap();
+        store.validate_spec(0xabc, 40).unwrap();
+        let err = store.validate_spec(0xdef, 40).unwrap_err();
+        assert!(err.contains("different campaign spec"), "got: {err}");
+        let err = store.validate_spec(0xabc, 41).unwrap_err();
+        assert!(err.contains("records 40 cells"), "got: {err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_foreign_directories() {
+        let dir = temp_dir("foreign");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MANIFEST_NAME), "not a store\n").unwrap();
+        let err = ResultStore::open(&dir).unwrap_err();
+        assert!(err.contains("bad magic"), "got: {err}");
+        let err = ResultStore::open(dir.join("missing")).unwrap_err();
+        assert!(err.contains("cannot read"), "got: {err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_wipes_a_previous_store() {
+        let dir = temp_dir("wipe");
+        let mut store = ResultStore::create(&dir, 1, 10).unwrap();
+        store.append(&row(0)).unwrap();
+        drop(store);
+        let fresh = ResultStore::create(&dir, 2, 10).unwrap();
+        assert_eq!(fresh.completed_count(), 0);
+        drop(fresh);
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.spec_hash(), 2);
+        assert_eq!(reopened.completed_count(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

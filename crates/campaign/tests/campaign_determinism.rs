@@ -1,6 +1,10 @@
 //! Campaign determinism: the aggregated CSV/JSON output must be
 //! byte-identical for `--threads 1`, `2` and `8` on the same grid — the
-//! sharded executor's core guarantee.
+//! executor's core guarantee, which the work-stealing scheduler must
+//! uphold even though which worker runs which cell is now
+//! scheduling-dependent. Checked for the in-memory path, the
+//! store-backed path (rows round-tripping through the partitioned
+//! on-disk store), and the static-shard strategy.
 
 use apc_campaign::prelude::*;
 use apc_core::PowercapPolicy;
@@ -59,4 +63,66 @@ fn output_is_byte_identical_across_thread_counts() {
 #[test]
 fn repeated_runs_are_byte_identical() {
     assert_eq!(rendered_outputs(2), rendered_outputs(2));
+}
+
+/// Run the small grid through the on-disk store and render with the sink
+/// frontends, returning the four output files' bytes.
+fn store_outputs(threads: usize, strategy: ExecStrategy) -> [Vec<u8>; 4] {
+    let dir = std::env::temp_dir().join(format!(
+        "apc-determinism-{threads}-{strategy:?}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let runner = CampaignRunner::new(small_grid())
+        .with_threads(threads)
+        .with_strategy(strategy);
+    let mut store =
+        ResultStore::create(&dir, runner.fingerprint(), runner.cells().unwrap().len()).unwrap();
+    let outcome = runner.run_with_store(&mut store).unwrap();
+    assert_eq!(outcome.rows.len(), runner.cells().unwrap().len());
+    CsvSink::new(&dir).write_store(&store).unwrap();
+    JsonSink::new(&dir).write_store(&store).unwrap();
+    let outputs = ["cells.csv", "summary.csv", "cells.json", "summary.json"]
+        .map(|name| std::fs::read(dir.join(name)).unwrap());
+    std::fs::remove_dir_all(&dir).unwrap();
+    outputs
+}
+
+#[test]
+fn store_backed_output_is_byte_identical_across_threads_and_strategies() {
+    let reference = store_outputs(1, ExecStrategy::WorkStealing);
+    // The in-memory render and the store round-trip agree byte for byte.
+    let in_memory = rendered_outputs(1);
+    for (name, (mem, disk)) in ["cells.csv", "summary.csv", "cells.json", "summary.json"]
+        .iter()
+        .zip(in_memory.iter().zip(reference.iter()))
+    {
+        assert_eq!(
+            mem.as_bytes(),
+            disk.as_slice(),
+            "{name} differs between the in-memory render and the store frontend"
+        );
+    }
+    // Thread counts and scheduling strategies are invisible in the output.
+    for (label, outputs) in [
+        (
+            "steal --threads 2",
+            store_outputs(2, ExecStrategy::WorkStealing),
+        ),
+        (
+            "steal --threads 8",
+            store_outputs(8, ExecStrategy::WorkStealing),
+        ),
+        (
+            "static --threads 2",
+            store_outputs(2, ExecStrategy::StaticShard),
+        ),
+    ] {
+        for (name, (a, b)) in ["cells.csv", "summary.csv", "cells.json", "summary.json"]
+            .iter()
+            .zip(reference.iter().zip(outputs.iter()))
+        {
+            assert_eq!(a, b, "{name} differs between --threads 1 and {label}");
+        }
+    }
 }

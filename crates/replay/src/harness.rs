@@ -71,6 +71,11 @@ impl ReplayOutcome {
 pub struct ReplayHarness {
     platform: Platform,
     trace: std::sync::Arc<Trace>,
+    /// The distinct users appearing in the trace, sorted — computed once at
+    /// construction so a harness replaying many scenarios (a campaign
+    /// worker reusing it across pulled cells, or [`run_grid`](Self::run_grid))
+    /// does not re-scan and re-sort the whole trace per run.
+    users: Vec<usize>,
     /// Seed historical fair-share usage for the users appearing in the trace
     /// (phase ii); expressed in core-hours per user.
     initial_fairshare_core_hours: f64,
@@ -85,9 +90,13 @@ impl ReplayHarness {
     /// Create a harness sharing an already-`Arc`ed trace (no deep clone) —
     /// the form the campaign executor uses with its trace cache.
     pub fn from_shared(platform: Platform, trace: std::sync::Arc<Trace>) -> Self {
+        let mut users: Vec<usize> = trace.jobs.iter().map(|j| j.user).collect();
+        users.sort_unstable();
+        users.dedup();
         ReplayHarness {
             platform,
             trace,
+            users,
             initial_fairshare_core_hours: 1_000.0,
         }
     }
@@ -108,6 +117,11 @@ impl ReplayHarness {
         &self.trace
     }
 
+    /// The distinct users whose fair-share history this harness seeds.
+    pub fn users(&self) -> &[usize] {
+        &self.users
+    }
+
     /// Run one scenario to completion and collect every metric.
     pub fn run(&self, scenario: &Scenario) -> ReplayOutcome {
         // Phase 1 — environment setup.
@@ -124,12 +138,9 @@ impl ReplayHarness {
             Controller::with_hook(self.platform.clone(), controller_config, Box::new(hook));
 
         // Phase 2 — interval initial state: fair-share history for every user
-        // seen in the trace. The queued backlog is part of the trace itself
-        // (jobs submitted at t = 0).
-        let mut users: Vec<usize> = self.trace.jobs.iter().map(|j| j.user).collect();
-        users.sort_unstable();
-        users.dedup();
-        for user in users {
+        // seen in the trace (precomputed at construction). The queued backlog
+        // is part of the trace itself (jobs submitted at t = 0).
+        for &user in &self.users {
             controller.seed_fairshare(user, self.initial_fairshare_core_hours * 3600.0);
         }
 
@@ -234,6 +245,24 @@ mod tests {
         let b = h.run(&scenario);
         assert_eq!(a.report, b.report);
         assert_eq!(a.log.len(), b.log.len());
+    }
+
+    #[test]
+    fn users_are_precomputed_for_harness_reuse() {
+        let h = harness();
+        // Users are precomputed: sorted, deduplicated, and exactly the set
+        // appearing in the trace — a harness replaying many scenarios (a
+        // campaign worker reusing it across pulled cells) never re-scans
+        // the trace per run.
+        let users = h.users();
+        assert!(!users.is_empty());
+        assert!(users.windows(2).all(|w| w[0] < w[1]));
+        for j in &h.trace().jobs {
+            assert!(users.binary_search(&j.user).is_ok());
+        }
+        // A clone shares the trace allocation, not a deep copy of the jobs.
+        let c = h.clone();
+        assert!(std::ptr::eq(h.trace(), c.trace()));
     }
 
     #[test]
