@@ -22,7 +22,7 @@ fn bench_spec() -> CampaignSpec {
         seeds: vec![1, 2],
         policies: vec![PowercapPolicy::Shut, PowercapPolicy::Mix],
         cap_fractions: vec![0.6],
-        load_factor: 0.5,
+        load_factors: vec![0.5],
         backlog_factor: 0.2,
         ..CampaignSpec::default()
     }
@@ -60,8 +60,10 @@ fn store_row(index: usize) -> CellRow {
         index,
         racks: 2,
         workload: "medianjob".into(),
-        seed: index as u64,
+        seed: Some(index as u64),
+        load_factor: 1.8,
         scenario: "60%/SHUT".into(),
+        window: "7200+3600".into(),
         policy: "shut".into(),
         cap_percent: 60.0,
         grouping: "grouped".into(),
@@ -99,12 +101,67 @@ fn bench_store_append(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A window+load sweep spec expanding to ~10k cells: 4 intervals × 10 seeds
+/// × 5 loads × (1 baseline + 3 window sets × 3 caps × 3 policies) = 5600,
+/// doubled by two rack scales to 11 200.
+fn sweep_10k_spec() -> CampaignSpec {
+    CampaignSpec {
+        racks: vec![1, 2],
+        seeds: (0..10).collect(),
+        load_factors: vec![1.0, 1.2, 1.4, 1.6, 1.8],
+        cap_windows: vec![
+            vec![SINGLE_PAPER_WINDOW],
+            vec![(0.0, 1800)],
+            vec![(0.0, 1800), (1.0, 1800)],
+        ],
+        ..CampaignSpec::default()
+    }
+}
+
+/// Synthetic summary rows shaped like a big sweep's summary.csv (one per
+/// scenario group), for the Pareto-extraction target.
+fn sweep_summaries(count: usize) -> Vec<SummaryRow> {
+    let metric = |mean: f64| MetricSummary {
+        mean,
+        min: mean,
+        max: mean,
+        stddev: 0.0,
+    };
+    (0..count)
+        .map(|i| SummaryRow {
+            racks: 1 + i % 2,
+            workload: ["smalljob", "medianjob", "bigjob", "24h"][i % 4].to_string(),
+            load_factor: 1.0 + (i % 5) as f64 * 0.2,
+            scenario: format!("s{i}"),
+            window: format!("{}+3600", i % 7),
+            cap_percent: 40.0 + (i % 3) as f64 * 20.0,
+            grouping: "grouped".to_string(),
+            decision_rule: "paper-rho".to_string(),
+            replications: 3,
+            launched_jobs: metric(100.0),
+            energy_normalized: metric(((i * 37) % 101) as f64 / 100.0),
+            work_normalized: metric(((i * 53) % 101) as f64 / 100.0),
+            mean_wait_seconds: metric(((i * 71) % 997) as f64),
+            peak_power_watts: metric(1.0e6),
+        })
+        .collect()
+}
+
 fn bench_expansion_and_sinks(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign_pipeline");
     group.sample_size(20);
     let spec = CampaignSpec::paper(2012, 10);
     group.bench_function("expand_paper_grid_10_seeds", |b| {
         b.iter(|| black_box(spec.expand(&TraceSource::Synthetic).unwrap().len()))
+    });
+    let sweep = sweep_10k_spec();
+    assert!(sweep.cell_count().unwrap() > 10_000);
+    group.bench_function("expand_sweep_grid_11k_cells", |b| {
+        b.iter(|| black_box(sweep.expand(&TraceSource::Synthetic).unwrap().len()))
+    });
+    let summaries = sweep_summaries(10_000);
+    group.bench_function("pareto_front_10k_summary_rows", |b| {
+        b.iter(|| black_box(pareto_front(&summaries).len()))
     });
     let outcome = CampaignRunner::new(bench_spec())
         .with_threads(1)

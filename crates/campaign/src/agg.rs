@@ -24,10 +24,18 @@ pub struct CellRow {
     pub racks: usize,
     /// Workload label ("smalljob", "medianjob", "bigjob", "24h" or "swf").
     pub workload: String,
-    /// Generator seed (0 for a fixed trace).
-    pub seed: u64,
+    /// Generator seed; `None` for a fixed trace (rendered as an empty
+    /// field, so an SWF row can never masquerade as a synthetic `seed=0`
+    /// replication).
+    pub seed: Option<u64>,
+    /// Generator arrival load factor; `NaN` for a fixed trace (rendered as
+    /// an empty field).
+    pub load_factor: f64,
     /// Scenario label, e.g. "60%/SHUT" or "100%/None".
     pub scenario: String,
+    /// Cap-window label (`start+duration` pairs joined with `|`, `"-"` for
+    /// the baseline) — see [`Scenario::window_label`](apc_replay::Scenario::window_label).
+    pub window: String,
     /// Policy name ("none", "shut", "dvfs", "mix").
     pub policy: String,
     /// Cap as a percentage of maximum power (100 for the baseline).
@@ -66,16 +74,25 @@ impl CellRow {
     pub fn from_outcome(cell: &CampaignCell, outcome: &ReplayOutcome) -> Self {
         let scenario = &cell.scenario;
         let duration_end = outcome.report.horizon;
-        let (peak_start, peak_end) = match scenario.window() {
-            Some(w) => (w.start, w.end),
-            None => (0, duration_end),
+        // Peak power inside the cap windows (the max across them for a
+        // multi-window scenario); whole interval for the baseline.
+        let windows = scenario.windows();
+        let peak_power_watts = if windows.is_empty() {
+            outcome.power.peak_within(0, duration_end).as_watts()
+        } else {
+            windows
+                .iter()
+                .map(|w| outcome.power.peak_within(w.start, w.end).as_watts())
+                .fold(f64::NEG_INFINITY, f64::max)
         };
         CellRow {
             index: cell.index,
             racks: cell.racks,
             workload: cell.workload.label().to_string(),
             seed: cell.workload.seed(),
+            load_factor: cell.workload.load_factor().unwrap_or(f64::NAN),
             scenario: scenario.label(),
+            window: scenario.window_label(),
             policy: scenario.policy.name().to_ascii_lowercase(),
             cap_percent: scenario.cap_fraction.map_or(100.0, |f| f * 100.0),
             grouping: scenario.grouping.name().to_string(),
@@ -90,7 +107,7 @@ impl CellRow {
             launched_jobs_normalized: outcome.normalized.launched_jobs_normalized,
             work_normalized: outcome.normalized.work_normalized,
             mean_wait_seconds: outcome.report.mean_wait_seconds,
-            peak_power_watts: outcome.power.peak_within(peak_start, peak_end).as_watts(),
+            peak_power_watts,
         }
     }
 
@@ -106,12 +123,14 @@ impl CellRow {
     pub fn to_store_line(&self) -> String {
         use crate::sink::csv_field;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.index,
             self.racks,
             csv_field(&self.workload),
-            self.seed,
+            self.seed.map_or_else(String::new, |s| s.to_string()),
+            self.load_factor,
             csv_field(&self.scenario),
+            csv_field(&self.window),
             csv_field(&self.policy),
             self.cap_percent,
             csv_field(&self.grouping),
@@ -137,8 +156,8 @@ impl CellRow {
     /// lines (e.g. a row torn in half by a crash) as "cell not recorded".
     pub fn parse_store_line(line: &str) -> Result<CellRow, String> {
         let fields = crate::sink::split_csv_line(line)?;
-        if fields.len() != 20 {
-            return Err(format!("expected 20 fields, got {}", fields.len()));
+        if fields.len() != 22 {
+            return Err(format!("expected 22 fields, got {}", fields.len()));
         }
         fn int(raw: &str, what: &str) -> Result<usize, String> {
             raw.parse()
@@ -148,49 +167,74 @@ impl CellRow {
             raw.parse()
                 .map_err(|_| format!("bad {what} field: {raw:?}"))
         }
+        let seed = if fields[3].is_empty() {
+            None
+        } else {
+            Some(
+                fields[3]
+                    .parse()
+                    .map_err(|_| format!("bad seed field: {:?}", fields[3]))?,
+            )
+        };
         Ok(CellRow {
             index: int(&fields[0], "index")?,
             racks: int(&fields[1], "racks")?,
             workload: fields[2].clone(),
-            seed: fields[3]
-                .parse()
-                .map_err(|_| format!("bad seed field: {:?}", fields[3]))?,
-            scenario: fields[4].clone(),
-            policy: fields[5].clone(),
-            cap_percent: float(&fields[6], "cap_percent")?,
-            grouping: fields[7].clone(),
-            decision_rule: fields[8].clone(),
-            launched_jobs: int(&fields[9], "launched_jobs")?,
-            completed_jobs: int(&fields[10], "completed_jobs")?,
-            killed_jobs: int(&fields[11], "killed_jobs")?,
-            pending_jobs: int(&fields[12], "pending_jobs")?,
-            work_core_seconds: float(&fields[13], "work_core_seconds")?,
-            energy_joules: float(&fields[14], "energy_joules")?,
-            energy_normalized: float(&fields[15], "energy_normalized")?,
-            launched_jobs_normalized: float(&fields[16], "launched_jobs_normalized")?,
-            work_normalized: float(&fields[17], "work_normalized")?,
-            mean_wait_seconds: float(&fields[18], "mean_wait_seconds")?,
-            peak_power_watts: float(&fields[19], "peak_power_watts")?,
+            seed,
+            load_factor: float(&fields[4], "load_factor")?,
+            scenario: fields[5].clone(),
+            window: fields[6].clone(),
+            policy: fields[7].clone(),
+            cap_percent: float(&fields[8], "cap_percent")?,
+            grouping: fields[9].clone(),
+            decision_rule: fields[10].clone(),
+            launched_jobs: int(&fields[11], "launched_jobs")?,
+            completed_jobs: int(&fields[12], "completed_jobs")?,
+            killed_jobs: int(&fields[13], "killed_jobs")?,
+            pending_jobs: int(&fields[14], "pending_jobs")?,
+            work_core_seconds: float(&fields[15], "work_core_seconds")?,
+            energy_joules: float(&fields[16], "energy_joules")?,
+            energy_normalized: float(&fields[17], "energy_normalized")?,
+            launched_jobs_normalized: float(&fields[18], "launched_jobs_normalized")?,
+            work_normalized: float(&fields[19], "work_normalized")?,
+            mean_wait_seconds: float(&fields[20], "mean_wait_seconds")?,
+            peak_power_watts: float(&fields[21], "peak_power_watts")?,
         })
     }
 
     /// The across-seed grouping key: everything except the seed (and index).
-    /// The exact cap bits are part of the key because the scenario label
-    /// rounds to whole percents — `--caps 59.6,60.4` must stay two groups
-    /// even though both label as "60%/…".
+    /// The exact cap and load bits are part of the key because the labels
+    /// round — `--caps 59.6,60.4` must stay two groups even though both
+    /// label as "60%/…" — and the workload *kind* (fixed vs synthetic) is
+    /// explicit so an SWF row can never share a group with a synthetic one.
     fn group_key(&self) -> GroupKey {
         (
             self.racks,
+            self.seed.is_none(),
             self.cap_percent.to_bits(),
+            self.load_factor.to_bits(),
             self.workload.clone(),
             self.scenario.clone(),
+            self.window.clone(),
             self.grouping.clone(),
             self.decision_rule.clone(),
         )
     }
 }
 
-type GroupKey = (usize, u64, String, String, String, String);
+/// (racks, fixed-workload?, cap bits, load bits, workload, scenario, window,
+/// grouping, decision rule).
+type GroupKey = (
+    usize,
+    bool,
+    u64,
+    u64,
+    String,
+    String,
+    String,
+    String,
+    String,
+);
 
 /// Mean / min / max / standard deviation of one metric across seeds.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -268,8 +312,14 @@ pub struct SummaryRow {
     pub racks: usize,
     /// Workload label.
     pub workload: String,
+    /// Generator arrival load factor (`NaN` for a fixed trace; renders as
+    /// an empty field, which also keeps an SWF group visibly distinct from
+    /// any synthetic one).
+    pub load_factor: f64,
     /// Scenario label.
     pub scenario: String,
+    /// Cap-window label (`"-"` for the baseline).
+    pub window: String,
     /// Exact cap percentage (100 for the baseline) — kept alongside the
     /// label because the label rounds to whole percents.
     pub cap_percent: f64,
@@ -329,11 +379,23 @@ pub fn summarize(rows: &[CellRow]) -> Vec<SummaryRow> {
         .into_iter()
         .map(|key| {
             let acc = &groups[&key];
-            let (racks, cap_bits, workload, scenario, grouping, decision_rule) = key;
+            let (
+                racks,
+                _fixed,
+                cap_bits,
+                load_bits,
+                workload,
+                scenario,
+                window,
+                grouping,
+                decision_rule,
+            ) = key;
             SummaryRow {
                 racks,
                 workload,
+                load_factor: f64::from_bits(load_bits),
                 scenario,
+                window,
                 cap_percent: f64::from_bits(cap_bits),
                 grouping,
                 decision_rule,
@@ -357,8 +419,10 @@ mod tests {
             index,
             racks: 1,
             workload: "medianjob".into(),
-            seed,
+            seed: Some(seed),
+            load_factor: 1.8,
             scenario: scenario.into(),
+            window: "7200+3600".into(),
             policy: "shut".into(),
             cap_percent: 60.0,
             grouping: "grouped".into(),
@@ -427,6 +491,38 @@ mod tests {
     }
 
     #[test]
+    fn window_and_load_sweeps_stay_separate_groups() {
+        // Same scenario label, different cap windows ⇒ two groups.
+        let a = row(0, 1, "60%/SHUT", 10, 40.0);
+        let mut b = row(1, 2, "60%/SHUT", 12, 42.0);
+        b.window = "0+1800|16200+1800".into();
+        let summaries = summarize(&[a.clone(), b]);
+        assert_eq!(summaries.len(), 2);
+        // Same everything, different load factor ⇒ two groups.
+        let mut c = row(1, 2, "60%/SHUT", 12, 42.0);
+        c.load_factor = 1.0;
+        let summaries = summarize(&[a, c]);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].load_factor, 1.8);
+        assert_eq!(summaries[1].load_factor, 1.0);
+    }
+
+    #[test]
+    fn fixed_rows_never_group_with_synthetic_ones() {
+        // Regression for the seed-conflation bug: a fixed-trace row (no
+        // seed) must not fold into a synthetic group even if every label
+        // matches — the workload kind is part of the key.
+        let synthetic = row(0, 0, "60%/SHUT", 10, 40.0); // legitimate seed=0
+        let mut fixed = row(1, 0, "60%/SHUT", 12, 42.0);
+        fixed.seed = None;
+        fixed.workload = synthetic.workload.clone();
+        fixed.load_factor = synthetic.load_factor;
+        let summaries = summarize(&[synthetic, fixed]);
+        assert_eq!(summaries.len(), 2, "fixed and synthetic must stay apart");
+        assert!(summaries.iter().all(|s| s.replications == 1));
+    }
+
+    #[test]
     fn store_codec_round_trips_exactly() {
         let mut r = row(42, 7, "60%/SHUT", 13, 123.456);
         // Values that 6-decimal rendering would mangle must survive the
@@ -447,6 +543,16 @@ mod tests {
         assert_eq!(back.peak_power_watts, f64::INFINITY);
         assert_eq!(back.scenario, r.scenario);
         // Re-encoding is byte-stable.
+        assert_eq!(back.to_store_line(), line);
+        // A fixed-trace row (no seed, NaN load factor) round-trips too.
+        let mut fixed = row(7, 0, "60%/SHUT", 3, 9.0);
+        fixed.seed = None;
+        fixed.load_factor = f64::NAN;
+        fixed.workload = "swf".into();
+        let line = fixed.to_store_line();
+        let back = CellRow::parse_store_line(&line).unwrap();
+        assert_eq!(back.seed, None);
+        assert!(back.load_factor.is_nan());
         assert_eq!(back.to_store_line(), line);
     }
 

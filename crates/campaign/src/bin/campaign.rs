@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! cargo run --release -p apc-campaign --bin campaign -- [options]
+//! cargo run --release -p apc-campaign --bin campaign -- pareto DIR [options]
+//! cargo run --release -p apc-campaign --bin campaign -- query DIR [options]
 //!
-//! options:
+//! campaign options:
 //!   --threads N        worker threads (0 = all cores; default 1)
 //!   --seeds K          seed replications per cell group (default 3)
 //!   --seed-base S      first seed; replications use S, S+1, … (default 2012)
@@ -14,7 +16,12 @@
 //!   --no-baseline      skip the uncapped 100%/None rows
 //!   --groupings LIST   grouped,scattered (default grouped)
 //!   --rules LIST       paper-rho,work-max (default paper-rho)
-//!   --load F           generator arrival load factor (default 1.8)
+//!   --windows LIST     cap-window sweep: FRACxSECONDS placements, `+` joins
+//!                      the windows of one scenario, `,` separates axis
+//!                      values — e.g. `0.5x3600` (paper) or
+//!                      `0.5x3600,0x1800+1x1800` (default 0.5x3600)
+//!   --load LIST        generator arrival load factors, e.g. 1.0,1.8
+//!                      (default 1.8; each value is one workload axis entry)
 //!   --backlog F        generator initial backlog factor (default 1.3)
 //!   --swf PATH         replay an SWF trace instead of the synthetic grid
 //!   --out DIR          results directory (default campaign-results)
@@ -23,13 +30,27 @@
 //!   --strategy WHICH   work-steal | static (default work-steal)
 //!   --format WHICH     csv | json | both (default both)
 //!   --quiet            suppress the per-group stdout table
+//!
+//! pareto DIR: non-dominated (energy, work, wait) front per workload group
+//!   --out FILE         where to write the CSV (default DIR/pareto.csv)
+//!   --quiet            suppress the stdout table
+//!
+//! query DIR: stream filtered rows out of the partitioned store
+//!   --workload L | --scenario L | --window L | --policy P | --seed N |
+//!   --load F | --racks R
+//!                      conjunctive row filters
+//!   --columns LIST     columns to print (default: all, cells.csv order)
+//!   --limit N          print at most N matching rows (the match count
+//!                      still reflects the whole store)
 //! ```
 //!
 //! Results stream into an append-only partitioned store
 //! (`DIR/cells/part-NNNN.csv` + `DIR/manifest.txt`) while cells run, so a
 //! killed campaign can be picked up with `--resume DIR`; the rendered
 //! `cells.*`/`summary.*` files are produced from the store at the end and
-//! are byte-identical whether or not the campaign was interrupted.
+//! are byte-identical whether or not the campaign was interrupted. `query`
+//! streams the store one partition at a time, so very large campaigns are
+//! inspectable without loading every partition into memory.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -38,12 +59,36 @@ use apc_campaign::prelude::*;
 use apc_core::PowercapPolicy;
 use apc_power::bonus::GroupingStrategy;
 use apc_power::tradeoff::DecisionRule;
-use apc_workload::{load_swf_file, IntervalKind, Trace};
+use apc_workload::{load_swf_file, IntervalKind};
 
 const USAGE: &str = "usage: campaign [--threads N] [--seeds K] [--seed-base S] [--racks LIST] \
 [--intervals LIST] [--policies LIST] [--caps LIST] [--no-baseline] [--groupings LIST] \
-[--rules LIST] [--load F] [--backlog F] [--swf PATH] [--out DIR] [--resume DIR] \
-[--strategy work-steal|static] [--format csv|json|both] [--quiet]";
+[--rules LIST] [--windows LIST] [--load LIST] [--backlog F] [--swf PATH] [--out DIR] \
+[--resume DIR] [--strategy work-steal|static] [--format csv|json|both] [--quiet]
+       campaign pareto DIR [--out FILE] [--quiet]
+       campaign query DIR [--workload L] [--scenario L] [--window L] [--policy P] [--seed N] \
+[--load F] [--racks R] [--columns LIST] [--limit N]";
+
+/// Parse one `--windows` axis value: `FRACxSECONDS` placements joined by
+/// `+` (several windows of one scenario).
+fn parse_window_set(raw: &str) -> Result<WindowSet, String> {
+    let mut set = WindowSet::new();
+    for placement in raw.split('+') {
+        let (frac, duration) = placement.split_once('x').ok_or_else(|| {
+            format!("--windows: {placement:?} is not FRACxSECONDS (e.g. 0.5x3600)")
+        })?;
+        let frac: f64 = frac
+            .trim()
+            .parse()
+            .map_err(|_| format!("--windows: bad start fraction {frac:?}"))?;
+        let duration: u64 = duration
+            .trim()
+            .parse()
+            .map_err(|_| format!("--windows: bad duration {duration:?} (seconds)"))?;
+        set.push((frac, duration));
+    }
+    Ok(set)
+}
 
 /// Parse a comma-separated list with a `FromStr` item type.
 fn parse_list<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<Vec<T>, String>
@@ -66,7 +111,7 @@ struct Options {
     spec: CampaignSpec,
     threads: usize,
     strategy: ExecStrategy,
-    swf: Option<Trace>,
+    source: TraceSource,
     out_dir: String,
     resume: bool,
     format: Format,
@@ -150,10 +195,20 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--rules" => {
                 spec.decision_rules = parse_list::<DecisionRule>("--rules", value("--rules")?)?;
             }
+            "--windows" => {
+                let sets: Result<Vec<WindowSet>, String> = value("--windows")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(parse_window_set)
+                    .collect();
+                let sets = sets?;
+                if sets.is_empty() {
+                    return Err("--windows needs a non-empty comma-separated list".into());
+                }
+                spec.cap_windows = sets;
+            }
             "--load" => {
-                spec.load_factor = value("--load")?
-                    .parse()
-                    .map_err(|_| "--load needs a number".to_string())?;
+                spec.load_factors = parse_list::<f64>("--load", value("--load")?)?;
             }
             "--backlog" => {
                 spec.backlog_factor = value("--backlog")?
@@ -189,7 +244,6 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         }
     }
     spec.seeds = (0..seeds as u64).map(|i| seed_base + i).collect();
-    spec.validate()?;
     // Resuming means "continue the campaign stored in DIR" — the store is
     // both input and output, so a separate --out makes no sense.
     let (out_dir, resume) = match (out_dir, resume_dir) {
@@ -203,8 +257,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     };
     // Load the SWF here, in the parse phase, so a bad --swf value exits 2
     // with usage like every other bad flag value.
-    let swf = match swf {
-        None => None,
+    let source = match swf {
+        None => TraceSource::Synthetic,
         Some(path) => {
             let trace = load_swf_file(&path)?;
             eprintln!(
@@ -212,14 +266,18 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 trace.len(),
                 trace.duration
             );
-            Some(trace)
+            TraceSource::Fixed(Arc::new(trace))
         }
     };
+    // Validate after the SWF is loaded: window placement is checked against
+    // the durations the campaign will actually replay (a window set that
+    // overlaps in a 5 h interval can be disjoint in a 24 h SWF trace).
+    spec.validate_for(&source)?;
     Ok(Some(Options {
         spec,
         threads,
         strategy,
-        swf,
+        source,
         out_dir,
         resume,
         format,
@@ -228,12 +286,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
 }
 
 fn run(options: Options) -> Result<(), String> {
-    let mut runner = CampaignRunner::new(options.spec.clone())
+    let runner = CampaignRunner::new(options.spec.clone())
         .with_threads(options.threads)
-        .with_strategy(options.strategy);
-    if let Some(trace) = options.swf {
-        runner = runner.with_source(TraceSource::Fixed(Arc::new(trace)));
-    }
+        .with_strategy(options.strategy)
+        .with_source(options.source);
 
     let cells = runner.cells()?.len();
     // Open (resume) or create the append-only result store; every finished
@@ -312,17 +368,27 @@ fn run(options: Options) -> Result<(), String> {
     Ok(())
 }
 
-/// Aligned stdout table of the across-seed summaries.
+/// Aligned stdout table of the across-seed summaries. The `load` and
+/// `window` columns carry the sweep axes — without them, the rows of a
+/// window/load sweep would all print the same scenario label.
 fn summary_table(summaries: &[SummaryRow]) -> String {
     let mut out = String::from(
-        "racks  workload    scenario      n   launched (mean±sd)   energy   work     wait(s)\n",
+        "racks  workload    load  scenario     window               n   \
+         launched (mean±sd)   energy   work     wait(s)\n",
     );
     for s in summaries {
+        let load = if s.load_factor.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.2}", s.load_factor)
+        };
         out.push_str(&format!(
-            "{:<6} {:<11} {:<12} {:>3} {:>10.1} ±{:<7.1} {:>7.3} {:>7.3} {:>9.0}\n",
+            "{:<6} {:<11} {:<5} {:<12} {:<20} {:>3} {:>10.1} ±{:<7.1} {:>7.3} {:>7.3} {:>9.0}\n",
             s.racks,
             s.workload,
+            load,
             s.scenario,
+            s.window,
             s.replications,
             s.launched_jobs.mean,
             s.launched_jobs.stddev,
@@ -334,8 +400,159 @@ fn summary_table(summaries: &[SummaryRow]) -> String {
     out
 }
 
+/// `campaign pareto DIR [--out FILE] [--quiet]`: summarize the store and
+/// report the non-dominated (energy, work, wait) front per workload group.
+fn run_pareto(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut quiet = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(
+                    iter.next()
+                        .ok_or_else(|| "--out needs a value".to_string())?
+                        .clone(),
+                )
+            }
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown option: {flag}")),
+            path if dir.is_none() => dir = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument: {extra}")),
+        }
+    }
+    let dir = dir.ok_or("pareto needs a result-store directory")?;
+    let store = ResultStore::open(&dir)?;
+    let rows = store.rows();
+    if rows.is_empty() {
+        return Err(format!("store at {dir} records no completed cells yet"));
+    }
+    let summaries = summarize(&rows);
+    let front = pareto_front(&summaries);
+    let csv = render_pareto_csv(&front);
+    let out = out.unwrap_or_else(|| format!("{dir}/pareto.csv"));
+    std::fs::write(&out, &csv).map_err(|e| format!("cannot write {out}: {e}"))?;
+    if !quiet {
+        print!("{csv}");
+    }
+    eprintln!(
+        "pareto front: {} of {} summary rows non-dominated ({} cells); wrote {out}",
+        front.len(),
+        summaries.len(),
+        rows.len(),
+    );
+    Ok(())
+}
+
+/// `campaign query DIR [filters] [--columns LIST] [--limit N]`: stream
+/// matching rows out of the partitioned store without loading it whole.
+fn run_query(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut filter = RowFilter::default();
+    let mut columns: Vec<String> = QUERY_COLUMNS.iter().map(|c| c.to_string()).collect();
+    let mut limit: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            iter.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--workload" => filter.workload = Some(value("--workload")?.clone()),
+            "--scenario" => filter.scenario = Some(value("--scenario")?.clone()),
+            "--window" => filter.window = Some(value("--window")?.clone()),
+            "--load" => {
+                filter.load_factor = Some(
+                    value("--load")?
+                        .parse()
+                        .map_err(|_| "--load needs a number".to_string())?,
+                )
+            }
+            "--policy" => filter.policy = Some(value("--policy")?.clone()),
+            "--seed" => {
+                filter.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed needs an integer".to_string())?,
+                )
+            }
+            "--racks" => {
+                filter.racks = Some(
+                    value("--racks")?
+                        .parse()
+                        .map_err(|_| "--racks needs an integer".to_string())?,
+                )
+            }
+            "--columns" => {
+                columns = value("--columns")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                if columns.is_empty() {
+                    return Err("--columns needs a non-empty comma-separated list".into());
+                }
+            }
+            "--limit" => {
+                limit = Some(
+                    value("--limit")?
+                        .parse()
+                        .map_err(|_| "--limit needs an integer".to_string())?,
+                )
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option: {flag}")),
+            path if dir.is_none() => dir = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument: {extra}")),
+        }
+    }
+    let dir = dir.ok_or("query needs a result-store directory")?;
+    // Validate the projection up front so a typo errors before any output.
+    if let Some(unknown) = columns
+        .iter()
+        .find(|c| !QUERY_COLUMNS.contains(&c.as_str()))
+    {
+        return Err(format!(
+            "unknown column {unknown:?} (valid: {})",
+            QUERY_COLUMNS.join(", ")
+        ));
+    }
+    // Open (and thereby validate) the store before writing anything to
+    // stdout — a bad directory must not leave a lone CSV header behind.
+    let scanner = StoreScanner::open(&dir)?;
+    println!("{}", columns.join(","));
+    let mut printed = 0usize;
+    let matched = scanner.scan(&filter, |row| {
+        if limit.is_some_and(|n| printed >= n) {
+            return Ok(());
+        }
+        let fields: Result<Vec<String>, String> = columns.iter().map(|c| project(row, c)).collect();
+        println!("{}", fields?.join(","));
+        printed += 1;
+        Ok(())
+    })?;
+    eprintln!("{matched} row(s) matched; {printed} printed");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(subcommand) = args.first().map(String::as_str) {
+        if subcommand == "pareto" || subcommand == "query" {
+            let run = if subcommand == "pareto" {
+                run_pareto(&args[1..])
+            } else {
+                run_query(&args[1..])
+            };
+            return match run {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    eprintln!("{USAGE}");
+                    ExitCode::from(2)
+                }
+            };
+        }
+    }
     match parse_args(&args) {
         Ok(Some(options)) => match run(options) {
             Ok(()) => ExitCode::SUCCESS,

@@ -16,10 +16,12 @@ use std::collections::BTreeMap;
 use crate::sink::split_csv_line;
 
 /// Columns that identify a summary row rather than measure it.
-const KEY_COLUMNS: [&str; 6] = [
+const KEY_COLUMNS: [&str; 8] = [
     "racks",
     "workload",
+    "load_factor",
     "scenario",
+    "window",
     "cap_percent",
     "grouping",
     "decision_rule",
@@ -46,20 +48,44 @@ impl MetricDelta {
 
     /// Relative change in percent, against the baseline value.
     ///
-    /// Defined-vs-undefined (`NaN`) disagreements and changes away from an
-    /// exact zero baseline report `inf` — they breach every finite
-    /// threshold, which is the conservative reading of "the metric moved".
+    /// Defined-vs-undefined disagreements (`NaN` on one side, any
+    /// non-finite flip like `inf -> 3.2`, and changes away from an exact
+    /// zero baseline) report `inf` — they breach every finite threshold,
+    /// which is the conservative reading of "the metric moved". Two `NaN`s
+    /// compare as equal (0 %), whatever their provenance or payload bits.
+    ///
+    /// This function never returns `NaN`: the naive `(b - a) / a` formula
+    /// would (e.g. `a = inf, b = 3.2` gives `-inf / inf = NaN`), and a `NaN`
+    /// relative change silently passed every `>` threshold test — an
+    /// infinite baseline regressing to a finite value slipped through
+    /// `campaign-diff` unflagged.
     pub fn rel_percent(&self) -> f64 {
         if self.a.is_nan() && self.b.is_nan() {
             return 0.0;
         }
-        if self.a.is_nan() || self.b.is_nan() {
-            return f64::INFINITY;
+        if !self.a.is_finite() || !self.b.is_finite() {
+            // inf == inf (same sign) is unchanged; any other pairing of
+            // non-finite values is a defined-vs-undefined flip.
+            return if self.a == self.b { 0.0 } else { f64::INFINITY };
         }
         if self.a == 0.0 {
             return if self.b == 0.0 { 0.0 } else { f64::INFINITY };
         }
         ((self.b - self.a) / self.a).abs() * 100.0
+    }
+
+    /// Does this delta exceed `threshold_percent`?
+    ///
+    /// Only a *defined* comparison showing `rel <= threshold` passes; an
+    /// incomparable (NaN) relative change breaches. The old `rel > t` test
+    /// had it backwards — `NaN > t` is `false` for every `t`, so
+    /// NaN-producing deltas passed the diff silently.
+    pub fn breaches(&self, threshold_percent: f64) -> bool {
+        use std::cmp::Ordering;
+        !matches!(
+            self.rel_percent().partial_cmp(&threshold_percent),
+            Some(Ordering::Less | Ordering::Equal)
+        )
     }
 }
 
@@ -83,11 +109,13 @@ impl DiffReport {
         self.only_in_a.is_empty() && self.only_in_b.is_empty()
     }
 
-    /// Deltas whose relative change exceeds `threshold_percent`.
+    /// Deltas whose relative change exceeds `threshold_percent` (including
+    /// any whose relative change is undefined — see
+    /// [`MetricDelta::breaches`]).
     pub fn breaches(&self, threshold_percent: f64) -> Vec<&MetricDelta> {
         self.deltas
             .iter()
-            .filter(|d| d.rel_percent() > threshold_percent)
+            .filter(|d| d.breaches(threshold_percent))
             .collect()
     }
 
@@ -101,7 +129,7 @@ impl DiffReport {
             out.push_str(&format!("only in B: {key}\n"));
         }
         for d in &self.deltas {
-            let breach = if d.rel_percent() > threshold_percent {
+            let breach = if d.breaches(threshold_percent) {
                 "  ** breach"
             } else {
                 ""
@@ -240,8 +268,10 @@ mod tests {
             index,
             racks: 1,
             workload: "medianjob".into(),
-            seed: index as u64,
+            seed: Some(index as u64),
+            load_factor: 1.8,
             scenario: scenario.into(),
+            window: "7200+3600".into(),
             policy: "shut".into(),
             cap_percent: 60.0,
             grouping: "grouped".into(),
@@ -374,5 +404,76 @@ mod tests {
         assert_eq!(d.rel_percent(), f64::INFINITY);
         let same = MetricDelta { b: 0.0, ..d };
         assert_eq!(same.rel_percent(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_flips_always_breach_instead_of_nan_passing() {
+        // Regression: `(b - a) / a` with an infinite baseline is NaN, and
+        // `NaN > threshold` is false — an inf -> finite regression passed
+        // `campaign-diff` silently. rel_percent must never return NaN.
+        let delta = |a: f64, b: f64| MetricDelta {
+            key: "k".into(),
+            metric: "m".into(),
+            a,
+            b,
+        };
+        for (a, b) in [
+            (f64::INFINITY, 3.2),
+            (3.2, f64::INFINITY),
+            (f64::NEG_INFINITY, f64::INFINITY),
+            (f64::INFINITY, f64::NAN),
+            (f64::NAN, 0.0),
+        ] {
+            let d = delta(a, b);
+            assert!(
+                !d.rel_percent().is_nan(),
+                "rel_percent({a}, {b}) must not be NaN"
+            );
+            assert_eq!(d.rel_percent(), f64::INFINITY, "rel_percent({a}, {b})");
+            assert!(d.breaches(1e300), "({a} -> {b}) must breach any threshold");
+        }
+        // Unchanged non-finite values compare as equal.
+        assert_eq!(delta(f64::INFINITY, f64::INFINITY).rel_percent(), 0.0);
+        assert_eq!(
+            delta(f64::NEG_INFINITY, f64::NEG_INFINITY).rel_percent(),
+            0.0
+        );
+        assert_eq!(delta(f64::NAN, f64::NAN).rel_percent(), 0.0);
+        assert!(!delta(f64::NAN, f64::NAN).breaches(0.0));
+    }
+
+    #[test]
+    fn infinite_peak_regressions_are_caught_end_to_end() {
+        // The same hole exercised through the full summary.csv diff. Our own
+        // renderer writes non-finite values as empty fields, but `inf` is
+        // valid `f64::from_str` input and appears in files produced by other
+        // tooling (and in the full-precision store rows): a metric that was
+        // `inf` in A and finite in B used to produce a NaN relative change
+        // and pass silently.
+        let base = csv(&[row(0, "60%/SHUT", 10, 5.0)]);
+        let grow = |text: &str, value: &str| -> String {
+            let mut lines = text.lines();
+            let header = lines.next().unwrap();
+            let row = lines.next().unwrap();
+            format!("{header},extra_metric_mean\n{row},{value}\n")
+        };
+        let a = grow(&base, "inf");
+        let b = grow(&base, "3.2");
+        let report = diff_summary_csv(&a, &b).unwrap();
+        let extra: Vec<&MetricDelta> = report
+            .deltas
+            .iter()
+            .filter(|d| d.metric == "extra_metric_mean")
+            .collect();
+        assert_eq!(extra.len(), 1, "inf -> finite must produce a delta");
+        assert_eq!(extra[0].rel_percent(), f64::INFINITY);
+        assert!(
+            !report.breaches(1e300).is_empty(),
+            "inf -> finite must breach every threshold"
+        );
+        assert!(report.render(1e300).contains("** breach"));
+        // Two inf runs of the same sign are identical, not a breach.
+        let report = diff_summary_csv(&a, &a).unwrap();
+        assert!(report.deltas.is_empty());
     }
 }

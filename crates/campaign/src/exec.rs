@@ -185,7 +185,7 @@ impl CampaignRunner {
     ///
     /// Fails fast (before spawning anything) if the spec does not validate.
     pub fn run(&self) -> Result<CampaignOutcome, String> {
-        self.spec.validate()?;
+        self.spec.validate_for(&self.source)?;
         let cells = self.cells()?;
         let pending: Vec<usize> = (0..cells.len()).collect();
         let started = Instant::now();
@@ -222,7 +222,7 @@ impl CampaignRunner {
     /// checked against [`fingerprint`](Self::fingerprint) before anything
     /// runs.
     pub fn run_with_store(&self, store: &mut ResultStore) -> Result<CampaignOutcome, String> {
-        self.spec.validate()?;
+        self.spec.validate_for(&self.source)?;
         let cells = self.cells()?;
         store.validate_spec(self.fingerprint(), cells.len())?;
         let skipped = store.completed_count();
@@ -423,10 +423,17 @@ fn run_cell(
         let platform = platform_for(cell.racks);
         let trace = match (&cell.workload, source) {
             (CellWorkload::Fixed, TraceSource::Fixed(trace)) => std::sync::Arc::clone(trace),
-            (CellWorkload::Synthetic { interval, seed }, _) => {
+            (
+                CellWorkload::Synthetic {
+                    interval,
+                    seed,
+                    load_bits,
+                },
+                _,
+            ) => {
                 let generator = CurieTraceGenerator::new(*seed)
                     .interval(*interval)
-                    .load_factor(spec.load_factor)
+                    .load_factor(f64::from_bits(*load_bits))
                     .backlog_factor(spec.backlog_factor);
                 cache.get_or_generate(&generator, &platform)
             }
@@ -456,7 +463,7 @@ mod tests {
             seeds: vec![1, 2],
             policies: vec![apc_core::PowercapPolicy::Shut],
             cap_fractions: vec![0.6],
-            load_factor: 0.5,
+            load_factors: vec![0.5],
             backlog_factor: 0.2,
             ..CampaignSpec::default()
         }

@@ -51,6 +51,8 @@
 pub mod agg;
 pub mod diff;
 pub mod exec;
+pub mod pareto;
+pub mod query;
 pub mod sink;
 pub mod spec;
 pub mod store;
@@ -62,11 +64,16 @@ pub mod prelude {
     pub use crate::exec::{
         platform_for, CampaignOutcome, CampaignRunner, ExecStrategy, RunStats, WorkerStats,
     };
+    pub use crate::pareto::{pareto_front, render_pareto_csv, Objectives, ParetoRow};
+    pub use crate::query::{project, scan_store, RowFilter, StoreScanner, QUERY_COLUMNS};
     pub use crate::sink::{
         render_cells_csv, render_cells_json, render_summary_csv, render_summary_json, CampaignSink,
         CsvSink, JsonSink,
     };
-    pub use crate::spec::{CampaignCell, CampaignSpec, CellWorkload, TraceSource};
+    pub use crate::spec::{
+        place_windows, CampaignCell, CampaignSpec, CellWorkload, TraceSource, WindowPlacement,
+        WindowSet, SINGLE_PAPER_WINDOW,
+    };
     pub use crate::store::ResultStore;
 }
 

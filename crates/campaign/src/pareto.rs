@@ -1,0 +1,277 @@
+//! Pareto-front extraction over campaign summaries.
+//!
+//! The window/load-factor sweeps make the grid large enough that "which
+//! scenario wins" stops having a single answer: a tighter cap saves energy
+//! but costs work and wait. The GreenSlot-style framing (see PAPERS.md) is
+//! to report the **non-dominated front** of the energy-vs-performance
+//! trade-off instead: a scenario is on the front exactly when no other
+//! scenario of the same workload is at least as good on every objective and
+//! strictly better on one.
+//!
+//! Objectives, taken from the across-seed means of `summary.csv`:
+//!
+//! * `energy_normalized` — minimise;
+//! * `work_normalized`   — maximise;
+//! * `mean_wait_seconds` — minimise.
+//!
+//! Fronts are computed per **workload group** (rack scale × workload label ×
+//! load factor): comparing a 24 h interval against a 5 h one, or a 1.0-load
+//! run against an overloaded 1.8 one, would mix incomparable baselines.
+//! Rows with an undefined (`NaN`) objective are excluded — they can neither
+//! dominate nor sit on the front.
+
+use crate::agg::SummaryRow;
+use crate::sink::csv_field;
+
+/// The objective triple of one summary row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Across-seed mean of the normalised energy (minimise).
+    pub energy_normalized: f64,
+    /// Across-seed mean of the normalised work (maximise).
+    pub work_normalized: f64,
+    /// Across-seed mean of the queue wait in seconds (minimise).
+    pub mean_wait_seconds: f64,
+}
+
+impl Objectives {
+    /// Extract the objective means from a summary row.
+    pub fn of(row: &SummaryRow) -> Self {
+        Objectives {
+            energy_normalized: row.energy_normalized.mean,
+            work_normalized: row.work_normalized.mean,
+            mean_wait_seconds: row.mean_wait_seconds.mean,
+        }
+    }
+
+    /// Is any objective undefined? Such rows are excluded from the front.
+    pub fn has_nan(&self) -> bool {
+        self.energy_normalized.is_nan()
+            || self.work_normalized.is_nan()
+            || self.mean_wait_seconds.is_nan()
+    }
+
+    /// Does `self` dominate `other`: at least as good on every objective and
+    /// strictly better on at least one? Undefined objectives never dominate.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        if self.has_nan() || other.has_nan() {
+            return false;
+        }
+        let no_worse = self.energy_normalized <= other.energy_normalized
+            && self.work_normalized >= other.work_normalized
+            && self.mean_wait_seconds <= other.mean_wait_seconds;
+        let strictly_better = self.energy_normalized < other.energy_normalized
+            || self.work_normalized > other.work_normalized
+            || self.mean_wait_seconds < other.mean_wait_seconds;
+        no_worse && strictly_better
+    }
+}
+
+/// One row of a Pareto report: a non-dominated summary row plus how many
+/// rows of its workload group it dominates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoRow {
+    /// The non-dominated summary row.
+    pub summary: SummaryRow,
+    /// Its objective triple.
+    pub objectives: Objectives,
+    /// Number of same-group rows this row dominates.
+    pub dominated: usize,
+}
+
+/// Workload-group key: rows are only comparable within one of these.
+fn group_key(row: &SummaryRow) -> (usize, &str, u64) {
+    (row.racks, row.workload.as_str(), row.load_factor.to_bits())
+}
+
+/// Extract the non-dominated front of every workload group, preserving the
+/// input (first-occurrence) order of groups and of rows within a group.
+///
+/// The front is *exactly* the set of rows no other same-group row
+/// dominates; rows with a `NaN` objective are skipped. Rows are bucketed
+/// by group first, so the dominance scan is quadratic in the **group**
+/// size (a scenario grid: tens to a few thousand rows), not in the total
+/// row count of a big multi-workload sweep.
+pub fn pareto_front(summaries: &[SummaryRow]) -> Vec<ParetoRow> {
+    let objectives: Vec<Objectives> = summaries.iter().map(Objectives::of).collect();
+    let mut groups: std::collections::HashMap<(usize, &str, u64), Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, row) in summaries.iter().enumerate() {
+        groups.entry(group_key(row)).or_default().push(i);
+    }
+    let mut front = Vec::new();
+    for (i, candidate) in summaries.iter().enumerate() {
+        if objectives[i].has_nan() {
+            continue;
+        }
+        let mut dominated = 0usize;
+        let mut is_dominated = false;
+        for &j in &groups[&group_key(candidate)] {
+            if i == j {
+                continue;
+            }
+            if objectives[j].dominates(&objectives[i]) {
+                is_dominated = true;
+                break;
+            }
+            if objectives[i].dominates(&objectives[j]) {
+                dominated += 1;
+            }
+        }
+        if !is_dominated {
+            front.push(ParetoRow {
+                summary: candidate.clone(),
+                objectives: objectives[i],
+                dominated,
+            });
+        }
+    }
+    front
+}
+
+/// Header of the rendered `pareto.csv`.
+pub const PARETO_CSV_HEADER: &str = "racks,workload,load_factor,scenario,window,cap_percent,\
+grouping,decision_rule,replications,energy_normalized_mean,work_normalized_mean,\
+mean_wait_seconds_mean,dominated";
+
+/// Render a Pareto front as CSV (with header and trailing newline), using
+/// the same float formatting as `summary.csv`.
+pub fn render_pareto_csv(front: &[ParetoRow]) -> String {
+    fn float_field(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.6}")
+        } else {
+            String::new()
+        }
+    }
+    let mut out = String::from(PARETO_CSV_HEADER);
+    out.push('\n');
+    for row in front {
+        let s = &row.summary;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            s.racks,
+            csv_field(&s.workload),
+            float_field(s.load_factor),
+            csv_field(&s.scenario),
+            csv_field(&s.window),
+            float_field(s.cap_percent),
+            csv_field(&s.grouping),
+            csv_field(&s.decision_rule),
+            s.replications,
+            float_field(row.objectives.energy_normalized),
+            float_field(row.objectives.work_normalized),
+            float_field(row.objectives.mean_wait_seconds),
+            row.dominated,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::MetricSummary;
+
+    fn summary(workload: &str, scenario: &str, energy: f64, work: f64, wait: f64) -> SummaryRow {
+        let metric = |mean: f64| MetricSummary {
+            mean,
+            min: mean,
+            max: mean,
+            stddev: 0.0,
+        };
+        SummaryRow {
+            racks: 1,
+            workload: workload.into(),
+            load_factor: 1.8,
+            scenario: scenario.into(),
+            window: "7200+3600".into(),
+            cap_percent: 60.0,
+            grouping: "grouped".into(),
+            decision_rule: "paper-rho".into(),
+            replications: 2,
+            launched_jobs: metric(10.0),
+            energy_normalized: metric(energy),
+            work_normalized: metric(work),
+            mean_wait_seconds: metric(wait),
+            peak_power_watts: metric(1000.0),
+        }
+    }
+
+    #[test]
+    fn dominated_rows_are_dropped_and_counted() {
+        let rows = vec![
+            // Dominates b (less energy, more work, same wait).
+            summary("medianjob", "A", 0.5, 0.8, 100.0),
+            summary("medianjob", "B", 0.6, 0.7, 100.0),
+            // Trade-off against A: more energy but less wait — stays.
+            summary("medianjob", "C", 0.7, 0.8, 50.0),
+        ];
+        let front = pareto_front(&rows);
+        let labels: Vec<&str> = front.iter().map(|r| r.summary.scenario.as_str()).collect();
+        assert_eq!(labels, ["A", "C"]);
+        assert_eq!(front[0].dominated, 1);
+        assert_eq!(front[1].dominated, 0);
+    }
+
+    #[test]
+    fn fronts_are_per_workload_group() {
+        let rows = vec![
+            summary("medianjob", "A", 0.5, 0.8, 100.0),
+            // Strictly better than A on every objective, but a different
+            // workload: both rows survive, each on its own front.
+            summary("24h", "B", 0.4, 0.9, 50.0),
+            // Same workload label, different load factor: still a separate
+            // group.
+            {
+                let mut r = summary("medianjob", "D", 0.4, 0.9, 50.0);
+                r.load_factor = 1.0;
+                r
+            },
+        ];
+        let front = pareto_front(&rows);
+        assert_eq!(front.len(), 3);
+    }
+
+    #[test]
+    fn nan_objectives_are_excluded_but_do_not_block_others() {
+        let rows = vec![
+            summary("medianjob", "A", 0.5, 0.8, f64::NAN),
+            summary("medianjob", "B", 0.6, 0.7, 100.0),
+        ];
+        let front = pareto_front(&rows);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].summary.scenario, "B");
+        // NaN rows neither dominate nor get dominated.
+        assert!(!Objectives::of(&rows[0]).dominates(&Objectives::of(&rows[1])));
+        assert!(!Objectives::of(&rows[1]).dominates(&Objectives::of(&rows[0])));
+    }
+
+    #[test]
+    fn equal_rows_are_both_kept() {
+        // Neither strictly better ⇒ neither dominates ⇒ both on the front.
+        let rows = vec![
+            summary("medianjob", "A", 0.5, 0.8, 100.0),
+            summary("medianjob", "B", 0.5, 0.8, 100.0),
+        ];
+        assert_eq!(pareto_front(&rows).len(), 2);
+    }
+
+    #[test]
+    fn rendered_csv_has_one_line_per_front_row() {
+        let rows = vec![
+            summary("medianjob", "A", 0.5, 0.8, 100.0),
+            summary("medianjob", "B", 0.6, 0.7, 100.0),
+        ];
+        let csv = render_pareto_csv(&pareto_front(&rows));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], PARETO_CSV_HEADER);
+        assert_eq!(
+            lines[1].split(',').count(),
+            PARETO_CSV_HEADER.split(',').count()
+        );
+        assert!(lines[1].starts_with("1,medianjob,1.800000,A,7200+3600,60.000000"));
+        assert!(lines[1].ends_with(",1"), "dominated count column");
+    }
+}

@@ -1,0 +1,382 @@
+//! Streaming queries over a partitioned result store.
+//!
+//! [`ResultStore::open`](crate::store::ResultStore::open) loads every
+//! trusted row into memory — right for resuming, wrong for *inspecting* a
+//! huge campaign. The query path instead reads the manifest's completion
+//! log once and then streams the partition files **one at a time**, keeping
+//! only the current partition's rows resident: a million-cell store is
+//! filtered with the memory footprint of one 64-row partition plus the
+//! matches the caller retains.
+//!
+//! Duplicate records for a cell (a torn row followed by its rerun) resolve
+//! to the last parseable occurrence, exactly as the full loader does; this
+//! stays correct under streaming because a cell's records always live in
+//! the one partition its index maps to.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::agg::CellRow;
+use crate::store::{sorted_part_paths, ParsedManifest, MANIFEST_NAME, PARTS_DIR};
+
+/// A conjunctive row filter: every populated field must match.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowFilter {
+    /// Keep rows of this workload label ("medianjob", "24h", "swf", …).
+    pub workload: Option<String>,
+    /// Keep rows of this scenario label ("60%/SHUT", "100%/None", …).
+    pub scenario: Option<String>,
+    /// Keep rows of this cap-window label ("7200+3600",
+    /// "0+1800|16200+1800", "-" for the baseline).
+    pub window: Option<String>,
+    /// Keep rows of this policy name ("shut", "dvfs", "mix", "none").
+    pub policy: Option<String>,
+    /// Keep rows of this generator seed.
+    pub seed: Option<u64>,
+    /// Keep rows of this arrival load factor (matched by bit pattern, so
+    /// the value parsed from a `--load` flag matches exactly what the spec
+    /// recorded).
+    pub load_factor: Option<f64>,
+    /// Keep rows of this rack scale.
+    pub racks: Option<usize>,
+}
+
+impl RowFilter {
+    /// Does `row` pass every populated criterion?
+    pub fn matches(&self, row: &CellRow) -> bool {
+        self.workload.as_ref().is_none_or(|w| *w == row.workload)
+            && self.scenario.as_ref().is_none_or(|s| *s == row.scenario)
+            && self.window.as_ref().is_none_or(|w| *w == row.window)
+            && self.policy.as_ref().is_none_or(|p| *p == row.policy)
+            && self.seed.is_none_or(|s| row.seed == Some(s))
+            && self
+                .load_factor
+                .is_none_or(|l| l.to_bits() == row.load_factor.to_bits())
+            && self.racks.is_none_or(|r| r == row.racks)
+    }
+}
+
+/// The column names [`project`] accepts, in canonical `cells.csv` order.
+pub const QUERY_COLUMNS: [&str; 22] = [
+    "index",
+    "racks",
+    "workload",
+    "seed",
+    "load_factor",
+    "scenario",
+    "window",
+    "policy",
+    "cap_percent",
+    "grouping",
+    "decision_rule",
+    "launched_jobs",
+    "completed_jobs",
+    "killed_jobs",
+    "pending_jobs",
+    "work_core_seconds",
+    "energy_joules",
+    "energy_normalized",
+    "launched_jobs_normalized",
+    "work_normalized",
+    "mean_wait_seconds",
+    "peak_power_watts",
+];
+
+/// Render one named column of a row as a CSV-safe field (full precision,
+/// NaN/None as empty, labels quoted through the crate's `csv_field`
+/// escaping like every other CSV writer). Unknown names are an error
+/// listing the valid columns.
+pub fn project(row: &CellRow, column: &str) -> Result<String, String> {
+    use crate::sink::csv_field;
+    fn float(v: f64) -> String {
+        if v.is_nan() {
+            String::new()
+        } else {
+            v.to_string()
+        }
+    }
+    Ok(match column {
+        "index" => row.index.to_string(),
+        "racks" => row.racks.to_string(),
+        "workload" => csv_field(&row.workload),
+        "seed" => row.seed.map_or_else(String::new, |s| s.to_string()),
+        "load_factor" => float(row.load_factor),
+        "scenario" => csv_field(&row.scenario),
+        "window" => csv_field(&row.window),
+        "policy" => csv_field(&row.policy),
+        "cap_percent" => float(row.cap_percent),
+        "grouping" => csv_field(&row.grouping),
+        "decision_rule" => csv_field(&row.decision_rule),
+        "launched_jobs" => row.launched_jobs.to_string(),
+        "completed_jobs" => row.completed_jobs.to_string(),
+        "killed_jobs" => row.killed_jobs.to_string(),
+        "pending_jobs" => row.pending_jobs.to_string(),
+        "work_core_seconds" => float(row.work_core_seconds),
+        "energy_joules" => float(row.energy_joules),
+        "energy_normalized" => float(row.energy_normalized),
+        "launched_jobs_normalized" => float(row.launched_jobs_normalized),
+        "work_normalized" => float(row.work_normalized),
+        "mean_wait_seconds" => float(row.mean_wait_seconds),
+        "peak_power_watts" => float(row.peak_power_watts),
+        other => {
+            return Err(format!(
+                "unknown column {other:?} (valid: {})",
+                QUERY_COLUMNS.join(", ")
+            ))
+        }
+    })
+}
+
+/// A validated handle for streaming reads of a store directory.
+///
+/// [`open`](StoreScanner::open) parses the manifest up front — magic,
+/// schema version, completion log — exactly as
+/// [`ResultStore::open`](crate::store::ResultStore::open) does, so a v1
+/// store or a foreign directory is rejected *before* the caller produces
+/// any output; [`scan`](StoreScanner::scan) then streams the partitions.
+#[derive(Debug)]
+pub struct StoreScanner {
+    dir: PathBuf,
+    done: BTreeSet<usize>,
+}
+
+impl StoreScanner {
+    /// Validate the manifest of the store at `dir` and prepare a scanner.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let text = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let done = ParsedManifest::parse(&dir, &text)?.done;
+        Ok(StoreScanner { dir, done })
+    }
+
+    /// Number of cells the completion log trusts.
+    pub fn completed_count(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Stream every trusted, filter-matching row to `on_row`, in cell-index
+    /// order, without ever holding more than one partition's rows in
+    /// memory. Returns the number of rows that matched.
+    pub fn scan(
+        &self,
+        filter: &RowFilter,
+        mut on_row: impl FnMut(&CellRow) -> Result<(), String>,
+    ) -> Result<usize, String> {
+        let mut matched = 0usize;
+        for (_, path) in sorted_part_paths(&self.dir.join(PARTS_DIR))? {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            // Cells of one index always land in the same partition, so a
+            // per-partition map is enough to resolve duplicates to the last
+            // parseable record while streaming partition by partition.
+            let mut rows: BTreeMap<usize, CellRow> = BTreeMap::new();
+            for line in text.lines().skip(1) {
+                if let Ok(row) = CellRow::parse_store_line(line) {
+                    if self.done.contains(&row.index) {
+                        rows.insert(row.index, row);
+                    }
+                }
+            }
+            for row in rows.values() {
+                if filter.matches(row) {
+                    matched += 1;
+                    on_row(row)?;
+                }
+            }
+        }
+        Ok(matched)
+    }
+}
+
+/// One-shot convenience over [`StoreScanner`]: validate, then stream.
+pub fn scan_store(
+    dir: &Path,
+    filter: &RowFilter,
+    on_row: impl FnMut(&CellRow) -> Result<(), String>,
+) -> Result<usize, String> {
+    StoreScanner::open(dir)?.scan(filter, on_row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn row(index: usize, workload: &str, scenario: &str) -> CellRow {
+        CellRow {
+            index,
+            racks: 1,
+            workload: workload.into(),
+            seed: Some(index as u64 % 3),
+            load_factor: 1.8,
+            scenario: scenario.into(),
+            window: "7200+3600".into(),
+            policy: if scenario.contains("SHUT") {
+                "shut".into()
+            } else {
+                "none".into()
+            },
+            cap_percent: 60.0,
+            grouping: "grouped".into(),
+            decision_rule: "paper-rho".into(),
+            launched_jobs: index,
+            completed_jobs: index,
+            killed_jobs: 0,
+            pending_jobs: 0,
+            work_core_seconds: index as f64,
+            energy_joules: 1.0,
+            energy_normalized: 0.5,
+            launched_jobs_normalized: 0.5,
+            work_normalized: 0.25,
+            mean_wait_seconds: f64::NAN,
+            peak_power_watts: 900.0,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("apc-query-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A 200-cell store spanning several partitions, alternating workloads.
+    fn build_store(dir: &Path) {
+        let mut store = crate::store::ResultStore::create(dir, 0xabcd, 200).unwrap();
+        for i in 0..200 {
+            let workload = if i % 2 == 0 { "medianjob" } else { "24h" };
+            let scenario = if i % 4 == 0 { "60%/SHUT" } else { "100%/None" };
+            store.append(&row(i, workload, scenario)).unwrap();
+        }
+    }
+
+    #[test]
+    fn scan_streams_matching_rows_in_index_order() {
+        let dir = temp_dir("scan");
+        build_store(&dir);
+        let filter = RowFilter {
+            workload: Some("medianjob".into()),
+            scenario: Some("60%/SHUT".into()),
+            ..RowFilter::default()
+        };
+        let mut seen = Vec::new();
+        let matched = scan_store(&dir, &filter, |r| {
+            seen.push(r.index);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(matched, 50);
+        assert_eq!(seen.len(), 50);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "index-sorted");
+        assert!(seen.iter().all(|i| i % 4 == 0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_skips_untrusted_rows_like_the_full_loader() {
+        let dir = temp_dir("untrusted");
+        build_store(&dir);
+        // Drop one done entry: that cell must disappear from scans too.
+        let manifest = dir.join(MANIFEST_NAME);
+        let text = fs::read_to_string(&manifest).unwrap();
+        let kept: Vec<&str> = text.lines().filter(|l| *l != "done 8").collect();
+        fs::write(&manifest, kept.join("\n") + "\n").unwrap();
+        let matched = scan_store(&dir, &RowFilter::default(), |_| Ok(())).unwrap();
+        assert_eq!(matched, 199);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn filters_compose_conjunctively() {
+        let r = row(4, "medianjob", "60%/SHUT");
+        assert!(RowFilter::default().matches(&r));
+        let hit = RowFilter {
+            workload: Some("medianjob".into()),
+            policy: Some("shut".into()),
+            seed: Some(1),
+            racks: Some(1),
+            ..RowFilter::default()
+        };
+        assert!(hit.matches(&r));
+        let sweep_hit = RowFilter {
+            window: Some("7200+3600".into()),
+            load_factor: Some(1.8),
+            ..hit.clone()
+        };
+        assert!(sweep_hit.matches(&r));
+        for miss in [
+            RowFilter {
+                workload: Some("24h".into()),
+                ..hit.clone()
+            },
+            RowFilter {
+                seed: Some(2),
+                ..hit.clone()
+            },
+            RowFilter {
+                racks: Some(2),
+                ..hit.clone()
+            },
+            RowFilter {
+                window: Some("0+1800|16200+1800".into()),
+                ..hit.clone()
+            },
+            RowFilter {
+                load_factor: Some(1.0),
+                ..hit.clone()
+            },
+        ] {
+            assert!(!miss.matches(&r));
+        }
+        // A fixed-trace row (no seed) never matches a seed filter.
+        let mut fixed = row(4, "swf", "60%/SHUT");
+        fixed.seed = None;
+        assert!(!hit.matches(&fixed));
+    }
+
+    #[test]
+    fn projection_covers_every_column_and_rejects_unknown_ones() {
+        let r = row(4, "medianjob", "60%/SHUT");
+        for column in QUERY_COLUMNS {
+            let value = project(&r, column).unwrap();
+            if column == "mean_wait_seconds" {
+                assert!(value.is_empty(), "NaN renders empty");
+            }
+        }
+        assert_eq!(project(&r, "index").unwrap(), "4");
+        assert_eq!(project(&r, "seed").unwrap(), "1");
+        assert_eq!(project(&r, "window").unwrap(), "7200+3600");
+        let err = project(&r, "nope").unwrap_err();
+        assert!(err.contains("unknown column") && err.contains("work_normalized"));
+        // Labels go through csv_field like every other CSV writer, so a
+        // separator-carrying label cannot tear query output.
+        let mut odd = r.clone();
+        odd.scenario = "a,b".into();
+        assert_eq!(project(&odd, "scenario").unwrap(), "\"a,b\"");
+    }
+
+    #[test]
+    fn scan_rejects_foreign_and_mismatched_stores() {
+        let dir = temp_dir("foreign");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MANIFEST_NAME), "not a store\n").unwrap();
+        let err = scan_store(&dir, &RowFilter::default(), |_| Ok(())).unwrap_err();
+        assert!(err.contains("bad magic"), "got: {err}");
+        // Validation happens at open(), before any row callback could run —
+        // the query CLI relies on this to keep stdout clean on error.
+        assert!(StoreScanner::open(&dir).is_err());
+        assert!(StoreScanner::open(dir.join("missing")).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scanner_reports_the_completion_count() {
+        let dir = temp_dir("count");
+        build_store(&dir);
+        let scanner = StoreScanner::open(&dir).unwrap();
+        assert_eq!(scanner.completed_count(), 200);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -101,8 +101,8 @@ fn json_string(raw: &str) -> String {
 }
 
 /// Header of the per-cell CSV.
-pub const CELLS_CSV_HEADER: &str = "index,racks,workload,seed,scenario,policy,cap_percent,\
-grouping,decision_rule,launched_jobs,completed_jobs,killed_jobs,pending_jobs,\
+pub const CELLS_CSV_HEADER: &str = "index,racks,workload,seed,load_factor,scenario,window,\
+policy,cap_percent,grouping,decision_rule,launched_jobs,completed_jobs,killed_jobs,pending_jobs,\
 work_core_seconds,energy_joules,energy_normalized,launched_jobs_normalized,\
 work_normalized,mean_wait_seconds,peak_power_watts";
 
@@ -112,12 +112,14 @@ pub fn render_cells_csv(rows: &[CellRow]) -> String {
     out.push('\n');
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.index,
             r.racks,
             csv_field(&r.workload),
-            r.seed,
+            r.seed.map_or_else(String::new, |s| s.to_string()),
+            float_field(r.load_factor, false),
             csv_field(&r.scenario),
+            csv_field(&r.window),
             csv_field(&r.policy),
             float_field(r.cap_percent, false),
             csv_field(&r.grouping),
@@ -150,7 +152,7 @@ fn summary_metric_csv(m: &MetricSummary) -> String {
 
 /// Header of the across-seed summary CSV.
 pub const SUMMARY_CSV_HEADER: &str =
-    "racks,workload,scenario,cap_percent,grouping,decision_rule,replications,\
+    "racks,workload,load_factor,scenario,window,cap_percent,grouping,decision_rule,replications,\
 launched_jobs_mean,launched_jobs_min,launched_jobs_max,launched_jobs_stddev,\
 energy_normalized_mean,energy_normalized_min,energy_normalized_max,energy_normalized_stddev,\
 work_normalized_mean,work_normalized_min,work_normalized_max,work_normalized_stddev,\
@@ -164,10 +166,12 @@ pub fn render_summary_csv(summaries: &[SummaryRow]) -> String {
     out.push('\n');
     for s in summaries {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             s.racks,
             csv_field(&s.workload),
+            float_field(s.load_factor, false),
             csv_field(&s.scenario),
+            csv_field(&s.window),
             float_field(s.cap_percent, false),
             csv_field(&s.grouping),
             csv_field(&s.decision_rule),
@@ -190,8 +194,16 @@ pub fn render_cells_json(rows: &[CellRow]) -> String {
         out.push_str(&format!("\"index\": {}, ", r.index));
         out.push_str(&format!("\"racks\": {}, ", r.racks));
         out.push_str(&format!("\"workload\": {}, ", json_string(&r.workload)));
-        out.push_str(&format!("\"seed\": {}, ", r.seed));
+        out.push_str(&format!(
+            "\"seed\": {}, ",
+            r.seed.map_or_else(|| "null".to_string(), |s| s.to_string())
+        ));
+        out.push_str(&format!(
+            "\"load_factor\": {}, ",
+            float_field(r.load_factor, true)
+        ));
         out.push_str(&format!("\"scenario\": {}, ", json_string(&r.scenario)));
+        out.push_str(&format!("\"window\": {}, ", json_string(&r.window)));
         out.push_str(&format!("\"policy\": {}, ", json_string(&r.policy)));
         out.push_str(&format!(
             "\"cap_percent\": {}, ",
@@ -257,7 +269,12 @@ pub fn render_summary_json(summaries: &[SummaryRow]) -> String {
         out.push_str("  {");
         out.push_str(&format!("\"racks\": {}, ", s.racks));
         out.push_str(&format!("\"workload\": {}, ", json_string(&s.workload)));
+        out.push_str(&format!(
+            "\"load_factor\": {}, ",
+            float_field(s.load_factor, true)
+        ));
         out.push_str(&format!("\"scenario\": {}, ", json_string(&s.scenario)));
+        out.push_str(&format!("\"window\": {}, ", json_string(&s.window)));
         out.push_str(&format!(
             "\"cap_percent\": {}, ",
             float_field(s.cap_percent, true)
@@ -379,8 +396,10 @@ mod tests {
             index: 0,
             racks: 1,
             workload: "medianjob".into(),
-            seed: 7,
+            seed: Some(7),
+            load_factor: 1.8,
             scenario: "60%/SHUT".into(),
+            window: "7200+3600".into(),
             policy: "shut".into(),
             cap_percent: 60.0,
             grouping: "grouped".into(),
@@ -404,8 +423,8 @@ mod tests {
         let csv = render_cells_csv(&rows());
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with("index,racks,workload"));
-        assert!(lines[1].starts_with("0,1,medianjob,7,60%/SHUT,shut,60.000000"));
+        assert!(lines[0].starts_with("index,racks,workload,seed,load_factor,scenario,window"));
+        assert!(lines[1].starts_with("0,1,medianjob,7,1.800000,60%/SHUT,7200+3600,shut,60.000000"));
         assert!(lines[1].contains("123.456789"));
         // NaN mean wait renders as an empty field, keeping the column count.
         assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
@@ -488,7 +507,9 @@ mod tests {
         let summaries = vec![SummaryRow {
             racks: 1,
             workload: "medianjob".into(),
+            load_factor: 1.8,
             scenario: "60%/SHUT".into(),
+            window: "7200+3600".into(),
             cap_percent: 60.0,
             grouping: "grouped".into(),
             decision_rule: "paper-rho".into(),
@@ -507,9 +528,9 @@ mod tests {
         let csv = render_summary_csv(&summaries);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
-        assert!(
-            lines[1].starts_with("1,medianjob,60%/SHUT,60.000000,grouped,paper-rho,3,10.000000")
-        );
+        assert!(lines[1].starts_with(
+            "1,medianjob,1.800000,60%/SHUT,7200+3600,60.000000,grouped,paper-rho,3,10.000000"
+        ));
         let json = render_summary_json(&summaries);
         assert!(json.contains("\"launched_jobs\": {\"mean\": 10.000000"));
         assert!(json.contains("\"replications\": 3"));

@@ -12,8 +12,63 @@
 use apc_core::PowercapPolicy;
 use apc_power::bonus::GroupingStrategy;
 use apc_power::tradeoff::DecisionRule;
+use apc_replay::scenario::CapWindow;
 use apc_replay::Scenario;
+use apc_rjms::time::HOUR;
 use apc_workload::IntervalKind;
+
+/// One cap-window placement of a window-sweep axis: a start fraction in
+/// `[0, 1]` (0 = the window starts at the interval begin, 1 = it ends at the
+/// interval end, 0.5 = centred — the paper's placement) plus a duration in
+/// seconds. The duration is clamped to the interval before placement, so a
+/// sweep written for 5-hour intervals stays valid on shorter ones.
+pub type WindowPlacement = (f64, u64);
+
+/// One value of the cap-window axis: the set of windows a single scenario
+/// replays. The paper's evaluation uses one centred 1-hour window
+/// ([`SINGLE_PAPER_WINDOW`]); multi-window values cap two or more disjoint
+/// slots of the same interval.
+pub type WindowSet = Vec<WindowPlacement>;
+
+/// The paper's window placement: one 1-hour window centred in the interval.
+pub const SINGLE_PAPER_WINDOW: WindowPlacement = (0.5, HOUR);
+
+/// Place one window set inside an interval of `duration` seconds: clamp
+/// each window's duration to the interval, position its start by the start
+/// fraction, and reject overlapping placements (two caps on the same slot
+/// would silently resolve to one, making the sweep lie about its grid).
+pub fn place_windows(set: &[WindowPlacement], duration: u64) -> Result<Vec<CapWindow>, String> {
+    let mut placed = Vec::with_capacity(set.len());
+    for &(fraction, window_duration) in set {
+        if !(0.0..=1.0).contains(&fraction) || !fraction.is_finite() {
+            return Err(format!(
+                "window start fraction must be in [0, 1], got {fraction}"
+            ));
+        }
+        if window_duration == 0 {
+            return Err("window duration must be >= 1 second".to_string());
+        }
+        let clamped = window_duration.min(duration);
+        let slack = duration - clamped;
+        let start = (fraction * slack as f64).round() as u64;
+        placed.push(CapWindow::new(start, clamped));
+    }
+    let mut sorted = placed.clone();
+    sorted.sort_by_key(|w| w.start);
+    for pair in sorted.windows(2) {
+        if pair[0].end() > pair[1].start {
+            return Err(format!(
+                "cap windows overlap once placed in a {duration} s interval: \
+                 [{}, {}) and [{}, {})",
+                pair[0].start,
+                pair[0].end(),
+                pair[1].start,
+                pair[1].end()
+            ));
+        }
+    }
+    Ok(placed)
+}
 
 /// Where the replayed workload comes from.
 #[derive(Debug, Clone)]
@@ -30,12 +85,16 @@ pub enum TraceSource {
 /// The workload coordinate of one cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CellWorkload {
-    /// A synthetic interval replayed with a generator seed.
+    /// A synthetic interval replayed with a generator seed at an arrival
+    /// load factor.
     Synthetic {
         /// Interval flavour.
         interval: IntervalKind,
         /// Generator seed.
         seed: u64,
+        /// `f64::to_bits` of the generator's arrival load factor (stored as
+        /// bits so the coordinate stays `Eq`/`Hash`-able).
+        load_bits: u64,
     },
     /// The campaign's fixed (SWF) trace.
     Fixed,
@@ -50,11 +109,23 @@ impl CellWorkload {
         }
     }
 
-    /// The generator seed, or 0 for a fixed trace.
-    pub fn seed(&self) -> u64 {
+    /// The generator seed, or `None` for a fixed trace. (Fixed traces used
+    /// to report seed 0, which made an SWF row indistinguishable from a
+    /// legitimate synthetic `seed=0` row — the workload kind is now explicit
+    /// in every key derived from this.)
+    pub fn seed(&self) -> Option<u64> {
         match self {
-            CellWorkload::Synthetic { seed, .. } => *seed,
-            CellWorkload::Fixed => 0,
+            CellWorkload::Synthetic { seed, .. } => Some(*seed),
+            CellWorkload::Fixed => None,
+        }
+    }
+
+    /// The generator's arrival load factor, or `None` for a fixed trace
+    /// (whose arrival intensity is whatever the trace file recorded).
+    pub fn load_factor(&self) -> Option<f64> {
+        match self {
+            CellWorkload::Synthetic { load_bits, .. } => Some(f64::from_bits(*load_bits)),
+            CellWorkload::Fixed => None,
         }
     }
 }
@@ -87,12 +158,18 @@ pub struct CampaignSpec {
     pub cap_fractions: Vec<f64>,
     /// Also run the uncapped "100 %/None" baseline for every workload.
     pub include_baseline: bool,
+    /// Cap-window sweep axis: each value is the window set one scenario
+    /// replays — `[(0.5, 3600)]` is the paper's centred hour; a value with
+    /// several placements produces a multi-window scenario.
+    pub cap_windows: Vec<WindowSet>,
     /// Switch-off grouping strategies (ablation axis).
     pub groupings: Vec<GroupingStrategy>,
     /// DVFS-vs-shutdown decision rules (ablation axis).
     pub decision_rules: Vec<DecisionRule>,
-    /// Arrival load factor handed to the synthetic generator.
-    pub load_factor: f64,
+    /// Arrival load-factor sweep handed to the synthetic generator — one
+    /// workload replication per (interval, seed, load) triple (ignored for
+    /// fixed traces).
+    pub load_factors: Vec<f64>,
     /// Initial backlog factor handed to the synthetic generator.
     pub backlog_factor: f64,
     /// Seeded per-user fair-share history, in core-hours.
@@ -115,9 +192,10 @@ impl Default for CampaignSpec {
             ],
             cap_fractions: vec![0.80, 0.60, 0.40],
             include_baseline: true,
+            cap_windows: vec![vec![SINGLE_PAPER_WINDOW]],
             groupings: vec![GroupingStrategy::Grouped],
             decision_rules: vec![DecisionRule::PaperRho],
-            load_factor: 1.8,
+            load_factors: vec![1.8],
             backlog_factor: 1.3,
             initial_fairshare_core_hours: 1_000.0,
         }
@@ -183,13 +261,22 @@ impl CampaignSpec {
             put("cap", &format!("{:016x}", f.to_bits()));
         }
         put("baseline", if self.include_baseline { "1" } else { "0" });
+        for set in &self.cap_windows {
+            let value: Vec<String> = set
+                .iter()
+                .map(|(f, d)| format!("{:016x}x{d}", f.to_bits()))
+                .collect();
+            put("windows", &value.join("|"));
+        }
         for &g in &self.groupings {
             put("grouping", g.name());
         }
         for &d in &self.decision_rules {
             put("rule", d.name());
         }
-        put("load", &format!("{:016x}", self.load_factor.to_bits()));
+        for &l in &self.load_factors {
+            put("load", &format!("{:016x}", l.to_bits()));
+        }
         put(
             "backlog",
             &format!("{:016x}", self.backlog_factor.to_bits()),
@@ -244,9 +331,39 @@ impl CampaignSpec {
         {
             return Err(format!("cap fraction must be in (0, 1), got {f}"));
         }
-        if !(self.load_factor.is_finite() && self.load_factor > 0.0) {
-            return Err(format!("load factor must be > 0, got {}", self.load_factor));
+        if self.load_factors.is_empty() {
+            return Err("spec has no load factors".into());
         }
+        if let Some(l) = self
+            .load_factors
+            .iter()
+            .find(|&&l| !(l.is_finite() && l > 0.0))
+        {
+            return Err(format!("load factor must be > 0, got {l}"));
+        }
+        for set in &self.cap_windows {
+            if set.is_empty() {
+                return Err("a cap-window axis value has no windows (use [(0.5, 3600)] \
+                            for the paper placement)"
+                    .into());
+            }
+            // Fractions and durations are checkable here; overlap depends on
+            // the replayed duration, which validate() does not know — a
+            // fixed (SWF) campaign ignores the interval axis entirely — so
+            // placement is checked by [`validate_for`](Self::validate_for)
+            // and re-checked during expansion per actual duration.
+            for &(fraction, duration) in set {
+                if !(0.0..=1.0).contains(&fraction) || !fraction.is_finite() {
+                    return Err(format!(
+                        "window start fraction must be in [0, 1], got {fraction}"
+                    ));
+                }
+                if duration == 0 {
+                    return Err("window duration must be >= 1 second".to_string());
+                }
+            }
+        }
+        self.reject_duplicate_axis_values()?;
         if self.backlog_factor < 0.0 || !self.backlog_factor.is_finite() {
             return Err(format!(
                 "backlog factor must be >= 0, got {}",
@@ -261,36 +378,100 @@ impl CampaignSpec {
         Ok(())
     }
 
+    /// [`validate`](Self::validate) plus window **placement** checks against
+    /// the durations `source` will actually replay: every interval of the
+    /// grid for a synthetic campaign, the trace's own duration for a fixed
+    /// (SWF) one. Checking only the real durations matters — a window set
+    /// that overlaps inside a 5 h interval can be perfectly disjoint in a
+    /// 24 h SWF trace, and the interval axis is ignored for fixed sources.
+    pub fn validate_for(&self, source: &TraceSource) -> Result<(), String> {
+        self.validate()?;
+        let durations: Vec<u64> = match source {
+            TraceSource::Synthetic => self.intervals.iter().map(|i| i.duration()).collect(),
+            TraceSource::Fixed(trace) => vec![trace.duration],
+        };
+        for set in &self.cap_windows {
+            for &duration in &durations {
+                place_windows(set, duration)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reject axes with repeated values: a duplicated seed, cap, window set
+    /// or load factor expands into indistinguishable rows that share one
+    /// summary group and silently skew its mean/stddev (a duplicated rack or
+    /// ablation value likewise doubles rows without widening the grid).
+    fn reject_duplicate_axis_values(&self) -> Result<(), String> {
+        fn check<T: PartialEq + std::fmt::Debug>(values: &[T], axis: &str) -> Result<(), String> {
+            for (i, v) in values.iter().enumerate() {
+                if values[..i].contains(v) {
+                    return Err(format!(
+                        "{axis} axis repeats the value {v:?} — duplicate axis values \
+                         expand into indistinguishable rows that skew the summaries"
+                    ));
+                }
+            }
+            Ok(())
+        }
+        fn check_floats(values: &[f64], axis: &str) -> Result<(), String> {
+            for (i, v) in values.iter().enumerate() {
+                if values[..i].iter().any(|p| p.to_bits() == v.to_bits()) {
+                    return Err(format!(
+                        "{axis} axis repeats the value {v} — duplicate axis values \
+                         expand into indistinguishable rows that skew the summaries"
+                    ));
+                }
+            }
+            Ok(())
+        }
+        check(&self.racks, "rack-scale")?;
+        check(&self.intervals, "interval")?;
+        check(&self.seeds, "seed")?;
+        check_floats(&self.cap_fractions, "cap-fraction")?;
+        check_floats(&self.load_factors, "load-factor")?;
+        check(&self.cap_windows, "cap-window")?;
+        check(&self.groupings, "grouping")?;
+        check(&self.decision_rules, "decision-rule")?;
+        Ok(())
+    }
+
     /// The scenarios of one workload cell, in stable order: the baseline
-    /// first (once, with the default knobs), then caps × policies for every
-    /// grouping × decision-rule combination.
-    fn scenarios(&self, duration: u64) -> Vec<Scenario> {
+    /// first (once, with the default knobs), then windows × caps × policies
+    /// for every grouping × decision-rule combination. Errors when a window
+    /// set overlaps once placed in an interval of `duration` seconds.
+    fn scenarios(&self, duration: u64) -> Result<Vec<Scenario>, String> {
         let mut scenarios = Vec::new();
         if self.include_baseline {
             scenarios.push(Scenario::baseline());
         }
         for &grouping in &self.groupings {
             for &rule in &self.decision_rules {
-                for &fraction in &self.cap_fractions {
-                    for &policy in &self.policies {
-                        scenarios.push(
-                            Scenario::paper(policy, fraction, duration)
-                                .with_grouping(grouping)
-                                .with_decision_rule(rule),
-                        );
+                for set in &self.cap_windows {
+                    let windows = place_windows(set, duration)?;
+                    for &fraction in &self.cap_fractions {
+                        for &policy in &self.policies {
+                            scenarios.push(
+                                Scenario::paper(policy, fraction, duration)
+                                    .with_windows(windows.clone())
+                                    .with_grouping(grouping)
+                                    .with_decision_rule(rule),
+                            );
+                        }
                     }
                 }
             }
         }
-        scenarios
+        Ok(scenarios)
     }
 
     /// Expand the grid into concrete cells, densely indexed in a stable
-    /// order: racks → interval → seed → (baseline, then grouping → rule →
-    /// cap → policy).
+    /// order: racks → interval → seed → load factor → (baseline, then
+    /// grouping → rule → window set → cap → policy).
     ///
     /// Errors (instead of silently producing an empty or wrapped grid) when
-    /// an axis is zero-sized or the cell count overflows `usize`.
+    /// an axis is zero-sized, a window set overlaps once placed, or the cell
+    /// count overflows `usize`.
     pub fn expand(&self, source: &TraceSource) -> Result<Vec<CampaignCell>, String> {
         let total = match source {
             TraceSource::Synthetic => self.cell_count()?,
@@ -306,10 +487,16 @@ impl CampaignSpec {
                 let mut w = Vec::new();
                 for &interval in &self.intervals {
                     for &seed in &self.seeds {
-                        w.push((
-                            CellWorkload::Synthetic { interval, seed },
-                            interval.duration(),
-                        ));
+                        for &load in &self.load_factors {
+                            w.push((
+                                CellWorkload::Synthetic {
+                                    interval,
+                                    seed,
+                                    load_bits: load.to_bits(),
+                                },
+                                interval.duration(),
+                            ));
+                        }
                     }
                 }
                 w
@@ -318,7 +505,7 @@ impl CampaignSpec {
         let mut cells = Vec::with_capacity(total);
         for &racks in &self.racks {
             for &(workload, duration) in &workloads {
-                for scenario in self.scenarios(duration) {
+                for scenario in self.scenarios(duration)? {
                     cells.push(CampaignCell {
                         index: cells.len(),
                         racks,
@@ -339,6 +526,7 @@ impl CampaignSpec {
             for (len, axis) in [
                 (self.policies.len(), "policies"),
                 (self.cap_fractions.len(), "cap fractions"),
+                (self.cap_windows.len(), "cap windows"),
                 (self.groupings.len(), "groupings"),
                 (self.decision_rules.len(), "decision rules"),
             ] {
@@ -352,16 +540,20 @@ impl CampaignSpec {
         }
         let capped = checked_mul(
             checked_mul(
-                self.groupings.len(),
-                self.decision_rules.len(),
-                "groupings × rules",
+                checked_mul(
+                    self.groupings.len(),
+                    self.decision_rules.len(),
+                    "groupings × rules",
+                )?,
+                self.cap_windows.len(),
+                "groupings × rules × windows",
             )?,
             checked_mul(
                 self.cap_fractions.len(),
                 self.policies.len(),
                 "caps × policies",
             )?,
-            "groupings × rules × caps × policies",
+            "groupings × rules × windows × caps × policies",
         )?;
         capped
             .checked_add(usize::from(self.include_baseline))
@@ -379,6 +571,7 @@ impl CampaignSpec {
             (self.racks.len(), "rack-scale"),
             (self.intervals.len(), "interval"),
             (self.seeds.len(), "seed"),
+            (self.load_factors.len(), "load-factor"),
         ] {
             if len == 0 {
                 return Err(format!("campaign grid has a zero-sized {axis} axis"));
@@ -393,9 +586,13 @@ impl CampaignSpec {
             );
         }
         checked_mul(
-            checked_mul(self.racks.len(), self.intervals.len(), "racks × intervals")?,
+            checked_mul(
+                checked_mul(self.racks.len(), self.intervals.len(), "racks × intervals")?,
+                self.load_factors.len(),
+                "racks × intervals × loads",
+            )?,
             checked_mul(self.seeds.len(), per_workload, "seeds × scenarios")?,
-            "racks × intervals × seeds × scenarios",
+            "racks × intervals × loads × seeds × scenarios",
         )
     }
 }
@@ -465,7 +662,10 @@ mod tests {
         );
         assert!(cells.iter().all(|c| c.workload == CellWorkload::Fixed));
         assert_eq!(cells[0].workload.label(), "swf");
-        assert_eq!(cells[0].workload.seed(), 0);
+        // Regression: a fixed trace used to report seed 0, conflating its
+        // rows with a legitimate synthetic seed=0 replication.
+        assert_eq!(cells[0].workload.seed(), None);
+        assert_eq!(cells[0].workload.load_factor(), None);
     }
 
     #[test]
@@ -557,7 +757,11 @@ mod tests {
                 ..spec.clone()
             },
             CampaignSpec {
-                load_factor: 1.9,
+                load_factors: vec![1.9],
+                ..spec.clone()
+            },
+            CampaignSpec {
+                cap_windows: vec![vec![(0.25, 1800)]],
                 ..spec.clone()
             },
         ] {
@@ -590,5 +794,156 @@ mod tests {
         let w = capped.scenario.window().unwrap();
         assert_eq!(w.duration(), 3600);
         assert_eq!(w.start, (24 * 3600 - 3600) / 2);
+    }
+
+    #[test]
+    fn window_and_load_sweeps_multiply_the_grid() {
+        let spec = CampaignSpec {
+            intervals: vec![IntervalKind::MedianJob],
+            cap_windows: vec![
+                vec![SINGLE_PAPER_WINDOW],
+                vec![(0.0, 1800)],
+                vec![(0.0, 1800), (1.0, 1800)],
+            ],
+            load_factors: vec![1.0, 1.8],
+            ..CampaignSpec::default()
+        };
+        spec.validate().unwrap();
+        // 1 rack × 1 interval × 1 seed × 2 loads × (1 baseline + 3 windows ×
+        // 3 caps × 3 policies).
+        assert_eq!(spec.cell_count().unwrap(), 2 * (1 + 3 * 3 * 3));
+        let cells = spec.expand(&TraceSource::Synthetic).unwrap();
+        assert_eq!(cells.len(), spec.cell_count().unwrap());
+        // Every load factor appears in the workload coordinates.
+        let loads: std::collections::BTreeSet<u64> = cells
+            .iter()
+            .filter_map(|c| c.workload.load_factor().map(f64::to_bits))
+            .collect();
+        assert_eq!(loads.len(), 2);
+        // The multi-window set produces scenarios with two disjoint windows
+        // placed at the interval edges.
+        let multi = cells
+            .iter()
+            .find(|c| c.scenario.cap_windows.len() == 2)
+            .expect("a multi-window cell");
+        let ws = multi.scenario.windows();
+        assert_eq!((ws[0].start, ws[0].end), (0, 1800));
+        assert_eq!((ws[1].start, ws[1].end), (16_200, 18_000));
+    }
+
+    #[test]
+    fn window_placement_clamps_and_rejects_overlap() {
+        // A 2-hour window in a 1-hour-equivalent slot clamps to the span.
+        let placed = place_windows(&[(0.5, 48 * 3600)], 18_000).unwrap();
+        assert_eq!((placed[0].start, placed[0].duration), (0, 18_000));
+        // Fractions place within the slack.
+        let placed = place_windows(&[(1.0, 3600)], 18_000).unwrap();
+        assert_eq!(placed[0].start, 14_400);
+        assert_eq!(placed[0].end(), 18_000);
+        // Overlapping placements are an error, not a silent merge.
+        let err = place_windows(&[(0.0, 10_000), (0.5, 10_000)], 18_000).unwrap_err();
+        assert!(err.contains("overlap"), "got: {err}");
+        // And a spec carrying such a sweep fails source-aware validation
+        // (and expansion) up front.
+        let spec = CampaignSpec {
+            cap_windows: vec![vec![(0.0, 10_000), (0.5, 10_000)]],
+            intervals: vec![IntervalKind::MedianJob],
+            ..CampaignSpec::default()
+        };
+        assert!(spec
+            .validate_for(&TraceSource::Synthetic)
+            .unwrap_err()
+            .contains("overlap"));
+        assert!(spec.expand(&TraceSource::Synthetic).is_err());
+        // Bad fractions and zero durations are caught too.
+        assert!(place_windows(&[(1.5, 3600)], 18_000).is_err());
+        assert!(place_windows(&[(0.5, 0)], 18_000).is_err());
+        let empty = CampaignSpec {
+            cap_windows: vec![vec![]],
+            ..CampaignSpec::default()
+        };
+        assert!(empty.validate().unwrap_err().contains("no windows"));
+    }
+
+    #[test]
+    fn fixed_source_window_placement_is_checked_against_the_trace_duration() {
+        // Two disjoint 3-hour windows fit a 24 h trace but overlap inside
+        // the 5 h intervals of the (ignored) synthetic axis. A fixed-source
+        // campaign must validate against the trace duration only.
+        let spec = CampaignSpec {
+            cap_windows: vec![vec![(0.0, 3 * 3600), (1.0, 3 * 3600)]],
+            intervals: vec![IntervalKind::MedianJob],
+            ..CampaignSpec::default()
+        };
+        // Static validity passes either way; synthetic placement rejects.
+        spec.validate().unwrap();
+        assert!(spec
+            .validate_for(&TraceSource::Synthetic)
+            .unwrap_err()
+            .contains("overlap"));
+        // A day-long fixed trace accepts the same sweep.
+        let platform = apc_rjms::cluster::Platform::curie_scaled(1);
+        let trace = apc_workload::CurieTraceGenerator::new(1)
+            .interval(IntervalKind::Day24h)
+            .load_factor(0.3)
+            .backlog_factor(0.0)
+            .generate_for(&platform);
+        let fixed = TraceSource::Fixed(std::sync::Arc::new(trace));
+        spec.validate_for(&fixed).unwrap();
+        let cells = spec.expand(&fixed).unwrap();
+        let multi = cells
+            .iter()
+            .find(|c| c.scenario.cap_windows.len() == 2)
+            .expect("a multi-window SWF cell");
+        let ws = multi.scenario.windows();
+        assert_eq!((ws[0].start, ws[0].end), (0, 10_800));
+        assert_eq!((ws[1].start, ws[1].end), (75_600, 86_400));
+    }
+
+    #[test]
+    fn duplicate_axis_values_are_rejected() {
+        for (spec, what) in [
+            (
+                CampaignSpec {
+                    seeds: vec![2012, 2013, 2012],
+                    ..CampaignSpec::default()
+                },
+                "seed",
+            ),
+            (
+                CampaignSpec {
+                    cap_fractions: vec![0.6, 0.6],
+                    ..CampaignSpec::default()
+                },
+                "cap-fraction",
+            ),
+            (
+                CampaignSpec {
+                    cap_windows: vec![vec![(0.5, 3600)], vec![(0.5, 3600)]],
+                    ..CampaignSpec::default()
+                },
+                "cap-window",
+            ),
+            (
+                CampaignSpec {
+                    load_factors: vec![1.0, 1.0],
+                    ..CampaignSpec::default()
+                },
+                "load-factor",
+            ),
+            (
+                CampaignSpec {
+                    racks: vec![2, 2],
+                    ..CampaignSpec::default()
+                },
+                "rack-scale",
+            ),
+        ] {
+            let err = spec.validate().unwrap_err();
+            assert!(
+                err.contains(what) && err.contains("repeats"),
+                "{what}: got {err}"
+            );
+        }
     }
 }

@@ -37,7 +37,13 @@ use crate::agg::CellRow;
 const MANIFEST_MAGIC: &str = "apc-campaign-store";
 
 /// On-disk schema version; bump when the row layout changes.
-pub const STORE_SCHEMA_VERSION: u32 = 1;
+///
+/// v1 (PR 3) rows had 20 fields; v2 adds the `load_factor` and `window`
+/// columns (and an optional `seed`) for the cap-window / load-factor sweep
+/// axes. A v1 store cannot be resumed by v2 code — the row codec and the
+/// spec fingerprint both changed — so [`ResultStore::open`] rejects it with
+/// a versioned error instead of re-running cells into a mixed-layout store.
+pub const STORE_SCHEMA_VERSION: u32 = 2;
 
 /// Default number of cells per partition file.
 pub const DEFAULT_CELLS_PER_PART: usize = 64;
@@ -51,6 +57,112 @@ pub const PARTS_DIR: &str = "cells";
 /// Header of every partition file (same columns as the rendered
 /// `cells.csv`, but with full-precision float fields).
 pub const PART_CSV_HEADER: &str = crate::sink::CELLS_CSV_HEADER;
+
+/// The partition files of a store, sorted by **partition number** (parsed
+/// from the `part-N.csv` name, not lexically — `part-10000` must come after
+/// `part-9999`, where a lexical sort would interleave them once grids grow
+/// past 640 k cells). Files that do not look like partitions are ignored.
+pub(crate) fn sorted_part_paths(parts_dir: &Path) -> Result<Vec<(usize, PathBuf)>, String> {
+    let entries =
+        fs::read_dir(parts_dir).map_err(|e| format!("cannot read {}: {e}", parts_dir.display()))?;
+    let mut parts: Vec<(usize, PathBuf)> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter_map(|p| {
+            let number = p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("part-"))
+                .and_then(|n| n.strip_suffix(".csv"))
+                .and_then(|n| n.parse::<usize>().ok())?;
+            Some((number, p))
+        })
+        .collect();
+    parts.sort_by_key(|(number, _)| *number);
+    Ok(parts)
+}
+
+/// A parsed `manifest.txt`: the header fields plus the trusted `done` set.
+/// Shared by the full loader ([`ResultStore::open`]) and the streaming
+/// query path ([`crate::query::scan_store`]) so both validate the magic and
+/// schema version identically.
+#[derive(Debug)]
+pub(crate) struct ParsedManifest {
+    pub(crate) spec_hash: u64,
+    pub(crate) total_cells: usize,
+    pub(crate) cells_per_part: usize,
+    pub(crate) done: std::collections::BTreeSet<usize>,
+}
+
+impl ParsedManifest {
+    /// Parse a manifest's text; `dir` only labels error messages.
+    pub(crate) fn parse(dir: &Path, text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        let mut magic = header.split_whitespace();
+        if magic.next() != Some(MANIFEST_MAGIC) {
+            return Err(format!(
+                "{} is not a campaign result store (bad magic line {header:?})",
+                dir.display()
+            ));
+        }
+        let schema: u32 = magic
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("manifest header {header:?} has no schema version"))?;
+        if schema != STORE_SCHEMA_VERSION {
+            return Err(format!(
+                "store schema v{schema} is not the supported v{STORE_SCHEMA_VERSION} — \
+                 this store was written by an incompatible version; rerun the campaign \
+                 into a fresh --out directory"
+            ));
+        }
+        let mut spec_hash = None;
+        let mut total_cells = None;
+        let mut cells_per_part = DEFAULT_CELLS_PER_PART;
+        let mut done = std::collections::BTreeSet::new();
+        for line in lines {
+            let mut words = line.split_whitespace();
+            match (words.next(), words.next()) {
+                (Some("spec"), Some(v)) => {
+                    spec_hash = Some(
+                        u64::from_str_radix(v, 16)
+                            .map_err(|_| format!("bad spec hash in manifest: {v:?}"))?,
+                    );
+                }
+                (Some("cells"), Some(v)) => {
+                    total_cells = Some(
+                        v.parse()
+                            .map_err(|_| format!("bad cell count in manifest: {v:?}"))?,
+                    );
+                }
+                (Some("per-part"), Some(v)) => {
+                    cells_per_part = v
+                        .parse()
+                        .map_err(|_| format!("bad per-part width in manifest: {v:?}"))?;
+                    if cells_per_part == 0 {
+                        return Err("per-part width must be >= 1".into());
+                    }
+                }
+                // A torn trailing `done` line (no index, or a half-written
+                // number) means that cell never finished — skip it.
+                (Some("done"), Some(v)) => {
+                    if let Ok(idx) = v.parse::<usize>() {
+                        done.insert(idx);
+                    }
+                }
+                // Anything else is a line torn by a crash (or a future
+                // extension): skip it rather than refusing to resume.
+                _ => {}
+            }
+        }
+        Ok(ParsedManifest {
+            spec_hash: spec_hash.ok_or("manifest has no spec hash")?,
+            total_cells: total_cells.ok_or("manifest has no cell count")?,
+            cells_per_part,
+            done,
+        })
+    }
+}
 
 /// Read the final byte of a non-empty file.
 fn last_byte(path: &Path, len: u64) -> io::Result<u8> {
@@ -126,83 +238,18 @@ impl ResultStore {
         let manifest_path = dir.join(MANIFEST_NAME);
         let text = fs::read_to_string(&manifest_path)
             .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
-        let mut lines = text.lines();
-        let header = lines.next().unwrap_or("");
-        let mut magic = header.split_whitespace();
-        if magic.next() != Some(MANIFEST_MAGIC) {
-            return Err(format!(
-                "{} is not a campaign result store (bad magic line {header:?})",
-                dir.display()
-            ));
-        }
-        let schema: u32 = magic
-            .next()
-            .and_then(|v| v.parse().ok())
-            .ok_or_else(|| format!("manifest header {header:?} has no schema version"))?;
-        if schema != STORE_SCHEMA_VERSION {
-            return Err(format!(
-                "store schema v{schema} is not the supported v{STORE_SCHEMA_VERSION}"
-            ));
-        }
-        let mut spec_hash = None;
-        let mut total_cells = None;
-        let mut cells_per_part = DEFAULT_CELLS_PER_PART;
-        let mut done = std::collections::BTreeSet::new();
-        for line in lines {
-            let mut words = line.split_whitespace();
-            match (words.next(), words.next()) {
-                (Some("spec"), Some(v)) => {
-                    spec_hash = Some(
-                        u64::from_str_radix(v, 16)
-                            .map_err(|_| format!("bad spec hash in manifest: {v:?}"))?,
-                    );
-                }
-                (Some("cells"), Some(v)) => {
-                    total_cells = Some(
-                        v.parse()
-                            .map_err(|_| format!("bad cell count in manifest: {v:?}"))?,
-                    );
-                }
-                (Some("per-part"), Some(v)) => {
-                    cells_per_part = v
-                        .parse()
-                        .map_err(|_| format!("bad per-part width in manifest: {v:?}"))?;
-                    if cells_per_part == 0 {
-                        return Err("per-part width must be >= 1".into());
-                    }
-                }
-                // A torn trailing `done` line (no index, or a half-written
-                // number) means that cell never finished — skip it.
-                (Some("done"), Some(v)) => {
-                    if let Ok(idx) = v.parse::<usize>() {
-                        done.insert(idx);
-                    }
-                }
-                // Anything else is a line torn by a crash (or a future
-                // extension): skip it rather than refusing to resume.
-                _ => {}
-            }
-        }
-        let spec_hash = spec_hash.ok_or("manifest has no spec hash")?;
-        let total_cells = total_cells.ok_or("manifest has no cell count")?;
+        let manifest = ParsedManifest::parse(&dir, &text)?;
+        let ParsedManifest {
+            spec_hash,
+            total_cells,
+            cells_per_part,
+            done,
+        } = manifest;
 
         // Load rows from the partitions, trusting only indices in the done
         // set and keeping the last parseable record per index.
         let mut rows = BTreeMap::new();
-        let parts_dir = dir.join(PARTS_DIR);
-        let mut part_paths: Vec<PathBuf> = match fs::read_dir(&parts_dir) {
-            Ok(entries) => entries
-                .filter_map(|e| e.ok().map(|e| e.path()))
-                .filter(|p| {
-                    p.file_name()
-                        .and_then(|n| n.to_str())
-                        .is_some_and(|n| n.starts_with("part-") && n.ends_with(".csv"))
-                })
-                .collect(),
-            Err(e) => return Err(format!("cannot read {}: {e}", parts_dir.display())),
-        };
-        part_paths.sort();
-        for path in part_paths {
+        for (_, path) in sorted_part_paths(&dir.join(PARTS_DIR))? {
             let text = fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
             for line in text.lines().skip(1) {
@@ -348,8 +395,10 @@ mod tests {
             index,
             racks: 1,
             workload: "medianjob".into(),
-            seed: index as u64,
+            seed: Some(index as u64),
+            load_factor: 1.8,
             scenario: "60%/SHUT".into(),
+            window: "7200+3600".into(),
             policy: "shut".into(),
             cap_percent: 60.0,
             grouping: "grouped".into(),
@@ -492,6 +541,47 @@ mod tests {
         assert!(err.contains("different campaign spec"), "got: {err}");
         let err = store.validate_spec(0xabc, 41).unwrap_err();
         assert!(err.contains("records 40 cells"), "got: {err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_a_v1_schema_store_with_a_versioned_error() {
+        let dir = temp_dir("schema-v1");
+        // Write a store, then rewrite its manifest header to schema v1 —
+        // exactly what a store produced by the pre-sweep code looks like.
+        let mut store = ResultStore::create(&dir, 0xbeef, 10).unwrap();
+        store.append(&row(0)).unwrap();
+        drop(store);
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let text = fs::read_to_string(&manifest_path).unwrap();
+        let downgraded = text.replacen(
+            &format!("{MANIFEST_MAGIC} {STORE_SCHEMA_VERSION}"),
+            &format!("{MANIFEST_MAGIC} 1"),
+            1,
+        );
+        assert_ne!(text, downgraded, "header rewrite must take effect");
+        fs::write(&manifest_path, downgraded).unwrap();
+        let err = ResultStore::open(&dir).unwrap_err();
+        assert!(
+            err.contains("schema v1") && err.contains(&format!("v{STORE_SCHEMA_VERSION}")),
+            "got: {err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partitions_are_ordered_numerically_not_lexically() {
+        let dir = temp_dir("part-order");
+        fs::create_dir_all(&dir).unwrap();
+        // Simulate a grid large enough for 5-digit partition numbers next
+        // to 4-digit ones: lexically "part-10000" sorts before "part-9999".
+        for name in ["part-10000.csv", "part-9999.csv", "part-0002.csv"] {
+            fs::write(dir.join(name), "x\n").unwrap();
+        }
+        fs::write(dir.join("not-a-part.txt"), "y\n").unwrap();
+        let parts = sorted_part_paths(&dir).unwrap();
+        let numbers: Vec<usize> = parts.iter().map(|(n, _)| *n).collect();
+        assert_eq!(numbers, [2, 9999, 10000]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

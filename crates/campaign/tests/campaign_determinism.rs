@@ -19,7 +19,7 @@ fn small_grid() -> CampaignSpec {
         seeds: vec![11, 12],
         policies: vec![PowercapPolicy::Shut, PowercapPolicy::Mix],
         cap_fractions: vec![0.6],
-        load_factor: 0.6,
+        load_factors: vec![0.6],
         backlog_factor: 0.3,
         ..CampaignSpec::default()
     }
@@ -86,6 +86,72 @@ fn store_outputs(threads: usize, strategy: ExecStrategy) -> [Vec<u8>; 4] {
         .map(|name| std::fs::read(dir.join(name)).unwrap());
     std::fs::remove_dir_all(&dir).unwrap();
     outputs
+}
+
+/// A grid exercising the sweep axes: two window sets (the paper's centred
+/// hour and an early/late multi-window pair) × two load factors, one seed.
+fn sweep_grid() -> CampaignSpec {
+    CampaignSpec {
+        racks: vec![1],
+        intervals: vec![IntervalKind::MedianJob],
+        seeds: vec![11],
+        policies: vec![PowercapPolicy::Shut, PowercapPolicy::Mix],
+        cap_fractions: vec![0.6],
+        cap_windows: vec![vec![SINGLE_PAPER_WINDOW], vec![(0.0, 1800), (1.0, 1800)]],
+        load_factors: vec![0.5, 0.8],
+        backlog_factor: 0.3,
+        ..CampaignSpec::default()
+    }
+}
+
+fn sweep_outputs(threads: usize, strategy: ExecStrategy) -> [String; 4] {
+    let outcome = CampaignRunner::new(sweep_grid())
+        .with_threads(threads)
+        .with_strategy(strategy)
+        .run()
+        .unwrap();
+    [
+        render_cells_csv(&outcome.rows),
+        render_summary_csv(&outcome.summaries),
+        render_cells_json(&outcome.rows),
+        render_summary_json(&outcome.summaries),
+    ]
+}
+
+#[test]
+fn window_and_load_sweep_output_is_byte_identical_across_threads_and_strategies() {
+    let reference = sweep_outputs(1, ExecStrategy::WorkStealing);
+    // 2 loads × (1 baseline + 2 windows × 1 cap × 2 policies) = 10 cells.
+    assert_eq!(reference[0].lines().count(), 1 + 10);
+    // Window sweeps must stay distinct summary groups: the two window sets
+    // of one (load, policy) pair never fold together.
+    assert_eq!(reference[1].lines().count(), 1 + 10);
+    assert!(reference[0].contains("0+1800|16200+1800"));
+    for (label, outputs) in [
+        (
+            "steal --threads 2",
+            sweep_outputs(2, ExecStrategy::WorkStealing),
+        ),
+        (
+            "steal --threads 8",
+            sweep_outputs(8, ExecStrategy::WorkStealing),
+        ),
+        (
+            "static --threads 2",
+            sweep_outputs(2, ExecStrategy::StaticShard),
+        ),
+        (
+            "static --threads 8",
+            sweep_outputs(8, ExecStrategy::StaticShard),
+        ),
+    ] {
+        for (name, (a, b)) in ["cells.csv", "summary.csv", "cells.json", "summary.json"]
+            .iter()
+            .zip(reference.iter().zip(outputs.iter()))
+        {
+            assert_eq!(a, b, "{name} differs between --threads 1 and {label}");
+        }
+    }
 }
 
 #[test]

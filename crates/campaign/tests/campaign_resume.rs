@@ -22,7 +22,7 @@ fn small_grid() -> CampaignSpec {
         seeds: vec![11, 12],
         policies: vec![PowercapPolicy::Shut, PowercapPolicy::Mix],
         cap_fractions: vec![0.6],
-        load_factor: 0.6,
+        load_factors: vec![0.6],
         backlog_factor: 0.3,
         ..CampaignSpec::default()
     }
@@ -151,6 +151,85 @@ fn resuming_a_complete_store_runs_nothing() {
     render(&dir, &store);
     assert_eq!(expected, read_outputs(&dir));
     fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_of_a_v1_schema_store_is_rejected_with_a_versioned_error() {
+    // A store left behind by the pre-sweep (schema v1) code: same layout,
+    // older version number in the manifest header. Resuming it must fail
+    // with the schema-version error — not re-run cells into a store whose
+    // rows have the old 20-field layout.
+    let dir = temp_dir("v1-schema");
+    run_full(&dir, 1);
+    let manifest = dir.join("manifest.txt");
+    let text = fs::read_to_string(&manifest).unwrap();
+    let downgraded = text.replacen(
+        &format!(
+            "apc-campaign-store {}",
+            apc_campaign::store::STORE_SCHEMA_VERSION
+        ),
+        "apc-campaign-store 1",
+        1,
+    );
+    assert_ne!(text, downgraded, "header rewrite must take effect");
+    fs::write(&manifest, downgraded).unwrap();
+    let err = ResultStore::open(&dir).unwrap_err();
+    assert!(
+        err.contains("schema v1")
+            && err.contains(&format!("v{}", apc_campaign::store::STORE_SCHEMA_VERSION)),
+        "got: {err}"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sweep_campaign_resumes_byte_identically() {
+    // Crash-resume under schema v2 on a grid that uses the new axes: a
+    // multi-window sweep × two load factors, interrupted after 3 cells.
+    let grid = || CampaignSpec {
+        cap_windows: vec![vec![SINGLE_PAPER_WINDOW], vec![(0.0, 1800), (1.0, 1800)]],
+        load_factors: vec![0.5, 0.8],
+        ..small_grid()
+    };
+    let full_dir = temp_dir("sweep-full");
+    let runner = CampaignRunner::new(grid()).with_threads(1);
+    let mut store = ResultStore::create(
+        &full_dir,
+        runner.fingerprint(),
+        runner.cells().unwrap().len(),
+    )
+    .unwrap();
+    runner.run_with_store(&mut store).unwrap();
+    render(&full_dir, &store);
+    let expected = read_outputs(&full_dir);
+
+    let crash_dir = temp_dir("sweep-crashed");
+    let runner = CampaignRunner::new(grid()).with_threads(1);
+    let mut store = ResultStore::create(
+        &crash_dir,
+        runner.fingerprint(),
+        runner.cells().unwrap().len(),
+    )
+    .unwrap();
+    runner.run_with_store(&mut store).unwrap();
+    drop(store);
+    truncate_manifest(&crash_dir, 3);
+    let mut store = ResultStore::open(&crash_dir).unwrap();
+    assert_eq!(store.completed_count(), 3);
+    let resumed = CampaignRunner::new(grid())
+        .with_threads(2)
+        .run_with_store(&mut store)
+        .unwrap();
+    assert_eq!(resumed.stats.skipped, 3);
+    render(&crash_dir, &store);
+    for (name, (a, b)) in OUTPUTS
+        .iter()
+        .zip(expected.iter().zip(read_outputs(&crash_dir).iter()))
+    {
+        assert_eq!(a, b, "{name} differs after resuming a sweep campaign");
+    }
+    fs::remove_dir_all(&full_dir).unwrap();
+    fs::remove_dir_all(&crash_dir).unwrap();
 }
 
 #[test]

@@ -1,0 +1,116 @@
+//! Property: the Pareto front really is the non-dominated set.
+//!
+//! For random objective triples (including occasional undefined values and
+//! several workload groups), the extracted front must contain no pair where
+//! one member dominates the other, every excluded well-defined row must be
+//! dominated by some front member of its group (domination is a strict
+//! partial order, so every dominated row sits under some maximal element),
+//! and re-running the extraction on the front must be a fixpoint.
+
+use apc_campaign::agg::{MetricSummary, SummaryRow};
+use apc_campaign::pareto::{pareto_front, Objectives};
+use proptest::prelude::*;
+
+/// Build a summary row from one sampled (group, energy, work, wait) tuple.
+fn summary(index: usize, group: u8, energy: f64, work: f64, wait: f64) -> SummaryRow {
+    let metric = |mean: f64| MetricSummary {
+        mean,
+        min: mean,
+        max: mean,
+        stddev: 0.0,
+    };
+    SummaryRow {
+        racks: 1,
+        workload: match group {
+            0 => "smalljob".to_string(),
+            1 => "medianjob".to_string(),
+            _ => "24h".to_string(),
+        },
+        load_factor: 1.8,
+        scenario: format!("s{index}"),
+        window: "7200+3600".to_string(),
+        cap_percent: 60.0,
+        grouping: "grouped".to_string(),
+        decision_rule: "paper-rho".to_string(),
+        replications: 1,
+        launched_jobs: metric(1.0),
+        energy_normalized: metric(energy),
+        work_normalized: metric(work),
+        mean_wait_seconds: metric(wait),
+        peak_power_watts: metric(1.0),
+    }
+}
+
+/// Sample an objective value from a small discrete lattice (so domination
+/// and ties both actually occur) with an occasional NaN.
+fn objective() -> impl Strategy<Value = f64> {
+    (0usize..12).prop_map(|i| if i == 11 { f64::NAN } else { i as f64 / 10.0 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn front_is_exactly_the_non_dominated_set(
+        rows in proptest::collection::vec((0u8..3, objective(), objective(), objective()), 1..40)
+    ) {
+        let summaries: Vec<SummaryRow> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (group, energy, work, wait))| summary(i, group, energy, work, wait))
+            .collect();
+        let front = pareto_front(&summaries);
+
+        let key = |s: &SummaryRow| (s.racks, s.workload.clone(), s.load_factor.to_bits());
+
+        // 1. Nothing on the front is dominated by anything in the input
+        //    (in particular, no front member dominates another).
+        for member in &front {
+            for other in &summaries {
+                if key(&member.summary) != key(other) {
+                    continue;
+                }
+                prop_assert!(
+                    !Objectives::of(other).dominates(&member.objectives),
+                    "front row {} is dominated by {}",
+                    member.summary.scenario,
+                    other.scenario
+                );
+            }
+        }
+
+        // 2. Every excluded well-defined row is dominated by a front member
+        //    of its group.
+        for row in &summaries {
+            let objectives = Objectives::of(row);
+            if objectives.has_nan() {
+                prop_assert!(
+                    front.iter().all(|m| m.summary.scenario != row.scenario),
+                    "NaN row {} must not be on the front",
+                    row.scenario
+                );
+                continue;
+            }
+            let on_front = front.iter().any(|m| m.summary.scenario == row.scenario);
+            if !on_front {
+                prop_assert!(
+                    front
+                        .iter()
+                        .filter(|m| key(&m.summary) == key(row))
+                        .any(|m| m.objectives.dominates(&objectives)),
+                    "excluded row {} is not dominated by any front member",
+                    row.scenario
+                );
+            }
+        }
+
+        // 3. The extraction is a fixpoint: running it on the front changes
+        //    nothing.
+        let front_rows: Vec<SummaryRow> = front.iter().map(|m| m.summary.clone()).collect();
+        let refront = pareto_front(&front_rows);
+        prop_assert_eq!(refront.len(), front.len());
+        for (a, b) in refront.iter().zip(front.iter()) {
+            prop_assert_eq!(&a.summary.scenario, &b.summary.scenario);
+        }
+    }
+}

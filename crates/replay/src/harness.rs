@@ -145,9 +145,14 @@ impl ReplayHarness {
         }
 
         // Phase 3 — workload replay: powercap reservations are made at the
-        // beginning of the replay, then the trace is submitted and run.
-        if let (Some(window), Some(cap)) = (scenario.window(), scenario.cap(&self.platform)) {
-            controller.add_powercap_reservation(window, cap);
+        // beginning of the replay, then the trace is submitted and run. A
+        // multi-window scenario registers one reservation per cap window;
+        // the controller's reservation book already resolves overlapping
+        // caps to the tightest one, so disjoint windows simply alternate.
+        if let Some(cap) = scenario.cap(&self.platform) {
+            for window in scenario.windows() {
+                controller.add_powercap_reservation(window, cap);
+            }
         }
         controller.submit_all(self.trace.to_submissions());
         controller.set_horizon(self.trace.duration);
@@ -222,6 +227,37 @@ mod tests {
                 "{policy}: peak {peak} exceeds cap {cap}"
             );
         }
+    }
+
+    #[test]
+    fn multi_window_replays_respect_the_cap_in_every_window() {
+        use crate::scenario::CapWindow;
+        let h = harness();
+        let duration = h.trace().duration; // 5 h
+        let scenario = Scenario::paper(PowercapPolicy::Mix, 0.6, duration).with_windows(vec![
+            CapWindow::new(1800, 3600),
+            CapWindow::new(duration - 5400, 3600),
+        ]);
+        let outcome = h.run(&scenario);
+        let cap = scenario.cap(h.platform()).unwrap();
+        let windows = scenario.windows();
+        assert_eq!(windows.len(), 2);
+        for w in &windows {
+            let peak = outcome.power.peak_within(w.start, w.end);
+            assert!(
+                peak.as_watts() <= cap.as_watts() + 1e-6,
+                "peak {peak} exceeds cap {cap} in window [{}, {})",
+                w.start,
+                w.end
+            );
+        }
+        // Two disjoint windows constrain the replay at least as much as
+        // either single window alone.
+        let single = h.run(
+            &Scenario::paper(PowercapPolicy::Mix, 0.6, duration)
+                .with_windows(vec![CapWindow::new(1800, 3600)]),
+        );
+        assert!(outcome.report.work_core_seconds <= single.report.work_core_seconds + 1e-6);
     }
 
     #[test]

@@ -14,7 +14,36 @@ use apc_rjms::cluster::Platform;
 use apc_rjms::time::{SimTime, TimeWindow, HOUR};
 use serde::{Deserialize, Serialize};
 
-/// One experimental scenario: a policy plus an optional powercap window.
+/// One powercap window: a start instant (seconds into the interval) plus a
+/// duration. Scenarios carry a list of them so one replay can cap two or
+/// more disjoint slots of the same interval (a morning and an evening peak,
+/// say) — every window shares the scenario's cap fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CapWindow {
+    /// Start of the powercap window, seconds into the interval.
+    pub start: SimTime,
+    /// Duration of the powercap window, in seconds.
+    pub duration: SimTime,
+}
+
+impl CapWindow {
+    /// A window starting at `start` and lasting `duration` seconds.
+    pub fn new(start: SimTime, duration: SimTime) -> Self {
+        CapWindow { start, duration }
+    }
+
+    /// The window as a half-open [`TimeWindow`].
+    pub fn time_window(&self) -> TimeWindow {
+        TimeWindow::with_duration(self.start, self.duration)
+    }
+
+    /// End of the window (exclusive).
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+/// One experimental scenario: a policy plus optional powercap windows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// The powercap policy.
@@ -22,10 +51,11 @@ pub struct Scenario {
     /// Cap expressed as a fraction of the cluster's maximum power
     /// (`None` = no powercap reservation at all, the "100 %" rows).
     pub cap_fraction: Option<f64>,
-    /// Start of the powercap window, seconds into the interval.
-    pub window_start: SimTime,
-    /// Duration of the powercap window.
-    pub window_duration: SimTime,
+    /// The powercap windows (all sharing `cap_fraction`). The paper's
+    /// scenarios use exactly one; multi-window scenarios replay several
+    /// disjoint cap slots in one interval. Ignored when `cap_fraction` is
+    /// `None`.
+    pub cap_windows: Vec<CapWindow>,
     /// Switch-off grouping strategy (ablation knob).
     pub grouping: GroupingStrategy,
     /// DVFS-vs-shutdown decision rule (ablation knob).
@@ -40,14 +70,16 @@ pub struct Scenario {
 impl Scenario {
     /// The paper's standard scenario: `policy` with a 1-hour cap of
     /// `cap_fraction` placed in the middle of an interval of
-    /// `interval_duration` seconds.
+    /// `interval_duration` seconds. Intervals shorter than an hour get a
+    /// window clamped to the whole interval — the window never overruns the
+    /// interval end.
     pub fn paper(policy: PowercapPolicy, cap_fraction: f64, interval_duration: SimTime) -> Self {
-        let window_start = interval_duration.saturating_sub(HOUR) / 2;
+        let window_duration = HOUR.min(interval_duration);
+        let window_start = (interval_duration - window_duration) / 2;
         Scenario {
             policy,
             cap_fraction: Some(cap_fraction),
-            window_start,
-            window_duration: HOUR,
+            cap_windows: vec![CapWindow::new(window_start, window_duration)],
             grouping: GroupingStrategy::Grouped,
             decision_rule: DecisionRule::PaperRho,
             kill_on_violation: false,
@@ -60,8 +92,7 @@ impl Scenario {
         Scenario {
             policy: PowercapPolicy::None,
             cap_fraction: None,
-            window_start: 0,
-            window_duration: 0,
+            cap_windows: Vec::new(),
             grouping: GroupingStrategy::Grouped,
             decision_rule: DecisionRule::PaperRho,
             kill_on_violation: false,
@@ -69,10 +100,17 @@ impl Scenario {
         }
     }
 
-    /// Override the cap window (builder style).
+    /// Replace the cap windows with one `[start, start + duration)` window
+    /// (builder style).
     pub fn with_window(mut self, start: SimTime, duration: SimTime) -> Self {
-        self.window_start = start;
-        self.window_duration = duration;
+        self.cap_windows = vec![CapWindow::new(start, duration)];
+        self
+    }
+
+    /// Replace the cap windows wholesale (builder style). Windows should be
+    /// pairwise disjoint; the campaign spec validates that before expansion.
+    pub fn with_windows(mut self, windows: Vec<CapWindow>) -> Self {
+        self.cap_windows = windows;
         self
     }
 
@@ -100,13 +138,38 @@ impl Scenario {
         self
     }
 
-    /// The powercap window, if the scenario has one.
+    /// The first powercap window, if the scenario has any — the common case
+    /// for paper-style single-window scenarios.
     pub fn window(&self) -> Option<TimeWindow> {
         self.cap_fraction?;
-        Some(TimeWindow::with_duration(
-            self.window_start,
-            self.window_duration,
-        ))
+        self.cap_windows.first().map(CapWindow::time_window)
+    }
+
+    /// Every powercap window of the scenario (empty for the baseline).
+    pub fn windows(&self) -> Vec<TimeWindow> {
+        if self.cap_fraction.is_none() {
+            return Vec::new();
+        }
+        self.cap_windows
+            .iter()
+            .map(CapWindow::time_window)
+            .collect()
+    }
+
+    /// A compact, CSV-safe label of the cap windows: `start+duration` pairs
+    /// joined with `|` (e.g. `"7200+3600"`, `"0+1800|16200+1800"`), or `"-"`
+    /// for the uncapped baseline. Used as the `window` result column and as
+    /// part of the across-seed summary grouping key, so window sweeps never
+    /// collapse into one group.
+    pub fn window_label(&self) -> String {
+        if self.cap_fraction.is_none() || self.cap_windows.is_empty() {
+            return "-".to_string();
+        }
+        self.cap_windows
+            .iter()
+            .map(|w| format!("{}+{}", w.start, w.duration))
+            .collect::<Vec<_>>()
+            .join("|")
     }
 
     /// The absolute cap for a given platform, if the scenario has one.
@@ -150,9 +213,52 @@ mod tests {
         assert_eq!(w.duration(), HOUR);
         assert_eq!(w.start, 2 * HOUR);
         assert_eq!(s.label(), "60%/SHUT");
+        assert_eq!(s.window_label(), "7200+3600");
         let platform = Platform::curie_scaled(1);
         let cap = s.cap(&platform).unwrap();
         assert!(cap.approx_eq(platform.max_power() * 0.6, 1e-6));
+    }
+
+    #[test]
+    fn paper_window_never_overruns_a_short_interval() {
+        // Regression: intervals shorter than the 1 h window used to keep the
+        // full HOUR duration — `saturating_sub` pinned the start to 0 but the
+        // window end still overran the interval. The duration must clamp.
+        for interval in [1, 600, 1800, HOUR - 1] {
+            let s = Scenario::paper(PowercapPolicy::Shut, 0.6, interval);
+            let w = s.window().unwrap();
+            assert_eq!(w.start, 0, "interval {interval}");
+            assert_eq!(w.duration(), interval, "interval {interval}");
+            assert!(
+                w.end <= interval,
+                "window end {} overruns {interval}",
+                w.end
+            );
+        }
+        // Exactly one hour: the window is the whole interval.
+        let s = Scenario::paper(PowercapPolicy::Shut, 0.6, HOUR);
+        let w = s.window().unwrap();
+        assert_eq!((w.start, w.duration()), (0, HOUR));
+        // Longer intervals keep the centred 1-hour placement.
+        let s = Scenario::paper(PowercapPolicy::Shut, 0.6, 3 * HOUR);
+        let w = s.window().unwrap();
+        assert_eq!((w.start, w.duration()), (HOUR, HOUR));
+    }
+
+    #[test]
+    fn multi_window_scenarios_expose_every_window() {
+        let s = Scenario::paper(PowercapPolicy::Mix, 0.6, 5 * HOUR)
+            .with_windows(vec![CapWindow::new(0, 1800), CapWindow::new(16_200, 1800)]);
+        let windows = s.windows();
+        assert_eq!(windows.len(), 2);
+        assert_eq!((windows[0].start, windows[0].end), (0, 1800));
+        assert_eq!((windows[1].start, windows[1].end), (16_200, 18_000));
+        assert_eq!(s.window().unwrap().start, 0, "window() is the first one");
+        assert_eq!(s.window_label(), "0+1800|16200+1800");
+        assert_eq!(CapWindow::new(16_200, 1800).end(), 18_000);
+        // The baseline has no windows and the "-" label.
+        assert!(Scenario::baseline().windows().is_empty());
+        assert_eq!(Scenario::baseline().window_label(), "-");
     }
 
     #[test]
