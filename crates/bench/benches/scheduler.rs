@@ -69,5 +69,54 @@ fn bench_backfill_depth(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_replay_per_policy, bench_backfill_depth);
+/// Pending-heavy scheduling: thousands of queued jobs competing for a
+/// saturated, capped cluster — the schedule-pass cost dominates, which is
+/// exactly what the NodeMask/scratch-buffer hot path optimises. Prints one
+/// run's wall time; divide by the pass count reported in
+/// `BENCH_replay.json` for ns/pass.
+fn bench_pending_heavy(c: &mut Criterion) {
+    use apc_core::{PowercapConfig, PowercapHook};
+    use apc_rjms::config::ControllerConfig;
+    use apc_rjms::controller::Controller;
+    use apc_rjms::job::JobSubmission;
+    use apc_rjms::time::{SimTime, TimeWindow, HOUR};
+
+    let platform = bench_platform();
+    let mut group = c.benchmark_group("schedule_pass");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.bench_function("pending_2000_cap60_mix", |b| {
+        b.iter(|| {
+            let hook =
+                PowercapHook::new(PowercapConfig::for_policy(PowercapPolicy::Mix), &platform);
+            let mut controller = Controller::with_hook(
+                platform.clone(),
+                ControllerConfig::default(),
+                Box::new(hook),
+            );
+            let cap = platform.power_fraction(0.6);
+            controller.add_powercap_reservation(TimeWindow::new(0, 4 * HOUR), cap);
+            for i in 0..2_000u64 {
+                controller.submit(JobSubmission::new(
+                    (i % 7) as usize,
+                    0,
+                    160,
+                    2 * HOUR,
+                    900 + (i % 13) as SimTime * 60,
+                ));
+            }
+            controller.set_horizon(2 * HOUR);
+            black_box(controller.run().launched_jobs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replay_per_policy,
+    bench_backfill_depth,
+    bench_pending_heavy
+);
 criterion_main!(benches);

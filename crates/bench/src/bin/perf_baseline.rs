@@ -1,0 +1,262 @@
+//! `perf-baseline`: measure the simulator's hot paths and append the
+//! numbers to the repo-root perf trajectory (`BENCH_replay.json`).
+//!
+//! The criterion targets keep relative costs visible locally; this tool
+//! records an *absolute* trajectory across PRs so a hot-path regression is
+//! diffable in review. Each run appends (or replaces, when the label
+//! already exists) one entry with three families of numbers:
+//!
+//! * **replay** — one full scheduler replay of the reduced bench workload
+//!   per policy (the `scheduler_replay` criterion target), best-of-N wall
+//!   time plus the controller's events/second over the capped replays;
+//! * **schedule_pass** — a pending-heavy microbench (thousands of queued
+//!   jobs competing for a saturated cluster under a cap) isolating the cost
+//!   of one scheduling pass;
+//! * **campaign** — the paper grid (policies × caps × intervals × seeds)
+//!   through the single-threaded campaign executor, in cells/second.
+//!
+//! ```text
+//! cargo run --release -p apc-bench --bin perf-baseline -- \
+//!     [--label NAME] [--out FILE] [--quick]
+//! ```
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use apc_bench::helpers::{bench_platform, bench_trace};
+use apc_campaign::prelude::{CampaignRunner, CampaignSpec};
+use apc_core::{PowercapConfig, PowercapHook, PowercapPolicy};
+use apc_replay::{ReplayHarness, Scenario};
+use apc_rjms::config::ControllerConfig;
+use apc_rjms::controller::Controller;
+use apc_rjms::job::JobSubmission;
+use apc_rjms::time::{SimTime, HOUR};
+
+const USAGE: &str = "usage: perf-baseline [--label NAME] [--out FILE] [--quick]";
+
+/// Best-of-N wall time of `f`, warmed once, bounded by `budget`.
+fn best_of(budget: Duration, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    let mut best = Duration::MAX;
+    let started = Instant::now();
+    let mut iters = 0u32;
+    while started.elapsed() < budget || iters < 3 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+        iters += 1;
+        if iters >= 1000 {
+            break;
+        }
+    }
+    best
+}
+
+struct ReplayNumbers {
+    baseline_ns: u128,
+    shut_ns: u128,
+    dvfs_ns: u128,
+    mix_ns: u128,
+    events_per_sec: f64,
+}
+
+/// One full replay per policy over the reduced bench workload.
+fn measure_replay(budget: Duration) -> ReplayNumbers {
+    let platform = bench_platform();
+    let trace = bench_trace(&platform);
+    let harness = ReplayHarness::new(platform, trace);
+    let duration = harness.trace().duration;
+
+    let time_scenario = |scenario: &Scenario| -> u128 {
+        best_of(budget, || {
+            std::hint::black_box(harness.run(scenario).report.launched_jobs);
+        })
+        .as_nanos()
+    };
+    let baseline_ns = time_scenario(&Scenario::baseline());
+    let shut_ns = time_scenario(&Scenario::paper(PowercapPolicy::Shut, 0.6, duration));
+    let dvfs_ns = time_scenario(&Scenario::paper(PowercapPolicy::Dvfs, 0.6, duration));
+    let mix_ns = time_scenario(&Scenario::paper(PowercapPolicy::Mix, 0.6, duration));
+
+    // Events/second through the raw controller (the harness hides it), on
+    // the same workload under the MIX policy at the 60 % cap.
+    let platform = bench_platform();
+    let trace = bench_trace(&platform);
+    let scenario = Scenario::paper(PowercapPolicy::Mix, 0.6, trace.duration);
+    let mut events = 0u64;
+    let wall = best_of(budget, || {
+        let hook = PowercapHook::new(PowercapConfig::for_policy(PowercapPolicy::Mix), &platform);
+        let mut controller = Controller::with_hook(
+            platform.clone(),
+            ControllerConfig::default(),
+            Box::new(hook),
+        );
+        if let Some(cap) = scenario.cap(&platform) {
+            for window in scenario.windows() {
+                controller.add_powercap_reservation(window, cap);
+            }
+        }
+        controller.submit_all(trace.to_submissions());
+        controller.set_horizon(trace.duration);
+        std::hint::black_box(controller.run().launched_jobs);
+        events = controller.events_processed();
+    });
+    let events_per_sec = events as f64 / wall.as_secs_f64();
+    ReplayNumbers {
+        baseline_ns,
+        shut_ns,
+        dvfs_ns,
+        mix_ns,
+        events_per_sec,
+    }
+}
+
+/// Pending-heavy microbench: a deep queue on a saturated, capped cluster so
+/// every scheduling pass walks the full backfill depth.
+fn measure_schedule_pass(budget: Duration) -> (u64, f64) {
+    let platform = bench_platform(); // 180 nodes
+    let mut passes = 0u64;
+    let wall = best_of(budget, || {
+        let hook = PowercapHook::new(PowercapConfig::for_policy(PowercapPolicy::Mix), &platform);
+        let mut controller = Controller::with_hook(
+            platform.clone(),
+            ControllerConfig::default(),
+            Box::new(hook),
+        );
+        let cap = platform.power_fraction(0.6);
+        controller.add_powercap_reservation(apc_rjms::time::TimeWindow::new(0, 4 * HOUR), cap);
+        // 2 000 pending 10-node jobs on a 180-node machine: ~18 can run at
+        // once, so the queue stays thousands deep for the whole interval.
+        for i in 0..2_000u64 {
+            controller.submit(JobSubmission::new(
+                (i % 7) as usize,
+                0,
+                160,
+                2 * HOUR,
+                900 + (i % 13) as SimTime * 60,
+            ));
+        }
+        controller.set_horizon(2 * HOUR);
+        std::hint::black_box(controller.run().launched_jobs);
+        passes = controller.schedule_passes();
+    });
+    let ns_per_pass = wall.as_nanos() as f64 / passes.max(1) as f64;
+    (passes, ns_per_pass)
+}
+
+/// The paper grid through the single-threaded executor.
+fn measure_campaign(runs: u32) -> (usize, f64, f64) {
+    let spec = CampaignSpec::paper(2012, 3);
+    let runner = CampaignRunner::new(spec).with_threads(1);
+    let mut cells = 0usize;
+    let mut best = Duration::MAX;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let outcome = runner.run().expect("paper grid runs");
+        best = best.min(t.elapsed());
+        cells = outcome.rows.len();
+    }
+    let wall_s = best.as_secs_f64();
+    (cells, wall_s, cells as f64 / wall_s)
+}
+
+fn json_entry(label: &str) -> String {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let budget = if quick {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_millis(1500)
+    };
+    eprintln!("measuring replay per policy …");
+    let replay = measure_replay(budget);
+    eprintln!("measuring schedule-pass microbench …");
+    let (passes, ns_per_pass) = measure_schedule_pass(budget);
+    eprintln!("measuring paper-grid campaign …");
+    let (cells, wall_s, cells_per_sec) = measure_campaign(if quick { 1 } else { 2 });
+    let recorded = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    format!(
+        "  {{\"label\": \"{label}\", \"recorded_unix\": {recorded}, \
+         \"replay\": {{\"baseline_none_ns\": {}, \"cap60_shut_ns\": {}, \
+         \"cap60_dvfs_ns\": {}, \"cap60_mix_ns\": {}, \"events_per_sec\": {:.0}}}, \
+         \"schedule_pass\": {{\"passes\": {passes}, \"ns_per_pass\": {:.1}}}, \
+         \"campaign\": {{\"cells\": {cells}, \"wall_s\": {:.3}, \"cells_per_sec\": {:.1}}}}}",
+        replay.baseline_ns,
+        replay.shut_ns,
+        replay.dvfs_ns,
+        replay.mix_ns,
+        replay.events_per_sec,
+        ns_per_pass,
+        wall_s,
+        cells_per_sec,
+    )
+}
+
+/// Rewrite `path` keeping previously recorded entries (identified by their
+/// one-entry-per-line layout), replacing any entry with the same label.
+fn write_trajectory(path: &str, label: &str, entry: String) -> Result<(), String> {
+    let mut entries: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        let needle = format!("\"label\": \"{label}\"");
+        for line in existing.lines() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("{\"label\":") && !trimmed.contains(&needle) {
+                entries.push(format!("  {}", trimmed.trim_end_matches(',')));
+            }
+        }
+    }
+    entries.push(entry);
+    let body = entries.join(",\n");
+    let text = format!(
+        "{{\n\"schema\": 1,\n\
+         \"description\": \"Perf trajectory of the replay/campaign hot paths; \
+         one entry per PR, appended by `cargo run --release -p apc-bench --bin \
+         perf-baseline -- --label NAME`. Times are best-of-N on the recording \
+         host; compare entries recorded on the same host only.\",\n\
+         \"entries\": [\n{body}\n]\n}}\n"
+    );
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = "dev".to_string();
+    let mut out = "BENCH_replay.json".to_string();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--label" => match iter.next() {
+                Some(v) => label = v.clone(),
+                None => {
+                    eprintln!("--label needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match iter.next() {
+                Some(v) => out = v.clone(),
+                None => {
+                    eprintln!("--out needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quick" => {}
+            other => {
+                eprintln!("unknown option: {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let entry = json_entry(&label);
+    println!("{}", entry.trim_start());
+    match write_trajectory(&out, &label, entry) {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -11,7 +11,8 @@
 //! always folded in cell-index order, so every float accumulation is
 //! order-stable and the summaries are byte-identical for any thread count.
 
-use apc_replay::ReplayOutcome;
+use apc_replay::metrics::{NormalizedOutcome, PowerSeries};
+use apc_replay::{ReplayOutcome, ReplaySummary, SimulationReport};
 
 use crate::spec::CampaignCell;
 
@@ -69,20 +70,35 @@ pub struct CellRow {
 }
 
 impl CellRow {
-    /// Reduce a replay outcome to its flat row. This is the only place the
-    /// heavyweight outcome is read; the caller drops it right after.
+    /// Reduce a full replay outcome to its flat row.
     pub fn from_outcome(cell: &CampaignCell, outcome: &ReplayOutcome) -> Self {
+        Self::from_parts(cell, &outcome.report, &outcome.normalized, &outcome.power)
+    }
+
+    /// Reduce a lean [`ReplaySummary`] to its flat row — the campaign
+    /// executor's per-cell path (the summary carries exactly the fields a
+    /// row reads, so no utilisation series or log is ever built).
+    pub fn from_summary(cell: &CampaignCell, summary: &ReplaySummary) -> Self {
+        Self::from_parts(cell, &summary.report, &summary.normalized, &summary.power)
+    }
+
+    fn from_parts(
+        cell: &CampaignCell,
+        report: &SimulationReport,
+        normalized: &NormalizedOutcome,
+        power: &PowerSeries,
+    ) -> Self {
         let scenario = &cell.scenario;
-        let duration_end = outcome.report.horizon;
+        let duration_end = report.horizon;
         // Peak power inside the cap windows (the max across them for a
         // multi-window scenario); whole interval for the baseline.
         let windows = scenario.windows();
         let peak_power_watts = if windows.is_empty() {
-            outcome.power.peak_within(0, duration_end).as_watts()
+            power.peak_within(0, duration_end).as_watts()
         } else {
             windows
                 .iter()
-                .map(|w| outcome.power.peak_within(w.start, w.end).as_watts())
+                .map(|w| power.peak_within(w.start, w.end).as_watts())
                 .fold(f64::NEG_INFINITY, f64::max)
         };
         CellRow {
@@ -97,16 +113,16 @@ impl CellRow {
             cap_percent: scenario.cap_fraction.map_or(100.0, |f| f * 100.0),
             grouping: scenario.grouping.name().to_string(),
             decision_rule: scenario.decision_rule.name().to_string(),
-            launched_jobs: outcome.report.launched_jobs,
-            completed_jobs: outcome.report.completed_jobs,
-            killed_jobs: outcome.report.killed_jobs,
-            pending_jobs: outcome.report.pending_jobs,
-            work_core_seconds: outcome.report.work_core_seconds,
-            energy_joules: outcome.report.energy.as_joules(),
-            energy_normalized: outcome.normalized.energy_normalized,
-            launched_jobs_normalized: outcome.normalized.launched_jobs_normalized,
-            work_normalized: outcome.normalized.work_normalized,
-            mean_wait_seconds: outcome.report.mean_wait_seconds,
+            launched_jobs: report.launched_jobs,
+            completed_jobs: report.completed_jobs,
+            killed_jobs: report.killed_jobs,
+            pending_jobs: report.pending_jobs,
+            work_core_seconds: report.work_core_seconds,
+            energy_joules: report.energy.as_joules(),
+            energy_normalized: normalized.energy_normalized,
+            launched_jobs_normalized: normalized.launched_jobs_normalized,
+            work_normalized: normalized.work_normalized,
+            mean_wait_seconds: report.mean_wait_seconds,
             peak_power_watts,
         }
     }

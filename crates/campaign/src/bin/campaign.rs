@@ -39,9 +39,15 @@
 //!   --workload L | --scenario L | --window L | --policy P | --seed N |
 //!   --load F | --racks R
 //!                      conjunctive row filters
-//!   --columns LIST     columns to print (default: all, cells.csv order)
+//!   --columns LIST     columns to print (default: all, cells.csv order);
+//!                      with --group-by, the numeric columns to aggregate
 //!   --limit N          print at most N matching rows (the match count
-//!                      still reflects the whole store)
+//!                      still reflects the whole store); with --group-by,
+//!                      at most N groups
+//!   --group-by LIST    fold matching rows into one output row per distinct
+//!                      combination of these columns, aggregated in the
+//!                      streaming scan (the row set is never materialised)
+//!   --agg WHICH        mean | min | max (default mean; needs --group-by)
 //! ```
 //!
 //! Results stream into an append-only partitioned store
@@ -67,7 +73,7 @@ const USAGE: &str = "usage: campaign [--threads N] [--seeds K] [--seed-base S] [
 [--resume DIR] [--strategy work-steal|static] [--format csv|json|both] [--quiet]
        campaign pareto DIR [--out FILE] [--quiet]
        campaign query DIR [--workload L] [--scenario L] [--window L] [--policy P] [--seed N] \
-[--load F] [--racks R] [--columns LIST] [--limit N]";
+[--load F] [--racks R] [--columns LIST] [--limit N] [--group-by LIST [--agg mean|min|max]]";
 
 /// Parse one `--windows` axis value: `FRACxSECONDS` placements joined by
 /// `+` (several windows of one scenario).
@@ -445,12 +451,18 @@ fn run_pareto(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `campaign query DIR [filters] [--columns LIST] [--limit N]`: stream
-/// matching rows out of the partitioned store without loading it whole.
+/// `campaign query DIR [filters] [--columns LIST] [--limit N]
+/// [--group-by LIST [--agg mean|min|max]]`: stream matching rows out of
+/// the partitioned store without loading it whole; with `--group-by` the
+/// aggregation folds into the same streaming scan, so only one accumulator
+/// per group is ever resident.
 fn run_query(args: &[String]) -> Result<(), String> {
     let mut dir: Option<String> = None;
     let mut filter = RowFilter::default();
     let mut columns: Vec<String> = QUERY_COLUMNS.iter().map(|c| c.to_string()).collect();
+    let mut columns_explicit = false;
+    let mut group_by: Vec<String> = Vec::new();
+    let mut agg: Option<AggKind> = None;
     let mut limit: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -492,7 +504,19 @@ fn run_query(args: &[String]) -> Result<(), String> {
                 if columns.is_empty() {
                     return Err("--columns needs a non-empty comma-separated list".into());
                 }
+                columns_explicit = true;
             }
+            "--group-by" => {
+                group_by = value("--group-by")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                if group_by.is_empty() {
+                    return Err("--group-by needs a non-empty comma-separated list".into());
+                }
+            }
+            "--agg" => agg = Some(value("--agg")?.parse()?),
             "--limit" => {
                 limit = Some(
                     value("--limit")?
@@ -506,6 +530,9 @@ fn run_query(args: &[String]) -> Result<(), String> {
         }
     }
     let dir = dir.ok_or("query needs a result-store directory")?;
+    if agg.is_some() && group_by.is_empty() {
+        return Err("--agg needs --group-by".into());
+    }
     // Validate the projection up front so a typo errors before any output.
     if let Some(unknown) = columns
         .iter()
@@ -516,6 +543,32 @@ fn run_query(args: &[String]) -> Result<(), String> {
             QUERY_COLUMNS.join(", ")
         ));
     }
+
+    if !group_by.is_empty() {
+        // Aggregation pushdown: fold rows into per-group accumulators as
+        // the partitions stream past — the row set is never materialised.
+        let agg_columns: Vec<String> = if columns_explicit {
+            columns
+        } else {
+            DEFAULT_AGG_COLUMNS.iter().map(|c| c.to_string()).collect()
+        };
+        let mut aggregator =
+            GroupAggregator::new(&group_by, &agg_columns, agg.unwrap_or_default())?;
+        // Open (and thereby validate) the store before writing anything to
+        // stdout — a bad directory must not leave a lone CSV header behind.
+        let scanner = StoreScanner::open(&dir)?;
+        let matched = scanner.scan(&filter, |row| aggregator.fold(row))?;
+        println!("{}", aggregator.header());
+        for line in aggregator.rows(limit) {
+            println!("{line}");
+        }
+        eprintln!(
+            "{matched} row(s) matched; {} group(s)",
+            aggregator.group_count()
+        );
+        return Ok(());
+    }
+
     // Open (and thereby validate) the store before writing anything to
     // stdout — a bad directory must not leave a lone CSV header behind.
     let scanner = StoreScanner::open(&dir)?;

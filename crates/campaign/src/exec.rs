@@ -446,8 +446,10 @@ fn run_cell(
         *slot = Some((cell.racks, cell.workload, harness));
     }
     let (_, _, harness) = slot.as_ref().expect("harness slot just filled");
-    let outcome = harness.run(&cell.scenario);
-    CellRow::from_outcome(cell, &outcome)
+    // The lean replay path: no utilisation series, no event-log clone —
+    // only what the row reads is ever materialised.
+    let summary = harness.run_summary(&cell.scenario);
+    CellRow::from_summary(cell, &summary)
 }
 
 #[cfg(test)]

@@ -65,7 +65,10 @@ pub mod prelude {
         platform_for, CampaignOutcome, CampaignRunner, ExecStrategy, RunStats, WorkerStats,
     };
     pub use crate::pareto::{pareto_front, render_pareto_csv, Objectives, ParetoRow};
-    pub use crate::query::{project, scan_store, RowFilter, StoreScanner, QUERY_COLUMNS};
+    pub use crate::query::{
+        numeric, project, scan_store, AggKind, GroupAggregator, RowFilter, StoreScanner,
+        DEFAULT_AGG_COLUMNS, NUMERIC_COLUMNS, QUERY_COLUMNS,
+    };
     pub use crate::sink::{
         render_cells_csv, render_cells_json, render_summary_csv, render_summary_json, CampaignSink,
         CsvSink, JsonSink,

@@ -128,6 +128,307 @@ pub fn project(row: &CellRow, column: &str) -> Result<String, String> {
     })
 }
 
+/// Every numeric column [`numeric`] can extract (superset of
+/// [`DEFAULT_AGG_COLUMNS`]).
+pub const NUMERIC_COLUMNS: [&str; 16] = [
+    "index",
+    "racks",
+    "seed",
+    "load_factor",
+    "cap_percent",
+    "launched_jobs",
+    "completed_jobs",
+    "killed_jobs",
+    "pending_jobs",
+    "work_core_seconds",
+    "energy_joules",
+    "energy_normalized",
+    "launched_jobs_normalized",
+    "work_normalized",
+    "mean_wait_seconds",
+    "peak_power_watts",
+];
+
+/// The numeric metric columns [`GroupAggregator`] folds by default when no
+/// explicit column list is given.
+pub const DEFAULT_AGG_COLUMNS: [&str; 11] = [
+    "launched_jobs",
+    "completed_jobs",
+    "killed_jobs",
+    "pending_jobs",
+    "work_core_seconds",
+    "energy_joules",
+    "energy_normalized",
+    "launched_jobs_normalized",
+    "work_normalized",
+    "mean_wait_seconds",
+    "peak_power_watts",
+];
+
+/// Extract one named column of a row as a number, or `None` when the value
+/// is absent (a fixed-trace seed/load, a NaN metric). Non-numeric columns
+/// are an error listing the foldable ones.
+pub fn numeric(row: &CellRow, column: &str) -> Result<Option<f64>, String> {
+    fn float(v: f64) -> Option<f64> {
+        (!v.is_nan()).then_some(v)
+    }
+    Ok(match column {
+        "index" => Some(row.index as f64),
+        "racks" => Some(row.racks as f64),
+        "seed" => row.seed.map(|s| s as f64),
+        "load_factor" => float(row.load_factor),
+        "cap_percent" => float(row.cap_percent),
+        "launched_jobs" => Some(row.launched_jobs as f64),
+        "completed_jobs" => Some(row.completed_jobs as f64),
+        "killed_jobs" => Some(row.killed_jobs as f64),
+        "pending_jobs" => Some(row.pending_jobs as f64),
+        "work_core_seconds" => float(row.work_core_seconds),
+        "energy_joules" => float(row.energy_joules),
+        "energy_normalized" => float(row.energy_normalized),
+        "launched_jobs_normalized" => float(row.launched_jobs_normalized),
+        "work_normalized" => float(row.work_normalized),
+        "mean_wait_seconds" => float(row.mean_wait_seconds),
+        "peak_power_watts" => float(row.peak_power_watts),
+        other => {
+            return Err(format!(
+                "column {other:?} is not numeric and cannot be aggregated \
+                 (numeric: {})",
+                NUMERIC_COLUMNS.join(", ")
+            ))
+        }
+    })
+}
+
+/// The aggregation functions `campaign query --agg` supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggKind {
+    /// Arithmetic mean of the non-missing values.
+    #[default]
+    Mean,
+    /// Minimum of the non-missing values.
+    Min,
+    /// Maximum of the non-missing values.
+    Max,
+}
+
+impl AggKind {
+    /// The CSV column prefix ("mean_energy_joules", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Mean => "mean",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+        }
+    }
+}
+
+impl std::str::FromStr for AggKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "mean" => Ok(AggKind::Mean),
+            "min" => Ok(AggKind::Min),
+            "max" => Ok(AggKind::Max),
+            other => Err(format!("--agg must be mean, min or max, got {other}")),
+        }
+    }
+}
+
+/// One column's running reduction (count of non-missing values, their sum
+/// and extrema — enough for every [`AggKind`]).
+#[derive(Debug, Clone, Copy)]
+struct ColAcc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for ColAcc {
+    fn default() -> Self {
+        ColAcc {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl ColAcc {
+    fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn render(&self, kind: AggKind) -> String {
+        if self.count == 0 {
+            return String::new(); // all values missing, like an empty field
+        }
+        let v = match kind {
+            AggKind::Mean => self.sum / self.count as f64,
+            AggKind::Min => self.min,
+            AggKind::Max => self.max,
+        };
+        format!("{v}")
+    }
+}
+
+/// Separator between the rendered key fields inside a group's map key.
+/// Projected fields never contain it (labels are CSV-escaped printable
+/// text), so keys round-trip to fields by splitting.
+const KEY_SEP: char = '\u{1f}';
+
+/// Field-wise group-key ordering: fields that parse as numbers compare
+/// numerically (so `racks` 2 sorts before 10), ties and non-numeric
+/// fields compare as strings, and numbers sort before labels/empties.
+/// Total, and `Equal` only for identical key strings — safe as a sort key
+/// over distinct map keys.
+fn compare_keys(a: &str, b: &str) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let (mut fa, mut fb) = (a.split(KEY_SEP), b.split(KEY_SEP));
+    loop {
+        let ord = match (fa.next(), fb.next()) {
+            (None, None) => return Ordering::Equal,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (Some(x), Some(y)) => match (x.parse::<f64>(), y.parse::<f64>()) {
+                (Ok(nx), Ok(ny)) => nx
+                    .partial_cmp(&ny)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| x.cmp(y)),
+                (Ok(_), Err(_)) => Ordering::Less,
+                (Err(_), Ok(_)) => Ordering::Greater,
+                (Err(_), Err(_)) => x.cmp(y),
+            },
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+}
+
+/// Streaming `GROUP BY` over a store scan: rows fold into per-group
+/// accumulators as the partitions stream past, so summarising a
+/// million-cell store holds one accumulator per *group* — never the row
+/// set (the ROADMAP's "query aggregation pushdown"). The group key is
+/// probed through a reusable scratch buffer, so the steady state (a row
+/// hitting an existing group) allocates only the projected field strings.
+#[derive(Debug)]
+pub struct GroupAggregator {
+    group_by: Vec<String>,
+    columns: Vec<String>,
+    kind: AggKind,
+    groups: std::collections::HashMap<String, (u64, Vec<ColAcc>)>,
+    key_scratch: String,
+}
+
+impl GroupAggregator {
+    /// Build an aggregator grouping on `group_by` columns and folding the
+    /// numeric `columns` (both validated up front).
+    pub fn new(group_by: &[String], columns: &[String], kind: AggKind) -> Result<Self, String> {
+        if group_by.is_empty() {
+            return Err("--group-by needs at least one column".into());
+        }
+        if let Some(unknown) = group_by
+            .iter()
+            .find(|c| !QUERY_COLUMNS.contains(&c.as_str()))
+        {
+            return Err(format!(
+                "unknown column {unknown:?} (valid: {})",
+                QUERY_COLUMNS.join(", ")
+            ));
+        }
+        let columns: Vec<String> = columns
+            .iter()
+            .filter(|c| !group_by.contains(c))
+            .cloned()
+            .collect();
+        // Validate every aggregated column is numeric up front so errors
+        // surface before any output.
+        if let Some(bad) = columns
+            .iter()
+            .find(|c| !NUMERIC_COLUMNS.contains(&c.as_str()))
+        {
+            return Err(format!(
+                "column {bad:?} is not numeric and cannot be aggregated \
+                 (numeric: {})",
+                NUMERIC_COLUMNS.join(", ")
+            ));
+        }
+        Ok(GroupAggregator {
+            group_by: group_by.to_vec(),
+            columns,
+            kind,
+            groups: std::collections::HashMap::new(),
+            key_scratch: String::new(),
+        })
+    }
+
+    /// Fold one row into its group.
+    pub fn fold(&mut self, row: &CellRow) -> Result<(), String> {
+        self.key_scratch.clear();
+        for (i, column) in self.group_by.iter().enumerate() {
+            if i > 0 {
+                self.key_scratch.push(KEY_SEP);
+            }
+            self.key_scratch.push_str(&project(row, column)?);
+        }
+        let (n, accs) = match self.groups.get_mut(self.key_scratch.as_str()) {
+            Some(entry) => entry,
+            None => self
+                .groups
+                .entry(self.key_scratch.clone())
+                .or_insert_with(|| (0, vec![ColAcc::default(); self.columns.len()])),
+        };
+        *n += 1;
+        for (acc, column) in accs.iter_mut().zip(&self.columns) {
+            if let Some(v) = numeric(row, column)? {
+                acc.push(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of groups seen so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// CSV header: group columns, the group size, then one
+    /// `<agg>_<column>` per folded column.
+    pub fn header(&self) -> String {
+        let mut fields: Vec<String> = self.group_by.clone();
+        fields.push("n".into());
+        for column in &self.columns {
+            fields.push(format!("{}_{column}", self.kind.name()));
+        }
+        fields.join(",")
+    }
+
+    /// The aggregated rows in group-key order (numeric-aware per field, so
+    /// `racks` 2 precedes 10), capped at `limit` when given.
+    pub fn rows(&self, limit: Option<usize>) -> Vec<String> {
+        let mut keys: Vec<&String> = self.groups.keys().collect();
+        keys.sort_by(|a, b| compare_keys(a, b));
+        keys.into_iter()
+            .take(limit.unwrap_or(usize::MAX))
+            .map(|key| {
+                let (n, accs) = &self.groups[key];
+                let mut fields: Vec<String> = key.split(KEY_SEP).map(|f| f.to_string()).collect();
+                fields.push(n.to_string());
+                for acc in accs {
+                    fields.push(acc.render(self.kind));
+                }
+                fields.join(",")
+            })
+            .collect()
+    }
+}
+
 /// A validated handle for streaming reads of a store directory.
 ///
 /// [`open`](StoreScanner::open) parses the manifest up front — magic,
@@ -355,6 +656,117 @@ mod tests {
         let mut odd = r.clone();
         odd.scenario = "a,b".into();
         assert_eq!(project(&odd, "scenario").unwrap(), "\"a,b\"");
+    }
+
+    #[test]
+    fn group_aggregation_folds_in_the_streaming_scan() {
+        let dir = temp_dir("agg");
+        build_store(&dir);
+        let mut agg = GroupAggregator::new(
+            &["workload".to_string(), "scenario".to_string()],
+            &["launched_jobs".to_string(), "mean_wait_seconds".to_string()],
+            AggKind::Mean,
+        )
+        .unwrap();
+        let matched = scan_store(&dir, &RowFilter::default(), |row| agg.fold(row)).unwrap();
+        assert_eq!(matched, 200);
+        // Groups: (medianjob, 60%/SHUT) = indices ≡ 0 (mod 4),
+        // (medianjob, 100%/None) = 2 (mod 4), (24h, 100%/None) = odd.
+        assert_eq!(agg.group_count(), 3);
+        assert_eq!(
+            agg.header(),
+            "workload,scenario,n,mean_launched_jobs,mean_mean_wait_seconds"
+        );
+        let rows = agg.rows(None);
+        assert_eq!(rows.len(), 3);
+        // BTreeMap order: "24h" < "medianjob"; launched_jobs == index, so
+        // the odd indices 1..199 average to 100.
+        assert_eq!(rows[0], "24h,100%/None,100,100,");
+        // Even-but-not-multiple-of-4 indices 2,6,…,198 average to 100; the
+        // all-NaN wait column renders empty.
+        assert_eq!(rows[1], "medianjob,100%/None,50,100,");
+        assert_eq!(rows[2], "medianjob,60%/SHUT,50,98,");
+        // Limit caps the rendered groups, not the fold.
+        assert_eq!(agg.rows(Some(2)).len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aggregation_kinds_and_validation() {
+        let rows: Vec<CellRow> = (0..4).map(|i| row(i, "medianjob", "60%/SHUT")).collect();
+        for (kind, expected) in [
+            (AggKind::Min, "medianjob,4,0"),
+            (AggKind::Max, "medianjob,4,3"),
+            (AggKind::Mean, "medianjob,4,1.5"),
+        ] {
+            let mut agg = GroupAggregator::new(
+                &["workload".to_string()],
+                &["launched_jobs".to_string()],
+                kind,
+            )
+            .unwrap();
+            for r in &rows {
+                agg.fold(r).unwrap();
+            }
+            assert_eq!(agg.rows(None), vec![expected.to_string()], "{kind:?}");
+        }
+        // Validation: empty key list, unknown key, non-numeric column.
+        assert!(GroupAggregator::new(&[], &[], AggKind::Mean).is_err());
+        let err = GroupAggregator::new(&["nope".to_string()], &[], AggKind::Mean).unwrap_err();
+        assert!(err.contains("unknown column"));
+        let err = GroupAggregator::new(
+            &["workload".to_string()],
+            &["scenario".to_string()],
+            AggKind::Mean,
+        )
+        .unwrap_err();
+        assert!(err.contains("not numeric"));
+        // Group-by columns are dropped from the aggregated set, not
+        // double-counted.
+        let agg = GroupAggregator::new(
+            &["racks".to_string()],
+            &["racks".to_string(), "launched_jobs".to_string()],
+            AggKind::Mean,
+        )
+        .unwrap();
+        assert_eq!(agg.header(), "racks,n,mean_launched_jobs");
+        // Agg kind parsing.
+        assert_eq!("mean".parse::<AggKind>().unwrap(), AggKind::Mean);
+        assert_eq!("max".parse::<AggKind>().unwrap().name(), "max");
+        assert!("median".parse::<AggKind>().is_err());
+    }
+
+    #[test]
+    fn numeric_group_keys_sort_by_value_not_lexicographically() {
+        let mut agg = GroupAggregator::new(
+            &["racks".to_string()],
+            &["launched_jobs".to_string()],
+            AggKind::Mean,
+        )
+        .unwrap();
+        for racks in [10usize, 2, 33] {
+            let mut r = row(1, "medianjob", "60%/SHUT");
+            r.racks = racks;
+            agg.fold(&r).unwrap();
+        }
+        // Lexicographic order would put "10" before "2".
+        assert_eq!(agg.rows(None), vec!["2,1,1", "10,1,1", "33,1,1"]);
+        // --limit keeps the numerically-first groups.
+        assert_eq!(agg.rows(Some(1)), vec!["2,1,1"]);
+    }
+
+    #[test]
+    fn numeric_extraction_handles_missing_values() {
+        let mut r = row(4, "medianjob", "60%/SHUT");
+        assert_eq!(numeric(&r, "launched_jobs").unwrap(), Some(4.0));
+        assert_eq!(numeric(&r, "mean_wait_seconds").unwrap(), None, "NaN");
+        assert_eq!(numeric(&r, "seed").unwrap(), Some(1.0));
+        r.seed = None;
+        assert_eq!(numeric(&r, "seed").unwrap(), None);
+        assert!(numeric(&r, "workload").is_err());
+        for column in NUMERIC_COLUMNS {
+            assert!(numeric(&r, column).is_ok());
+        }
     }
 
     #[test]

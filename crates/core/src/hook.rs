@@ -379,8 +379,8 @@ mod tests {
         narrow.state = apc_rjms::job::JobState::Running;
         narrow.nodes = (60..70).collect();
         narrow.frequency = Some(Frequency::from_ghz(2.7));
-        cluster.allocate(0, &wide.nodes.clone(), Frequency::from_ghz(2.7), 0);
-        cluster.allocate(1, &narrow.nodes.clone(), Frequency::from_ghz(2.7), 0);
+        cluster.allocate_mask(0, &wide.nodes, Frequency::from_ghz(2.7), 0);
+        cluster.allocate_mask(1, &narrow.nodes, Frequency::from_ghz(2.7), 0);
 
         // A cap just below the current consumption: killing the wide job is
         // enough, the narrow one survives.

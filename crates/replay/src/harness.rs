@@ -45,6 +45,23 @@ pub struct ReplayOutcome {
     pub log: SimLog,
 }
 
+/// The campaign-grade subset of a replay's results: the aggregate report,
+/// the normalised Fig. 8 triple and the power series (for per-window peak
+/// power) — everything a `CellRow` reads, and nothing else.
+///
+/// [`ReplayHarness::run_summary`] produces this without materialising the
+/// utilisation series or cloning the event log, which a million-cell
+/// campaign would otherwise pay for and immediately discard.
+#[derive(Debug, Clone)]
+pub struct ReplaySummary {
+    /// The controller's aggregate report.
+    pub report: SimulationReport,
+    /// The normalised energy / launched-jobs / work triple (Fig. 8).
+    pub normalized: NormalizedOutcome,
+    /// Power time series (peak-power queries).
+    pub power: PowerSeries,
+}
+
 impl ReplayOutcome {
     /// One-line summary used by the examples and the experiments binary.
     pub fn summary(&self) -> String {
@@ -122,8 +139,9 @@ impl ReplayHarness {
         &self.users
     }
 
-    /// Run one scenario to completion and collect every metric.
-    pub fn run(&self, scenario: &Scenario) -> ReplayOutcome {
+    /// Phases 1–3 for one scenario: build the controller, seed the initial
+    /// state, register the powercap reservations and run the replay.
+    fn run_controller(&self, scenario: &Scenario) -> (Controller, SimulationReport) {
         // Phase 1 — environment setup.
         let powercap_config = PowercapConfig {
             policy: scenario.policy,
@@ -157,6 +175,12 @@ impl ReplayHarness {
         controller.submit_all(self.trace.to_submissions());
         controller.set_horizon(self.trace.duration);
         let report = controller.run();
+        (controller, report)
+    }
+
+    /// Run one scenario to completion and collect every metric.
+    pub fn run(&self, scenario: &Scenario) -> ReplayOutcome {
+        let (mut controller, report) = self.run_controller(scenario);
 
         // Phase 4 — post-treatment.
         let normalized = NormalizedOutcome::from_report(&report, &self.platform, &self.trace);
@@ -168,7 +192,23 @@ impl ReplayHarness {
             normalized,
             utilization,
             power,
-            log: controller.log().clone(),
+            // The controller is dropped right after: take the log instead
+            // of cloning every event.
+            log: controller.take_log(),
+        }
+    }
+
+    /// Run one scenario and collect only the campaign-grade metrics (no
+    /// utilisation series, no event-log clone) — the per-cell hot path of
+    /// the campaign executor.
+    pub fn run_summary(&self, scenario: &Scenario) -> ReplaySummary {
+        let (controller, report) = self.run_controller(scenario);
+        let normalized = NormalizedOutcome::from_report(&report, &self.platform, &self.trace);
+        let power = PowerSeries::from_samples(controller.cluster().accountant().samples());
+        ReplaySummary {
+            report,
+            normalized,
+            power,
         }
     }
 
@@ -271,6 +311,21 @@ mod tests {
         ));
         assert!(capped.report.work_core_seconds <= baseline.report.work_core_seconds + 1e-6);
         assert!(capped.report.energy < baseline.report.energy);
+    }
+
+    #[test]
+    fn run_summary_matches_the_full_run() {
+        let h = harness();
+        for scenario in [
+            Scenario::baseline(),
+            Scenario::paper(PowercapPolicy::Mix, 0.6, h.trace().duration),
+        ] {
+            let full = h.run(&scenario);
+            let lean = h.run_summary(&scenario);
+            assert_eq!(full.report, lean.report);
+            assert_eq!(full.normalized, lean.normalized);
+            assert_eq!(full.power, lean.power);
+        }
     }
 
     #[test]

@@ -49,23 +49,23 @@ pub struct ShadowReservation {
 
 /// Compute the shadow reservation of a head job needing `needed` nodes, given
 /// `free_now` currently free nodes and the walltime-based releases of running
-/// jobs (`(walltime_end, node_count)`, in any order).
+/// jobs (`(walltime_end, node_count)`, in any order — the slice is sorted in
+/// place, so callers with a reusable scratch buffer pay no allocation).
 ///
 /// Returns `None` when the head job can already start (`free_now >= needed`)
 /// or can never start (total nodes insufficient even after every release).
 pub fn shadow_reservation(
     needed: usize,
     free_now: usize,
-    releases: &[(SimTime, usize)],
+    releases: &mut [(SimTime, usize)],
     now: SimTime,
 ) -> Option<ShadowReservation> {
     if free_now >= needed {
         return None;
     }
-    let mut releases: Vec<(SimTime, usize)> = releases.to_vec();
     releases.sort_unstable();
     let mut free = free_now;
-    for (t, nodes) in releases {
+    for &(t, nodes) in releases.iter() {
         free += nodes;
         if free >= needed {
             return Some(ShadowReservation {
@@ -103,31 +103,31 @@ mod tests {
 
     #[test]
     fn no_reservation_needed_when_enough_nodes() {
-        assert_eq!(shadow_reservation(10, 10, &[(100, 5)], 0), None);
-        assert_eq!(shadow_reservation(0, 0, &[], 0), None);
+        assert_eq!(shadow_reservation(10, 10, &mut [(100, 5)], 0), None);
+        assert_eq!(shadow_reservation(0, 0, &mut [], 0), None);
     }
 
     #[test]
     fn shadow_time_is_the_earliest_sufficient_release() {
-        let releases = vec![(300, 4), (100, 2), (200, 3)];
+        let mut releases = vec![(300, 4), (100, 2), (200, 3)];
         // Need 8, have 1: after t=100 -> 3, t=200 -> 6, t=300 -> 10 >= 8.
-        let s = shadow_reservation(8, 1, &releases, 0).unwrap();
+        let s = shadow_reservation(8, 1, &mut releases, 0).unwrap();
         assert_eq!(s.shadow_time, 300);
         assert_eq!(s.spare_nodes, 2);
         // Need 5: satisfied at t=200 with 6 free -> spare 1.
-        let s = shadow_reservation(5, 1, &releases, 0).unwrap();
+        let s = shadow_reservation(5, 1, &mut releases, 0).unwrap();
         assert_eq!(s.shadow_time, 200);
         assert_eq!(s.spare_nodes, 1);
     }
 
     #[test]
     fn impossible_head_job_has_no_shadow() {
-        assert_eq!(shadow_reservation(100, 1, &[(10, 5)], 0), None);
+        assert_eq!(shadow_reservation(100, 1, &mut [(10, 5)], 0), None);
     }
 
     #[test]
     fn shadow_time_never_precedes_now() {
-        let s = shadow_reservation(3, 0, &[(50, 5)], 200).unwrap();
+        let s = shadow_reservation(3, 0, &mut [(50, 5)], 200).unwrap();
         assert_eq!(s.shadow_time, 200);
     }
 

@@ -15,6 +15,7 @@ use apc_power::{
 use serde::{Deserialize, Serialize};
 
 use crate::job::JobId;
+use crate::mask::NodeMask;
 use crate::node::{AllocationState, SimNode};
 use crate::time::SimTime;
 
@@ -84,12 +85,19 @@ impl Default for Platform {
 }
 
 /// Dynamic cluster state: node allocation + power accounting.
+///
+/// Availability is tracked twice, deliberately: per node (the
+/// [`SimNode`] records, for inspection and power transitions) and as an
+/// incrementally maintained [`NodeMask`] (the scheduling hot path — node
+/// selection and blocked-set counting never scan the node table).
 #[derive(Debug, Clone)]
 pub struct Cluster {
     platform: Platform,
     nodes: Vec<SimNode>,
     accountant: ClusterPowerAccountant,
-    free_count: usize,
+    /// Nodes currently available for scheduling (free, powered, undrained);
+    /// kept in lockstep with every allocation/power transition.
+    available: NodeMask,
 }
 
 impl Cluster {
@@ -102,7 +110,7 @@ impl Cluster {
             platform,
             nodes,
             accountant,
-            free_count: n,
+            available: NodeMask::full(n),
         }
     }
 
@@ -118,7 +126,12 @@ impl Cluster {
 
     /// Number of nodes currently available for scheduling.
     pub fn free_count(&self) -> usize {
-        self.free_count
+        self.available.len()
+    }
+
+    /// The availability bitmask (free, powered, undrained nodes).
+    pub fn available_mask(&self) -> &NodeMask {
+        &self.available
     }
 
     /// The node records.
@@ -169,7 +182,7 @@ impl Cluster {
 
     /// Iterate over the ids of nodes currently available for scheduling.
     pub fn available_nodes(&self) -> impl Iterator<Item = usize> + '_ {
-        self.nodes.iter().filter(|n| n.is_available()).map(|n| n.id)
+        self.available.iter()
     }
 
     /// Mark `nodes` as allocated to `job` running at `freq` starting at
@@ -180,15 +193,26 @@ impl Cluster {
     /// scheduler).
     pub fn allocate(&mut self, job: JobId, nodes: &[usize], freq: Frequency, time: SimTime) {
         for &id in nodes {
-            let node = &mut self.nodes[id];
-            assert!(
-                node.is_available(),
-                "node {id} is not available for job {job}"
-            );
-            node.alloc = AllocationState::Allocated(job);
-            self.free_count -= 1;
-            self.accountant.set_state(id, PowerState::Busy(freq), time);
+            self.allocate_one(job, id, freq, time);
         }
+    }
+
+    /// [`allocate`](Self::allocate) over a bitmask node set.
+    pub fn allocate_mask(&mut self, job: JobId, nodes: &NodeMask, freq: Frequency, time: SimTime) {
+        for id in nodes.iter() {
+            self.allocate_one(job, id, freq, time);
+        }
+    }
+
+    fn allocate_one(&mut self, job: JobId, id: usize, freq: Frequency, time: SimTime) {
+        let node = &mut self.nodes[id];
+        assert!(
+            node.is_available(),
+            "node {id} is not available for job {job}"
+        );
+        node.alloc = AllocationState::Allocated(job);
+        self.available.remove(id);
+        self.accountant.set_state(id, PowerState::Busy(freq), time);
     }
 
     /// Release the nodes of a finished job back to the idle pool. Nodes that
@@ -196,16 +220,27 @@ impl Cluster {
     /// are powered off instead of returning to idle.
     pub fn release(&mut self, nodes: &[usize], time: SimTime) {
         for &id in nodes {
-            let node = &mut self.nodes[id];
-            debug_assert!(node.is_allocated(), "releasing a non-allocated node {id}");
-            if node.drained {
-                node.alloc = AllocationState::PoweredOff;
-                self.accountant.set_state(id, PowerState::Off, time);
-            } else {
-                node.alloc = AllocationState::Free;
-                self.free_count += 1;
-                self.accountant.set_state(id, PowerState::Idle, time);
-            }
+            self.release_one(id, time);
+        }
+    }
+
+    /// [`release`](Self::release) over a bitmask node set.
+    pub fn release_mask(&mut self, nodes: &NodeMask, time: SimTime) {
+        for id in nodes.iter() {
+            self.release_one(id, time);
+        }
+    }
+
+    fn release_one(&mut self, id: usize, time: SimTime) {
+        let node = &mut self.nodes[id];
+        debug_assert!(node.is_allocated(), "releasing a non-allocated node {id}");
+        if node.drained {
+            node.alloc = AllocationState::PoweredOff;
+            self.accountant.set_state(id, PowerState::Off, time);
+        } else {
+            node.alloc = AllocationState::Free;
+            self.available.insert(id);
+            self.accountant.set_state(id, PowerState::Idle, time);
         }
     }
 
@@ -219,7 +254,7 @@ impl Cluster {
             match node.alloc {
                 AllocationState::Free => {
                     if !node.drained {
-                        self.free_count -= 1;
+                        self.available.remove(id);
                     }
                     node.alloc = AllocationState::PoweredOff;
                     node.drained = true;
@@ -243,7 +278,7 @@ impl Cluster {
         for &id in nodes {
             let node = &mut self.nodes[id];
             if !node.drained && node.alloc == AllocationState::Free {
-                self.free_count -= 1;
+                self.available.remove(id);
             }
             node.drained = true;
         }
@@ -254,7 +289,7 @@ impl Cluster {
         for &id in nodes {
             let node = &mut self.nodes[id];
             if node.drained && node.alloc == AllocationState::Free {
-                self.free_count += 1;
+                self.available.insert(id);
             }
             if node.alloc != AllocationState::PoweredOff {
                 node.drained = false;
@@ -269,7 +304,7 @@ impl Cluster {
             node.drained = false;
             if node.alloc == AllocationState::PoweredOff {
                 node.alloc = AllocationState::Free;
-                self.free_count += 1;
+                self.available.insert(id);
                 self.accountant.set_state(id, PowerState::Idle, time);
             }
         }
@@ -422,5 +457,39 @@ mod tests {
         c.release(&[5], 10);
         c.power_on(&[6, 7], 10);
         assert_eq!(c.free_count(), 90);
+    }
+
+    /// The incrementally maintained availability mask must agree with the
+    /// per-node records after every kind of transition.
+    #[test]
+    fn availability_mask_stays_in_lockstep_with_node_records() {
+        let mut c = small_cluster();
+        let check = |c: &Cluster| {
+            for n in c.nodes() {
+                assert_eq!(
+                    c.available_mask().contains(n.id),
+                    n.is_available(),
+                    "mask and node record disagree on node {}",
+                    n.id
+                );
+            }
+            assert_eq!(c.available_mask().len(), c.free_count());
+        };
+        check(&c);
+        let mask: crate::mask::NodeMask = (0..4).collect();
+        c.allocate_mask(3, &mask, Frequency::from_ghz(2.7), 0);
+        check(&c);
+        c.power_off(&[2, 10, 11], 5); // 2 is allocated: drained, not switched
+        check(&c);
+        c.drain(&[20, 21]);
+        check(&c);
+        c.release_mask(&mask, 10); // node 2 powers off instead of idling
+        check(&c);
+        assert_eq!(c.powered_off_count(), 3);
+        c.undrain(&[20, 21]);
+        c.power_on(&[2, 10, 11], 20);
+        check(&c);
+        assert_eq!(c.free_count(), 90);
+        assert_eq!(c.available_nodes().count(), 90);
     }
 }

@@ -10,9 +10,7 @@
 //! only changes at events, so running the scheduler exactly once per event
 //! timestamp is both sufficient and deterministic.
 
-use std::collections::HashSet;
-
-use apc_power::{Joules, Watts};
+use apc_power::{Frequency, Joules, Watts};
 
 use crate::backfill::{can_backfill, shadow_reservation, ShadowReservation};
 use crate::cluster::{Cluster, Platform};
@@ -21,10 +19,17 @@ use crate::event::{Event, EventQueue};
 use crate::hook::{NullHook, SchedulingHook, StartDecision};
 use crate::job::{Job, JobId, JobState, JobSubmission};
 use crate::log::{SimEventKind, SimLog};
+use crate::mask::NodeMask;
 use crate::priority::{FairShareTracker, MultifactorPriority};
 use crate::reservation::{ReservationBook, ReservationId, ReservationKind};
-use crate::select::NodeSelector;
+use crate::select::{NodeSelector, SelectScratch};
 use crate::time::{SimTime, TimeWindow};
+
+/// Width of the blocked-set signature: the number of node-carrying
+/// reservations that can be distinguished by one bit each. Passes seeing
+/// more fall back to exact per-job blocked-set computation (no silent
+/// truncation — see `schedule_pass`).
+const SIGNATURE_BITS: usize = 128;
 
 /// Aggregate results of a simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +59,70 @@ impl SimulationReport {
     }
 }
 
+/// One cached blocked-set: the nodes blocked by a specific combination of
+/// overlapping reservations (identified by its bit signature) plus the
+/// availability count given that set. The node set only depends on the
+/// reservation book, so it survives job starts within a pass; the *count*
+/// depends on cluster availability and is invalidated (recomputed lazily)
+/// whenever a job start changes it.
+#[derive(Debug, Default)]
+struct BlockedEntry {
+    signature: u128,
+    blocked: NodeMask,
+    count: usize,
+    count_valid: bool,
+}
+
+/// Reusable buffers for `schedule_pass`. Taken out of the controller for
+/// the duration of a pass (so the borrow checker sees disjoint borrows) and
+/// put back afterwards: in the steady state a pass performs no heap
+/// allocation for node sets — every `Vec` and [`NodeMask`] here has reached
+/// its high-water capacity and is merely cleared.
+#[derive(Debug, Default)]
+struct ScheduleScratch {
+    /// Snapshot of the priority-sorted pending queue for this pass.
+    order: Vec<JobId>,
+    /// `(walltime_end, node_count)` of running jobs, for the shadow
+    /// reservation (sorted in place by `shadow_reservation`).
+    releases: Vec<(SimTime, usize)>,
+    /// The node selection of the job currently being examined.
+    selected: Vec<usize>,
+    /// The same selection as a mask (what the started job keeps).
+    selected_mask: NodeMask,
+    /// Per-chassis counts for the contiguous selection policy.
+    select: SelectScratch,
+    /// Census of node-carrying reservations: `(signature bit, window, id)`.
+    node_res: Vec<(u128, TimeWindow, ReservationId)>,
+    /// Blocked-set cache, keyed by signature; `cache[..cache_live]` are the
+    /// entries of the current pass (dead entries keep their buffers).
+    cache: Vec<BlockedEntry>,
+    cache_live: usize,
+    /// Exact per-job blocked set, used when the census overflows the
+    /// signature width.
+    exact_blocked: NodeMask,
+}
+
+impl ScheduleScratch {
+    /// Sum of buffer capacities — a monotone proxy for "did this pass
+    /// allocate". Units are mixed (elements and words); only growth
+    /// matters.
+    fn footprint(&self) -> usize {
+        self.order.capacity()
+            + self.releases.capacity()
+            + self.selected.capacity()
+            + self.selected_mask.word_capacity()
+            + self.select.footprint()
+            + self.node_res.capacity()
+            + self.cache.capacity()
+            + self
+                .cache
+                .iter()
+                .map(|e| e.blocked.word_capacity())
+                .sum::<usize>()
+            + self.exact_blocked.word_capacity()
+    }
+}
+
 /// The central resource and job management daemon.
 pub struct Controller {
     cluster: Cluster,
@@ -71,6 +140,10 @@ pub struct Controller {
     now: SimTime,
     horizon: Option<SimTime>,
     finished: bool,
+    events_processed: u64,
+    sched_passes: u64,
+    scratch: ScheduleScratch,
+    scratch_growth_passes: u64,
 }
 
 impl Controller {
@@ -105,6 +178,10 @@ impl Controller {
             now: 0,
             horizon: None,
             finished: false,
+            events_processed: 0,
+            sched_passes: 0,
+            scratch: ScheduleScratch::default(),
+            scratch_growth_passes: 0,
         }
     }
 
@@ -150,6 +227,32 @@ impl Controller {
     /// Number of running jobs.
     pub fn running_count(&self) -> usize {
         self.running.len()
+    }
+
+    /// Total events consumed by the simulation loop so far (throughput
+    /// counter for the perf-baseline tooling).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of scheduling passes run so far (one per event batch).
+    pub fn schedule_passes(&self) -> u64 {
+        self.sched_passes
+    }
+
+    /// Number of scheduling passes whose scratch buffers had to grow.
+    /// After warm-up this stays flat: the steady state performs no per-pass
+    /// heap allocation for node sets (asserted by
+    /// `steady_state_scheduling_stops_allocating`).
+    pub fn scratch_growth_passes(&self) -> u64 {
+        self.scratch_growth_passes
+    }
+
+    /// Take the simulation log out of the controller (leaving an empty
+    /// one) — lets the replay harness hand the log to its outcome without
+    /// cloning every event.
+    pub fn take_log(&mut self) -> SimLog {
+        std::mem::replace(&mut self.log, SimLog::new())
     }
 
     /// Seed historical fair-share usage (phase ii of the replay methodology).
@@ -275,6 +378,7 @@ impl Controller {
     }
 
     fn process_event(&mut self, event: Event) {
+        self.events_processed += 1;
         match event {
             Event::JobSubmit(id) => {
                 let job = &self.jobs[id];
@@ -306,19 +410,11 @@ impl Controller {
         if self.now < expected.min(walltime_end) {
             return; // Stale event from a superseded schedule.
         }
-        let nodes = self.jobs[id].nodes.clone();
         let cores = self.jobs[id].cores();
         let frequency = self.jobs[id]
             .frequency
             .expect("running job has a frequency");
-        // Nodes drained by an active switch-off reservation power off on
-        // release; log that transition so time series stay accurate.
-        let powering_off: Vec<usize> = nodes
-            .iter()
-            .copied()
-            .filter(|&n| self.cluster.node(n).drained)
-            .collect();
-        self.cluster.release(&nodes, self.now);
+        let powering_off = self.release_job_nodes(id);
         self.jobs[id].state = JobState::Completed;
         self.jobs[id].end_time = Some(self.now);
         self.running.retain(|&j| j != id);
@@ -409,17 +505,11 @@ impl Controller {
         if self.jobs[id].state != JobState::Running {
             return;
         }
-        let nodes = self.jobs[id].nodes.clone();
         let cores = self.jobs[id].cores();
         let frequency = self.jobs[id]
             .frequency
             .expect("running job has a frequency");
-        let powering_off: Vec<usize> = nodes
-            .iter()
-            .copied()
-            .filter(|&n| self.cluster.node(n).drained)
-            .collect();
-        self.cluster.release(&nodes, self.now);
+        let powering_off = self.release_job_nodes(id);
         self.jobs[id].state = JobState::Killed;
         self.jobs[id].end_time = Some(self.now);
         self.running.retain(|&j| j != id);
@@ -441,11 +531,31 @@ impl Controller {
         }
     }
 
+    /// Release a finishing (completed or killed) job's nodes back to the
+    /// cluster. The node set is taken out of the job for the release and
+    /// handed back afterwards — no clone, the job keeps it for inspection.
+    /// Returns the nodes that power off with the release (drained by an
+    /// active switch-off reservation), for the caller's event log.
+    /// (`Vec::new` does not allocate — the common no-drain case is free.)
+    fn release_job_nodes(&mut self, id: JobId) -> Vec<usize> {
+        let nodes = std::mem::take(&mut self.jobs[id].nodes);
+        let mut powering_off: Vec<usize> = Vec::new();
+        for n in nodes.iter() {
+            if self.cluster.node(n).drained {
+                powering_off.push(n);
+            }
+        }
+        self.cluster.release_mask(&nodes, self.now);
+        self.jobs[id].nodes = nodes;
+        powering_off
+    }
+
     // ------------------------------------------------------------------
     // Scheduling
     // ------------------------------------------------------------------
 
     fn schedule_pass(&mut self) {
+        self.sched_passes += 1;
         if self.pending.is_empty() {
             return;
         }
@@ -460,7 +570,12 @@ impl Controller {
             &self.fairshare,
         );
 
-        let order: Vec<JobId> = self.pending.clone();
+        // Take the scratch buffers out of `self` for the pass so their
+        // borrows are disjoint from the controller's own fields; they go
+        // back (with their grown capacities) at the end.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let footprint_before = scratch.footprint();
+
         let backfill_cfg = self.config.params.backfill;
         let depth = if backfill_cfg.enabled {
             backfill_cfg.depth
@@ -468,24 +583,42 @@ impl Controller {
             1
         };
         let mut shadow: Option<ShadowReservation> = None;
-        let mut started: Vec<JobId> = Vec::new();
+        let mut any_started = false;
 
         // The blocked-node set of a job only depends on which node-carrying
         // reservations overlap its prospective window. With a handful of
         // reservations and thousands of pending jobs, most jobs share the
         // same overlap signature, so the (potentially large) node sets are
-        // built once per signature and per pass instead of once per job.
-        let node_reservations: Vec<(u128, crate::reservation::Reservation)> = self
-            .reservations
-            .all()
-            .iter()
-            .filter(|r| r.blocked_nodes().is_some())
-            .take(128)
-            .enumerate()
-            .map(|(i, r)| (1u128 << i, r.clone()))
-            .collect();
-        let mut blocked_cache: std::collections::HashMap<u128, (HashSet<usize>, usize)> =
-            std::collections::HashMap::new();
+        // built once per signature and per pass instead of once per job —
+        // and survive job starts, which only invalidate the availability
+        // *counts*. Should the census ever exceed the signature width, the
+        // pass falls back to exact per-job computation instead of silently
+        // ignoring the overflow (reservation #129 blocks nodes too).
+        let ScheduleScratch {
+            order,
+            releases,
+            selected,
+            selected_mask,
+            select,
+            node_res,
+            cache,
+            cache_live,
+            exact_blocked,
+        } = &mut scratch;
+        order.clear();
+        order.extend_from_slice(&self.pending);
+        node_res.clear();
+        let mut node_res_total = 0usize;
+        for r in self.reservations.all() {
+            if r.blocked_nodes().is_some() {
+                if node_res_total < SIGNATURE_BITS {
+                    node_res.push((1u128 << node_res_total, r.window, r.id));
+                }
+                node_res_total += 1;
+            }
+        }
+        let exact_mode = node_res_total > SIGNATURE_BITS;
+        *cache_live = 0;
 
         for (examined, &job_id) in order.iter().enumerate() {
             if examined >= depth {
@@ -497,23 +630,58 @@ impl Controller {
             let needed = self.jobs[job_id].nodes_needed(cores_per_node);
             let walltime = self.jobs[job_id].submission.walltime;
             let window_end = self.now.saturating_add(walltime);
-            let signature: u128 = node_reservations
-                .iter()
-                .filter(|(_, r)| r.overlaps(self.now, window_end))
-                .map(|(bit, _)| bit)
-                .sum();
-            if let std::collections::hash_map::Entry::Vacant(e) = blocked_cache.entry(signature) {
-                let set: HashSet<usize> = node_reservations
+
+            // Resolve the blocked set + availability for this job's window:
+            // through the signature cache normally, exactly per job when the
+            // reservation census overflows the signature.
+            let cache_index = if exact_mode {
+                exact_blocked.clear();
+                self.reservations
+                    .collect_blocked_within(self.now, window_end, exact_blocked);
+                None
+            } else {
+                let signature: u128 = node_res
                     .iter()
-                    .filter(|(bit, _)| signature & bit != 0)
-                    .filter_map(|(_, r)| r.blocked_nodes())
-                    .flatten()
-                    .copied()
-                    .collect();
-                let count = self.selector.available_count(&self.cluster, &set);
-                e.insert((set, count));
-            }
-            let available = blocked_cache[&signature].1;
+                    .filter(|(_, window, _)| window.overlaps(self.now, window_end))
+                    .map(|(bit, _, _)| bit)
+                    .sum();
+                let index = (0..*cache_live).find(|&i| cache[i].signature == signature);
+                let index = match index {
+                    Some(i) => i,
+                    None => {
+                        let i = *cache_live;
+                        if i == cache.len() {
+                            cache.push(BlockedEntry::default());
+                        }
+                        let entry = &mut cache[i];
+                        entry.signature = signature;
+                        entry.blocked.clear();
+                        entry.count_valid = false;
+                        for (bit, _, id) in node_res.iter() {
+                            if signature & bit != 0 {
+                                let reservation =
+                                    self.reservations.get(*id).expect("censused reservation");
+                                if let Some(nodes) = reservation.blocked_nodes() {
+                                    entry.blocked.extend(nodes.iter().copied());
+                                }
+                            }
+                        }
+                        *cache_live += 1;
+                        i
+                    }
+                };
+                if !cache[index].count_valid {
+                    cache[index].count = self
+                        .selector
+                        .available_count(&self.cluster, &cache[index].blocked);
+                    cache[index].count_valid = true;
+                }
+                Some(index)
+            };
+            let available = match cache_index {
+                Some(i) => cache[i].count,
+                None => self.selector.available_count(&self.cluster, exact_blocked),
+            };
 
             if let Some(sh) = &shadow {
                 // A higher-priority job holds a node reservation: only
@@ -528,15 +696,12 @@ impl Controller {
                     // The head job is blocked by node availability: compute
                     // its shadow reservation from running jobs' walltimes and
                     // keep examining candidates only if backfilling is on.
-                    let releases: Vec<(SimTime, usize)> = self
-                        .running
-                        .iter()
-                        .map(|&j| {
-                            let job = &self.jobs[j];
-                            (job.walltime_end().unwrap_or(self.now), job.nodes.len())
-                        })
-                        .collect();
-                    shadow = shadow_reservation(needed, available, &releases, self.now);
+                    releases.clear();
+                    for &j in &self.running {
+                        let job = &self.jobs[j];
+                        releases.push((job.walltime_end().unwrap_or(self.now), job.nodes.len()));
+                    }
+                    shadow = shadow_reservation(needed, available, releases, self.now);
                     if !backfill_cfg.enabled {
                         break;
                     }
@@ -544,27 +709,35 @@ impl Controller {
                 continue;
             }
 
-            let selected = {
-                let blocked = &blocked_cache[&signature].0;
-                self.selector.select(&self.cluster, needed, blocked)
+            let blocked: &NodeMask = match cache_index {
+                Some(i) => &cache[i].blocked,
+                None => exact_blocked,
             };
-            let Some(nodes) = selected else {
+            if !self
+                .selector
+                .select_into(&self.cluster, needed, blocked, select, selected)
+            {
                 continue;
-            };
+            }
             let decision = self.hook.authorize_start(
                 &self.cluster,
                 &self.reservations,
                 &self.jobs[job_id],
-                &nodes,
+                selected,
                 self.now,
             );
             match decision {
                 StartDecision::Start { frequency } => {
-                    self.start_job(job_id, nodes, frequency);
-                    started.push(job_id);
-                    // Node availability changed: drop the cached counts so the
-                    // remaining candidates see up-to-date numbers.
-                    blocked_cache.clear();
+                    selected_mask.clear();
+                    selected_mask.extend(selected.iter().copied());
+                    self.start_job(job_id, selected, selected_mask, frequency);
+                    any_started = true;
+                    // Node availability changed: invalidate the cached
+                    // counts (the blocked sets themselves are unaffected) so
+                    // the remaining candidates see up-to-date numbers.
+                    for entry in &mut cache[..*cache_live] {
+                        entry.count_valid = false;
+                    }
                 }
                 StartDecision::Postpone => {
                     // Power-blocked, not node-blocked: no node reservation is
@@ -575,12 +748,27 @@ impl Controller {
             }
         }
 
-        if !started.is_empty() {
-            self.pending.retain(|id| !started.contains(id));
+        if any_started {
+            // O(P) membership check by job state — started jobs left the
+            // Pending state in `start_job`, so no started-set scan is
+            // needed.
+            let jobs = &self.jobs;
+            self.pending.retain(|&id| jobs[id].is_pending());
         }
+
+        if scratch.footprint() > footprint_before {
+            self.scratch_growth_passes += 1;
+        }
+        self.scratch = scratch;
     }
 
-    fn start_job(&mut self, id: JobId, nodes: Vec<usize>, frequency: apc_power::Frequency) {
+    fn start_job(
+        &mut self,
+        id: JobId,
+        nodes: &[usize],
+        node_mask: &NodeMask,
+        frequency: Frequency,
+    ) {
         let factor = self.hook.runtime_factor_for(&self.jobs[id], frequency);
         let cores = self.jobs[id].cores();
         let user = self.jobs[id].submission.user;
@@ -589,7 +777,7 @@ impl Controller {
         let stretched_runtime = ((actual as f64) * factor).ceil() as SimTime;
         let stretched_walltime = ((walltime as f64) * factor).ceil() as SimTime;
 
-        self.cluster.allocate(id, &nodes, frequency, self.now);
+        self.cluster.allocate(id, nodes, frequency, self.now);
 
         let job = &mut self.jobs[id];
         job.state = JobState::Running;
@@ -598,7 +786,7 @@ impl Controller {
         job.stretched_runtime = Some(stretched_runtime);
         job.stretched_walltime = Some(stretched_walltime);
         let node_count = nodes.len();
-        job.nodes = nodes;
+        job.nodes = node_mask.clone();
 
         let end = self.now + stretched_runtime.min(stretched_walltime).max(1);
         self.events.push(end, Event::JobEnd(id));
@@ -930,6 +1118,80 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(build(), build());
+    }
+
+    /// Regression for the signature-cache overflow: the seed capped the
+    /// census at 128 node-carrying reservations, so a 129th reservation's
+    /// nodes silently became schedulable. Past the cap the controller now
+    /// computes every job's blocked set exactly.
+    #[test]
+    fn reservation_129_still_blocks_its_nodes() {
+        let mut c = Controller::new(Platform::curie_scaled(2), ControllerConfig::default());
+        // 129 maintenance reservations, one node each, on a future window
+        // that overlaps the job's execution.
+        for node in 0..129 {
+            c.add_maintenance_reservation(TimeWindow::new(1000, 10_000), vec![node]);
+        }
+        // 180 nodes, 129 blocked ⇒ 51 selectable inside the window. A job
+        // needing 52 nodes must wait for the window to end; with the seed's
+        // truncation, node 128 looked free and the job started at t = 0.
+        c.submit(job(0, 0, 52 * 16, 5000, 4000));
+        c.set_horizon(20_000);
+        c.run();
+        assert!(
+            c.job(0).start_time.unwrap() >= 10_000,
+            "the 129th reservation's node must not be schedulable (started at {:?})",
+            c.job(0).start_time
+        );
+        // Sanity: a job that fits next to all 129 blocked nodes does start
+        // immediately.
+        let mut c = Controller::new(Platform::curie_scaled(2), ControllerConfig::default());
+        for node in 0..129 {
+            c.add_maintenance_reservation(TimeWindow::new(1000, 10_000), vec![node]);
+        }
+        c.submit(job(0, 0, 51 * 16, 5000, 4000));
+        c.set_horizon(20_000);
+        c.run();
+        assert_eq!(c.job(0).start_time, Some(0));
+    }
+
+    /// The scheduling hot path must stop allocating once its scratch
+    /// buffers reach their steady-state sizes: a long, busy replay may grow
+    /// them in early passes but the overwhelming majority of passes reuse
+    /// them untouched.
+    #[test]
+    fn steady_state_scheduling_stops_allocating() {
+        let mut c = controller();
+        // A switch-off reservation keeps the blocked-set machinery engaged.
+        let window = TimeWindow::new(HOUR, 3 * HOUR);
+        let id = c.reservations.add(
+            window,
+            ReservationKind::SwitchOff {
+                nodes: (0..18).collect(),
+            },
+        );
+        c.events.push(window.start, Event::ReservationStart(id));
+        c.events.push(window.end, Event::ReservationEnd(id));
+        // A steady stream of jobs that keeps a deep pending queue.
+        for i in 0..400 {
+            c.submit(job(
+                i % 5,
+                (i as SimTime * 13) % (2 * HOUR),
+                32 + (i as u32 % 7) * 80,
+                3600,
+                300 + (i as SimTime % 11) * 120,
+            ));
+        }
+        c.set_horizon(8 * HOUR);
+        c.run();
+        let passes = c.schedule_passes();
+        let grew = c.scratch_growth_passes();
+        assert!(passes > 100, "expected a long run, got {passes} passes");
+        assert!(
+            grew * 10 <= passes,
+            "scratch buffers grew in {grew} of {passes} passes — the steady \
+             state is supposed to be allocation-free"
+        );
     }
 
     #[test]

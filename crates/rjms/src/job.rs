@@ -11,6 +11,7 @@
 use apc_power::Frequency;
 use serde::{Deserialize, Serialize};
 
+use crate::mask::NodeMask;
 use crate::time::SimTime;
 
 /// Dense job identifier.
@@ -93,8 +94,10 @@ pub struct Job {
     pub submission: JobSubmission,
     /// Lifecycle state.
     pub state: JobState,
-    /// Nodes allocated to the job while running.
-    pub nodes: Vec<usize>,
+    /// Nodes allocated to the job while running (empty while pending;
+    /// retained after completion for inspection). `nodes.len()` is the
+    /// node count — an O(1) cached popcount.
+    pub nodes: NodeMask,
     /// CPU frequency the job was started at (None while pending).
     pub frequency: Option<Frequency>,
     /// Start time, when started.
@@ -114,7 +117,7 @@ impl Job {
             id,
             submission,
             state: JobState::Pending,
-            nodes: Vec::new(),
+            nodes: NodeMask::default(),
             frequency: None,
             start_time: None,
             end_time: None,

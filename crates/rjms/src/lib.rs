@@ -38,6 +38,7 @@ pub mod event;
 pub mod hook;
 pub mod job;
 pub mod log;
+pub mod mask;
 pub mod node;
 pub mod priority;
 pub mod reservation;
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use crate::hook::{NullHook, SchedulingHook, StartDecision};
     pub use crate::job::{Job, JobId, JobOutcome, JobState, JobSubmission};
     pub use crate::log::{SimEvent, SimEventKind, SimLog};
+    pub use crate::mask::NodeMask;
     pub use crate::node::{AllocationState, SimNode};
     pub use crate::priority::{FairShareTracker, MultifactorPriority, PriorityWeights};
     pub use crate::reservation::{Reservation, ReservationId, ReservationKind};

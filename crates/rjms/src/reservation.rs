@@ -9,6 +9,7 @@
 use apc_power::Watts;
 use serde::{Deserialize, Serialize};
 
+use crate::mask::NodeMask;
 use crate::time::{SimTime, TimeWindow};
 
 /// Dense reservation identifier.
@@ -146,17 +147,23 @@ impl ReservationBook {
     /// Nodes blocked (drained or powered off) by reservations overlapping
     /// `[start, end)`.
     pub fn blocked_nodes_within(&self, start: SimTime, end: SimTime) -> Vec<usize> {
-        let mut out: Vec<usize> = self
-            .reservations
-            .iter()
-            .filter(|r| r.overlaps(start, end))
-            .filter_map(Reservation::blocked_nodes)
-            .flatten()
-            .copied()
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        let mut mask = NodeMask::default();
+        self.collect_blocked_within(start, end, &mut mask);
+        mask.iter().collect()
+    }
+
+    /// Union the nodes blocked by reservations overlapping `[start, end)`
+    /// into `out` (which the caller clears when a fresh set is wanted) —
+    /// the allocation-free form the scheduling hot path uses.
+    pub fn collect_blocked_within(&self, start: SimTime, end: SimTime, out: &mut NodeMask) {
+        for reservation in &self.reservations {
+            if !reservation.overlaps(start, end) {
+                continue;
+            }
+            if let Some(nodes) = reservation.blocked_nodes() {
+                out.extend(nodes.iter().copied());
+            }
+        }
     }
 
     /// Powercap reservations overlapping `[start, end)`.
