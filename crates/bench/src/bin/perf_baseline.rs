@@ -17,12 +17,22 @@
 //!
 //! ```text
 //! cargo run --release -p apc-bench --bin perf-baseline -- \
-//!     [--label NAME] [--out FILE] [--quick]
+//!     [--label NAME] [--out FILE] [--quick] \
+//!     [--check] [--against FILE] [--threshold PCT] [--self-test]
 //! ```
+//!
+//! With `--check`, after recording the fresh entry the tool gates it against
+//! the last committed entry of `--against` (default: the `--out` file as it
+//! was *before* this run) using host-independent policy-to-baseline ratios —
+//! see [`apc_bench::gate`] — and exits nonzero on a regression beyond the
+//! threshold (default 15 %). `--self-test` skips measurement entirely and
+//! verifies the gate trips on a fabricated regression of the committed
+//! entry, so CI can prove the gate is live.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use apc_bench::gate;
 use apc_bench::helpers::{bench_platform, bench_trace};
 use apc_campaign::prelude::{CampaignRunner, CampaignSpec};
 use apc_core::{PowercapConfig, PowercapHook, PowercapPolicy};
@@ -32,7 +42,8 @@ use apc_rjms::controller::Controller;
 use apc_rjms::job::JobSubmission;
 use apc_rjms::time::{SimTime, HOUR};
 
-const USAGE: &str = "usage: perf-baseline [--label NAME] [--out FILE] [--quick]";
+const USAGE: &str = "usage: perf-baseline [--label NAME] [--out FILE] [--quick] \
+                     [--check] [--against FILE] [--threshold PCT] [--self-test]";
 
 /// Best-of-N wall time of `f`, warmed once, bounded by `budget`.
 fn best_of(budget: Duration, mut f: impl FnMut()) -> Duration {
@@ -219,10 +230,58 @@ fn write_trajectory(path: &str, label: &str, entry: String) -> Result<(), String
     std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
+/// The committed reference for a gate run: the last entry of `text` that is
+/// neither the fresh label nor a CI-appended (`ci-*`) entry from an earlier
+/// run of this tool.
+fn committed_reference(text: &str, fresh_label: &str) -> Option<gate::PerfEntry> {
+    let entries = gate::parse_trajectory(text);
+    gate::reference_entry(&entries, |label| {
+        label == fresh_label || label.starts_with("ci-")
+    })
+    .cloned()
+}
+
+/// `--self-test`: prove the gate is live without measuring anything. The
+/// committed reference must pass against itself and must *fail* against a
+/// fabricated 1.5× DVFS-replay regression.
+fn run_self_test(against: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(against) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("self-test: cannot read {against}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(committed) = committed_reference(&text, "") else {
+        eprintln!("self-test: no committed entry in {against}");
+        return ExitCode::FAILURE;
+    };
+    let clean = gate::check(&committed, &committed, gate::DEFAULT_THRESHOLD);
+    let regressed = committed.with_synthetic_regression(1.5);
+    let tripped = gate::check(&committed, &regressed, gate::DEFAULT_THRESHOLD);
+    eprintln!("{clean}");
+    eprintln!("{tripped}");
+    if clean.passed() && !tripped.passed() {
+        eprintln!("self-test: gate passes a clean entry and trips on a synthetic regression");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "self-test: gate is NOT live (clean={}, tripped={})",
+            clean.passed(),
+            !tripped.passed()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut label = "dev".to_string();
     let mut out = "BENCH_replay.json".to_string();
+    let mut against: Option<String> = None;
+    let mut check = false;
+    let mut self_test = false;
+    let mut threshold = gate::DEFAULT_THRESHOLD;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -240,6 +299,22 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--against" => match iter.next() {
+                Some(v) => against = Some(v.clone()),
+                None => {
+                    eprintln!("--against needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threshold" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => threshold = v / 100.0,
+                _ => {
+                    eprintln!("--threshold needs a positive percentage\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => check = true,
+            "--self-test" => self_test = true,
             "--quick" => {}
             other => {
                 eprintln!("unknown option: {other}\n{USAGE}");
@@ -247,16 +322,50 @@ fn main() -> ExitCode {
             }
         }
     }
+    let against = against.unwrap_or_else(|| out.clone());
+    if self_test {
+        return run_self_test(&against);
+    }
+    // Snapshot the committed trajectory before the write below replaces it,
+    // so `--check` against the default path still compares pre-run state.
+    let committed = if check {
+        match std::fs::read_to_string(&against) {
+            Ok(text) => committed_reference(&text, &label),
+            Err(e) => {
+                eprintln!("error: --check: cannot read {against}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    if check && committed.is_none() {
+        eprintln!("error: --check: no committed entry to gate against in {against}");
+        return ExitCode::FAILURE;
+    }
     let entry = json_entry(&label);
     println!("{}", entry.trim_start());
-    match write_trajectory(&out, &label, entry) {
-        Ok(()) => {
-            eprintln!("wrote {out}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+    if let Err(e) = write_trajectory(&out, &label, entry.clone()) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    if let Some(committed) = committed {
+        let Some(fresh) = gate::parse_trajectory(&entry).pop() else {
+            eprintln!("error: --check: fresh entry did not round-trip the parser");
+            return ExitCode::FAILURE;
+        };
+        let report = gate::check(&committed, &fresh, threshold);
+        eprintln!("{report}");
+        if !report.passed() {
+            eprintln!(
+                "perf gate failed: a tracked ratio grew more than {:.0} % over '{}'; \
+                 if intentional, re-record the baseline (see README 'Performance')",
+                threshold * 100.0,
+                committed.label
+            );
+            return ExitCode::FAILURE;
         }
     }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,272 @@
+//! Perf regression gate over the recorded trajectory (`BENCH_replay.json`).
+//!
+//! Absolute nanoseconds are host-dependent, so comparing a CI run against a
+//! baseline recorded on a developer machine would be noise. The gate instead
+//! compares *ratios within one host*: each capped policy's replay time
+//! divided by the uncapped baseline replay time measured in the same run
+//! (`cap60_dvfs_ns / baseline_none_ns`, …), plus the schedule-pass cost per
+//! baseline replay. Those ratios are stable across hardware — they capture
+//! "how much does the powercap machinery cost on top of plain scheduling" —
+//! so a fresh CI entry can be checked against the committed trajectory even
+//! though both were recorded on different machines.
+//!
+//! A check fails when any fresh ratio exceeds the committed ratio by more
+//! than the threshold (default 15 %). Ratios *improving* is never a failure.
+
+use std::fmt;
+
+/// The default allowed relative growth of any tracked ratio (15 %).
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// One entry of the perf trajectory, reduced to the fields the gate tracks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEntry {
+    /// The entry's label (e.g. `pr5-nodemask`, `ci-abc123def`).
+    pub label: String,
+    /// Uncapped replay wall time — the per-host normalizer.
+    pub baseline_none_ns: f64,
+    /// Capped replay wall time under the SHUT policy.
+    pub cap60_shut_ns: f64,
+    /// Capped replay wall time under the DVFS policy.
+    pub cap60_dvfs_ns: f64,
+    /// Capped replay wall time under the MIX policy.
+    pub cap60_mix_ns: f64,
+    /// Cost of one scheduling pass in the pending-heavy microbench.
+    pub ns_per_pass: f64,
+}
+
+impl PerfEntry {
+    /// The tracked host-independent ratios, labelled.
+    fn ratios(&self) -> [(&'static str, f64); 4] {
+        let base = self.baseline_none_ns.max(1.0);
+        [
+            ("cap60_shut / baseline", self.cap60_shut_ns / base),
+            ("cap60_dvfs / baseline", self.cap60_dvfs_ns / base),
+            ("cap60_mix / baseline", self.cap60_mix_ns / base),
+            ("schedule_pass / baseline", self.ns_per_pass / base),
+        ]
+    }
+
+    /// A copy with the DVFS replay inflated by `factor` — used by the gate
+    /// self-test to prove a regression actually trips the check.
+    pub fn with_synthetic_regression(&self, factor: f64) -> PerfEntry {
+        PerfEntry {
+            label: format!("{}+synthetic", self.label),
+            cap60_dvfs_ns: self.cap60_dvfs_ns * factor,
+            ..self.clone()
+        }
+    }
+}
+
+/// One ratio comparison between the committed and the fresh entry.
+#[derive(Debug, Clone)]
+pub struct RatioCheck {
+    /// Which ratio this row tracks.
+    pub name: &'static str,
+    /// The ratio in the committed (reference) entry.
+    pub committed: f64,
+    /// The ratio in the fresh entry.
+    pub fresh: f64,
+    /// Whether the fresh ratio exceeds the allowance.
+    pub breached: bool,
+}
+
+impl fmt::Display for RatioCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = if self.breached { "REGRESSED" } else { "ok" };
+        write!(
+            f,
+            "{:<26} committed {:>7.3}  fresh {:>7.3}  ({:+.1} %)  {verdict}",
+            self.name,
+            self.committed,
+            self.fresh,
+            (self.fresh / self.committed.max(f64::MIN_POSITIVE) - 1.0) * 100.0,
+        )
+    }
+}
+
+/// Outcome of gating a fresh entry against a committed one.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Label of the committed reference entry.
+    pub committed_label: String,
+    /// Label of the fresh entry under test.
+    pub fresh_label: String,
+    /// Every tracked ratio, in order.
+    pub checks: Vec<RatioCheck>,
+}
+
+impl GateReport {
+    /// True when no tracked ratio regressed beyond the threshold.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| !c.breached)
+    }
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "perf gate: '{}' (fresh) vs '{}' (committed)",
+            self.fresh_label, self.committed_label
+        )?;
+        for check in &self.checks {
+            writeln!(f, "  {check}")?;
+        }
+        write!(f, "  => {}", if self.passed() { "PASS" } else { "FAIL" })
+    }
+}
+
+/// Compare `fresh` against `committed`: a ratio breaches when it exceeds the
+/// committed ratio by more than `threshold` (relative, e.g. `0.15` = 15 %).
+pub fn check(committed: &PerfEntry, fresh: &PerfEntry, threshold: f64) -> GateReport {
+    let checks = committed
+        .ratios()
+        .into_iter()
+        .zip(fresh.ratios())
+        .map(|((name, committed), (_, fresh))| RatioCheck {
+            name,
+            committed,
+            fresh,
+            breached: fresh > committed * (1.0 + threshold),
+        })
+        .collect();
+    GateReport {
+        committed_label: committed.label.clone(),
+        fresh_label: fresh.label.clone(),
+        checks,
+    }
+}
+
+/// Parse every entry of a trajectory file written by `perf-baseline`.
+///
+/// The writer keeps a one-entry-per-line layout (every entry line starts
+/// with `{"label":` after indentation), so a line scan with per-key field
+/// extraction is exact for this format — no JSON library required (the
+/// vendored `serde` is an offline stub).
+pub fn parse_trajectory(text: &str) -> Vec<PerfEntry> {
+    text.lines()
+        .map(str::trim_start)
+        .filter(|line| line.starts_with("{\"label\":"))
+        .filter_map(parse_entry_line)
+        .collect()
+}
+
+/// The last (most recently appended) entry, optionally skipping labels for
+/// which `skip` returns true (e.g. a stale `ci-*` entry from a previous run).
+pub fn reference_entry(
+    entries: &[PerfEntry],
+    skip: impl Fn(&str) -> bool,
+) -> Option<&PerfEntry> {
+    entries.iter().rev().find(|e| !skip(&e.label))
+}
+
+fn parse_entry_line(line: &str) -> Option<PerfEntry> {
+    Some(PerfEntry {
+        label: string_field(line, "label")?,
+        baseline_none_ns: number_field(line, "baseline_none_ns")?,
+        cap60_shut_ns: number_field(line, "cap60_shut_ns")?,
+        cap60_dvfs_ns: number_field(line, "cap60_dvfs_ns")?,
+        cap60_mix_ns: number_field(line, "cap60_mix_ns")?,
+        ns_per_pass: number_field(line, "ns_per_pass")?,
+    })
+}
+
+fn value_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    Some(line[start..].trim_start())
+}
+
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let rest = value_after(line, key)?.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let rest = value_after(line, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = r#"  {"label": "pr5-nodemask", "recorded_unix": 1754000000, "replay": {"baseline_none_ns": 137666, "cap60_shut_ns": 289568, "cap60_dvfs_ns": 743960, "cap60_mix_ns": 472990, "events_per_sec": 1404018}, "schedule_pass": {"passes": 242, "ns_per_pass": 277462.2}, "campaign": {"cells": 54, "wall_s": 0.489, "cells_per_sec": 110.5}}"#;
+
+    fn entry() -> PerfEntry {
+        parse_trajectory(LINE).pop().expect("line parses")
+    }
+
+    #[test]
+    fn parses_the_writer_format_exactly() {
+        let e = entry();
+        assert_eq!(e.label, "pr5-nodemask");
+        assert_eq!(e.baseline_none_ns, 137666.0);
+        assert_eq!(e.cap60_shut_ns, 289568.0);
+        assert_eq!(e.cap60_dvfs_ns, 743960.0);
+        assert_eq!(e.cap60_mix_ns, 472990.0);
+        assert_eq!(e.ns_per_pass, 277462.2);
+    }
+
+    #[test]
+    fn parses_a_full_trajectory_and_picks_the_reference() {
+        let text = format!(
+            "{{\n\"schema\": 1,\n\"entries\": [\n{LINE},\n{}\n]\n}}\n",
+            LINE.replace("pr5-nodemask", "ci-abc123def")
+        );
+        let entries = parse_trajectory(&text);
+        assert_eq!(entries.len(), 2);
+        // The reference skips CI-appended labels and lands on the last
+        // hand-recorded entry.
+        let reference = reference_entry(&entries, |l| l.starts_with("ci-")).unwrap();
+        assert_eq!(reference.label, "pr5-nodemask");
+        assert!(reference_entry(&entries, |_| true).is_none());
+    }
+
+    #[test]
+    fn identical_entries_pass() {
+        let report = check(&entry(), &entry(), DEFAULT_THRESHOLD);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn a_faster_host_with_the_same_ratios_passes() {
+        // Every absolute number halves (faster machine): ratios unchanged.
+        let committed = entry();
+        let fresh = PerfEntry {
+            label: "ci-fast-host".into(),
+            baseline_none_ns: committed.baseline_none_ns / 2.0,
+            cap60_shut_ns: committed.cap60_shut_ns / 2.0,
+            cap60_dvfs_ns: committed.cap60_dvfs_ns / 2.0,
+            cap60_mix_ns: committed.cap60_mix_ns / 2.0,
+            ns_per_pass: committed.ns_per_pass / 2.0,
+        };
+        assert!(check(&committed, &fresh, DEFAULT_THRESHOLD).passed());
+    }
+
+    #[test]
+    fn a_regressed_policy_ratio_fails() {
+        let committed = entry();
+        let fresh = committed.with_synthetic_regression(1.5);
+        let report = check(&committed, &fresh, DEFAULT_THRESHOLD);
+        assert!(!report.passed(), "{report}");
+        let breached: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| c.breached)
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(breached, vec!["cap60_dvfs / baseline"]);
+    }
+
+    #[test]
+    fn growth_within_the_threshold_passes() {
+        let committed = entry();
+        let fresh = committed.with_synthetic_regression(1.10);
+        assert!(check(&committed, &fresh, DEFAULT_THRESHOLD).passed());
+    }
+}

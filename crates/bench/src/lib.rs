@@ -17,6 +17,8 @@
 //! Absolute throughput numbers are hardware-dependent; the benches exist to
 //! keep the relative costs visible and regressions detectable.
 
+pub mod gate;
+
 /// Common helpers shared by the bench targets.
 pub mod helpers {
     use apc_rjms::cluster::Platform;

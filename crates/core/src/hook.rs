@@ -43,7 +43,7 @@ impl PowercapHook {
         PowercapHook {
             config,
             offline: OfflinePlanner::new(config),
-            online: OnlineScheduler::new(config.policy),
+            online: OnlineScheduler::new(config.policy, &platform.ladder),
             degradation: config.policy.degradation(&platform.ladder),
             decisions: Vec::new(),
         }
@@ -314,6 +314,38 @@ mod tests {
             c.log()
                 .count_matching(|e| matches!(e.kind, SimEventKind::NodesPoweredOff { .. }))
                 > 0
+        );
+    }
+
+    /// The allocation-free claim must hold for the *capped DVFS* hot path
+    /// too, where every scheduling pass probes the whole frequency ladder
+    /// per pending job (the rjms-side twin of this test runs with a null
+    /// hook and never exercises the power probe).
+    #[test]
+    fn capped_dvfs_steady_state_scheduling_stops_allocating() {
+        let mut c = controller_with(PowercapPolicy::Dvfs);
+        let cap = c.cluster().platform().power_fraction(0.5);
+        c.add_powercap_reservation(apc_rjms::time::TimeWindow::new(0, 6 * HOUR), cap);
+        // A saturating stream: the queue stays deep, so every pass walks the
+        // backfill depth and probes the ladder against the cap.
+        for i in 0..300 {
+            c.submit(JobSubmission::new(
+                i % 5,
+                (i as apc_rjms::time::SimTime * 17) % (2 * HOUR),
+                32 + (i as u32 % 7) * 80,
+                3600,
+                300 + (i as apc_rjms::time::SimTime % 11) * 120,
+            ));
+        }
+        c.set_horizon(6 * HOUR);
+        c.run();
+        let passes = c.schedule_passes();
+        let grew = c.scratch_growth_passes();
+        assert!(passes > 100, "expected a long run, got {passes} passes");
+        assert!(
+            grew * 10 <= passes,
+            "scratch buffers grew in {grew} of {passes} capped-DVFS passes — \
+             the frequency probe is supposed to be allocation-free"
         );
     }
 

@@ -13,7 +13,7 @@
 //! fits under every powercap reservation overlapping the job's execution
 //! window (Algorithm 2).
 
-use apc_power::{Frequency, Watts};
+use apc_power::{DegradationModel, Frequency, FrequencyLadder, Watts};
 use apc_rjms::cluster::Cluster;
 use apc_rjms::job::Job;
 use apc_rjms::reservation::ReservationBook;
@@ -42,15 +42,33 @@ impl FrequencyChoice {
 }
 
 /// The online scheduler (Algorithm 2).
-#[derive(Debug, Clone, Copy)]
+///
+/// The policy's allowed ladder and degradation model are resolved once at
+/// construction (they only depend on the platform's full ladder), so the
+/// per-job `choose` does not rebuild them per call.
+#[derive(Debug, Clone)]
 pub struct OnlineScheduler {
     policy: PowercapPolicy,
+    /// The platform's fastest frequency (uncapped jobs run at this).
+    fmax: Frequency,
+    /// The steps the policy may choose from, resolved from the platform
+    /// ladder at construction.
+    allowed: FrequencyLadder,
+    /// The policy's runtime-degradation model over that ladder.
+    degradation: DegradationModel,
 }
 
 impl OnlineScheduler {
-    /// Create an online scheduler for the given policy.
-    pub fn new(policy: PowercapPolicy) -> Self {
-        OnlineScheduler { policy }
+    /// Create an online scheduler for the given policy on a platform with
+    /// the given frequency ladder (the ladder must be the one of the cluster
+    /// later passed to [`choose`](Self::choose)).
+    pub fn new(policy: PowercapPolicy, ladder: &FrequencyLadder) -> Self {
+        OnlineScheduler {
+            policy,
+            fmax: ladder.max(),
+            allowed: policy.allowed_ladder(ladder),
+            degradation: policy.degradation(ladder),
+        }
     }
 
     /// The policy in use.
@@ -59,18 +77,25 @@ impl OnlineScheduler {
     }
 
     /// The tightest cap constraining a job that would run on the cluster
-    /// during `[now, now + duration)`, if any.
+    /// during `[now, now + duration)`, if any. The window is at least one
+    /// second wide and saturates at the end of time instead of overflowing
+    /// (a zero-duration probe at `SimTime::MAX` must not panic).
     pub fn applicable_cap(
         &self,
         reservations: &ReservationBook,
         now: SimTime,
         duration: SimTime,
     ) -> Option<Watts> {
-        reservations.cap_within(now, now.saturating_add(duration).max(now + 1))
+        reservations.cap_within(now, now.saturating_add(duration.max(1)))
     }
 
     /// Choose the execution frequency for `job` on `candidate_nodes` at
     /// `now`, or decide to keep it pending.
+    ///
+    /// The candidate set's idle baseline and shared-equipment switching
+    /// terms are frequency-independent, so they are probed once
+    /// ([`Cluster::busy_probe`]) and each ladder step costs O(1) — the walk
+    /// is O(steps) instead of O(steps × |nodes|).
     pub fn choose(
         &self,
         cluster: &Cluster,
@@ -79,24 +104,29 @@ impl OnlineScheduler {
         candidate_nodes: &[usize],
         now: SimTime,
     ) -> FrequencyChoice {
-        let platform = cluster.platform();
-        let fmax = platform.ladder.max();
+        debug_assert_eq!(
+            self.fmax,
+            cluster.platform().ladder.max(),
+            "scheduler built for a different platform ladder"
+        );
         if !self.policy.enforces_cap() {
-            return FrequencyChoice::Start(fmax);
+            return FrequencyChoice::Start(self.fmax);
         }
-        let allowed = self.policy.allowed_ladder(&platform.ladder);
-        let degradation = self.policy.degradation(&platform.ladder);
+        let profile = &cluster.platform().profile;
+        let current = cluster.current_power();
+        let probe = cluster.busy_probe(candidate_nodes);
 
-        for frequency in allowed.steps_descending() {
+        for frequency in self.allowed.steps_descending() {
             // The job's walltime is stretched with the frequency, so the
             // window whose caps must be honoured depends on the probe.
-            let stretched_walltime =
-                degradation.stretch_runtime(job.submission.walltime, frequency);
+            let stretched_walltime = self
+                .degradation
+                .stretch_runtime(job.submission.walltime, frequency);
             let Some(cap) = self.applicable_cap(reservations, now, stretched_walltime) else {
                 // No cap overlaps the job's execution at all: run flat out.
-                return FrequencyChoice::Start(fmax);
+                return FrequencyChoice::Start(self.fmax);
             };
-            let hypothetical = cluster.power_if_busy(candidate_nodes, frequency);
+            let hypothetical = current + probe.delta(profile.busy_watts(frequency));
             if hypothetical <= cap {
                 return FrequencyChoice::Start(frequency);
             }
@@ -118,6 +148,11 @@ mod tests {
         Cluster::new(Platform::curie_scaled(1)) // 90 nodes
     }
 
+    /// Scheduler over the Curie ladder the test clusters use.
+    fn scheduler(policy: PowercapPolicy) -> OnlineScheduler {
+        OnlineScheduler::new(policy, &apc_power::FrequencyLadder::curie())
+    }
+
     fn job(cores: u32, walltime: SimTime) -> Job {
         Job::new(0, JobSubmission::new(0, 0, cores, walltime, walltime / 2))
     }
@@ -132,7 +167,7 @@ mod tests {
     fn no_cap_means_max_frequency() {
         let c = cluster();
         let book = ReservationBook::new();
-        let sched = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        let sched = scheduler(PowercapPolicy::Dvfs);
         let choice = sched.choose(&c, &book, &job(160, 3600), &(0..10).collect::<Vec<_>>(), 0);
         assert_eq!(choice, FrequencyChoice::Start(Frequency::from_ghz(2.7)));
         assert_eq!(choice.frequency(), Some(Frequency::from_ghz(2.7)));
@@ -143,7 +178,7 @@ mod tests {
         let c = cluster();
         // Cap far in the future, job finishes well before.
         let book = book_with_cap(TimeWindow::new(100_000, 200_000), Watts(1.0));
-        let sched = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        let sched = scheduler(PowercapPolicy::Dvfs);
         let choice = sched.choose(&c, &book, &job(160, 3600), &(0..10).collect::<Vec<_>>(), 0);
         assert_eq!(choice, FrequencyChoice::Start(Frequency::from_ghz(2.7)));
     }
@@ -157,7 +192,7 @@ mod tests {
         let idle_power = c.current_power();
         let cap = idle_power + Watts(60.0 * (269.0 - 117.0) + 1.0);
         let book = book_with_cap(TimeWindow::new(0, 100_000), cap);
-        let sched = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        let sched = scheduler(PowercapPolicy::Dvfs);
         let choice = sched.choose(&c, &book, &job(960, 3600), &nodes, 0);
         assert_eq!(choice, FrequencyChoice::Start(Frequency::from_ghz(2.0)));
         let _ = platform;
@@ -172,7 +207,7 @@ mod tests {
             PowercapPolicy::Dvfs,
             PowercapPolicy::Mix,
         ] {
-            let sched = OnlineScheduler::new(policy);
+            let sched = scheduler(policy);
             let choice = sched.choose(&c, &book, &job(160, 3600), &(0..10).collect::<Vec<_>>(), 0);
             assert_eq!(choice, FrequencyChoice::Postpone, "{policy}");
             assert_eq!(choice.frequency(), None);
@@ -183,7 +218,7 @@ mod tests {
     fn none_policy_ignores_caps() {
         let c = cluster();
         let book = book_with_cap(TimeWindow::new(0, 100_000), Watts(1.0));
-        let sched = OnlineScheduler::new(PowercapPolicy::None);
+        let sched = scheduler(PowercapPolicy::None);
         let choice = sched.choose(&c, &book, &job(160, 3600), &(0..10).collect::<Vec<_>>(), 0);
         assert_eq!(choice, FrequencyChoice::Start(Frequency::from_ghz(2.7)));
     }
@@ -197,13 +232,13 @@ mod tests {
         let book = book_with_cap(TimeWindow::new(0, 100_000), cap);
         let nodes: Vec<usize> = (0..10).collect();
         // SHUT: cannot lower the frequency, so the job stays pending.
-        let shut = OnlineScheduler::new(PowercapPolicy::Shut);
+        let shut = scheduler(PowercapPolicy::Shut);
         assert_eq!(
             shut.choose(&c, &book, &job(160, 3600), &nodes, 0),
             FrequencyChoice::Postpone
         );
         // DVFS: the job runs at 2.0 GHz instead.
-        let dvfs = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        let dvfs = scheduler(PowercapPolicy::Dvfs);
         assert_eq!(
             dvfs.choose(&c, &book, &job(160, 3600), &nodes, 0),
             FrequencyChoice::Start(Frequency::from_ghz(2.0))
@@ -219,13 +254,13 @@ mod tests {
         let book = book_with_cap(TimeWindow::new(0, 100_000), cap);
         let nodes: Vec<usize> = (0..10).collect();
         // DVFS can drop to 1.2 GHz and start.
-        let dvfs = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        let dvfs = scheduler(PowercapPolicy::Dvfs);
         assert_eq!(
             dvfs.choose(&c, &book, &job(160, 3600), &nodes, 0),
             FrequencyChoice::Start(Frequency::from_ghz(1.2))
         );
         // MIX may not go below 2.0 GHz, so it must postpone.
-        let mix = OnlineScheduler::new(PowercapPolicy::Mix);
+        let mix = scheduler(PowercapPolicy::Mix);
         assert_eq!(
             mix.choose(&c, &book, &job(160, 3600), &nodes, 0),
             FrequencyChoice::Postpone
@@ -239,7 +274,7 @@ mod tests {
         let cap = idle_power + Watts(30.0 * (269.0 - 117.0));
         // The cap window opens at t = 4000.
         let book = book_with_cap(TimeWindow::new(4000, 8000), cap);
-        let sched = OnlineScheduler::new(PowercapPolicy::Dvfs);
+        let sched = scheduler(PowercapPolicy::Dvfs);
         let nodes: Vec<usize> = (0..60).collect();
         // A short job (walltime 1000 s) ends before the cap: full speed.
         assert_eq!(
@@ -265,10 +300,30 @@ mod tests {
             TimeWindow::new(500, 1500),
             ReservationKind::PowerCap { cap: Watts(300.0) },
         );
-        let sched = OnlineScheduler::new(PowercapPolicy::Mix);
+        let sched = scheduler(PowercapPolicy::Mix);
         assert_eq!(sched.applicable_cap(&book, 0, 100), Some(Watts(500.0)));
         assert_eq!(sched.applicable_cap(&book, 0, 600), Some(Watts(300.0)));
         assert_eq!(sched.applicable_cap(&book, 2000, 100), None);
         assert_eq!(sched.policy(), PowercapPolicy::Mix);
+    }
+
+    /// Regression: probing at the end of time must saturate, not overflow.
+    /// The seed computed `saturating_add(duration).max(now + 1)`, whose
+    /// `now + 1` panics in debug builds when `now == SimTime::MAX`.
+    #[test]
+    fn applicable_cap_saturates_at_the_end_of_time() {
+        let book = book_with_cap(TimeWindow::new(0, SimTime::MAX), Watts(300.0));
+        let sched = scheduler(PowercapPolicy::Mix);
+        // At the end of time the probe window is empty — no cap applies and,
+        // crucially, nothing overflows (the seed panicked here).
+        assert_eq!(sched.applicable_cap(&book, SimTime::MAX, 0), None);
+        assert_eq!(sched.applicable_cap(&book, SimTime::MAX, 3600), None);
+        // One second before the end, the saturated window still overlaps.
+        assert_eq!(
+            sched.applicable_cap(&book, SimTime::MAX - 1, SimTime::MAX),
+            Some(Watts(300.0))
+        );
+        // Ordinary probes still see a window at least one second wide.
+        assert_eq!(sched.applicable_cap(&book, 10, 0), Some(Watts(300.0)));
     }
 }

@@ -11,11 +11,13 @@
 //! signal into exact energy (the signal only changes at simulation events, so
 //! rectangle integration is exact, not an approximation).
 
+use crate::freq::Frequency;
 use crate::profile::NodePowerProfile;
 use crate::state::PowerState;
 use crate::topology::{NodeId, Topology};
 use crate::units::{Joules, Watts};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// A timestamped power reading, used to build power time series for the
 /// paper's Figures 6 and 7.
@@ -25,6 +27,78 @@ pub struct PowerSample {
     pub time: u64,
     /// Total cluster power at that instant.
     pub power: Watts,
+}
+
+/// Frequency-independent summary of a hypothetical "run these nodes busy"
+/// probe: everything [`power_if`](ClusterPowerAccountant::power_if) needs
+/// that does not depend on the probed frequency.
+///
+/// Built once per candidate set by
+/// [`busy_probe`](ClusterPowerAccountant::busy_probe), then evaluated at any
+/// number of frequencies in O(1) each via [`delta`](BusyProbe::delta) — the
+/// online scheduler's ladder walk (Algorithm 2) probes every permitted step
+/// for every pending job, so re-walking the candidate set per step was the
+/// dominant cost of capped-DVFS replays.
+///
+/// A `Busy` target is always "on", so the shared-equipment switching terms
+/// (a dark group regaining power when an off candidate comes back up) do not
+/// depend on the frequency either; they are folded into `bonus` here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusyProbe {
+    /// Number of candidate nodes (each would draw the busy wattage).
+    count: usize,
+    /// Sum of the candidates' current per-node power draws.
+    sum_old: Watts,
+    /// Shared-equipment power re-entering the total: the completion bonus of
+    /// every currently-dark group that contains at least one (off) candidate.
+    bonus: Watts,
+}
+
+impl BusyProbe {
+    /// Cluster power *delta* if the probed nodes all ran at a busy draw of
+    /// `busy_watts`: add this to the accountant's current power to get the
+    /// hypothetical total.
+    #[inline]
+    pub fn delta(&self, busy_watts: Watts) -> Watts {
+        busy_watts * self.count as f64 - self.sum_old + self.bonus
+    }
+}
+
+/// Reusable per-probe scratch: one signed on-count delta per (level, group),
+/// sized from the topology at construction, plus the list of touched cells
+/// so resets cost O(touched) instead of O(groups).
+///
+/// Lives behind a [`RefCell`] so the read-only probe entry points
+/// ([`power_if`](ClusterPowerAccountant::power_if),
+/// [`busy_probe`](ClusterPowerAccountant::busy_probe)) stay `&self` without
+/// heap-allocating per call. The accountant consequently is `Send` but not
+/// `Sync` — matching how the simulator uses it (one cluster per worker).
+#[derive(Debug, Clone, Default)]
+struct ProbeScratch {
+    /// `deltas[level][group]`: hypothetical on-count change, zero outside
+    /// the cells listed in `touched`.
+    deltas: Vec<Vec<isize>>,
+    /// The `(level, group)` cells with (possibly) nonzero deltas.
+    touched: Vec<(usize, usize)>,
+}
+
+impl ProbeScratch {
+    fn new(topology: &Topology) -> Self {
+        ProbeScratch {
+            deltas: (0..topology.depth())
+                .map(|level| vec![0isize; topology.group_count(level)])
+                .collect(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Zero the touched cells and forget them.
+    fn reset(&mut self) {
+        for &(level, group) in &self.touched {
+            self.deltas[level][group] = 0;
+        }
+        self.touched.clear();
+    }
 }
 
 /// Incremental power accounting over every node of a cluster.
@@ -44,6 +118,8 @@ pub struct ClusterPowerAccountant {
     /// Recorded samples (one per change) for time-series plots.
     samples: Vec<PowerSample>,
     record_samples: bool,
+    /// Reusable probe scratch (see [`ProbeScratch`]).
+    scratch: RefCell<ProbeScratch>,
 }
 
 impl ClusterPowerAccountant {
@@ -66,6 +142,7 @@ impl ClusterPowerAccountant {
             integrator: EnergyIntegrator::new(0),
             samples: Vec::new(),
             record_samples: false,
+            scratch: RefCell::new(ProbeScratch::new(topology)),
         };
         acct.samples.push(PowerSample {
             time: 0,
@@ -176,12 +253,17 @@ impl ClusterPowerAccountant {
     /// without committing the change. This is what the controller evaluates
     /// before starting a job ("temporarily alter the states of the candidate
     /// nodes, compute the resultant consumption", paper Section V).
+    ///
+    /// Allocation-free: `Busy` targets go through the [`BusyProbe`] fast
+    /// path; `Off`/`Idle` targets reuse the construction-sized per-group
+    /// scratch. Every power value in a Curie-profile simulation is an
+    /// integer-valued `f64`, so the rearranged summation is exact.
     pub fn power_if(&self, nodes: &[NodeId], state: PowerState) -> Watts {
+        if let PowerState::Busy(freq) = state {
+            return self.current + self.power_delta_if_busy(nodes, freq);
+        }
+        let mut scratch = self.scratch.borrow_mut();
         let mut power = self.current;
-        // Track hypothetical on-count deltas per touched group to account for
-        // shared equipment switching.
-        let mut group_deltas: Vec<std::collections::HashMap<usize, isize>> =
-            vec![std::collections::HashMap::new(); self.topology.depth()];
         for &node in nodes {
             let old = self.states[node];
             if old == state {
@@ -189,35 +271,81 @@ impl ClusterPowerAccountant {
             }
             power -= self.profile.watts(old);
             power += self.profile.watts(state);
-            match (old.is_on(), state.is_on()) {
-                (true, false) => {
-                    for (level, deltas) in group_deltas.iter_mut().enumerate() {
-                        let g = self.topology.group_of(level, node);
-                        *deltas.entry(g).or_insert(0) -= 1;
+            let delta: isize = match (old.is_on(), state.is_on()) {
+                (true, false) => -1,
+                (false, true) => 1,
+                _ => 0,
+            };
+            if delta != 0 {
+                for level in 0..self.topology.depth() {
+                    let g = self.topology.group_of(level, node);
+                    if scratch.deltas[level][g] == 0 {
+                        scratch.touched.push((level, g));
                     }
-                }
-                (false, true) => {
-                    for (level, deltas) in group_deltas.iter_mut().enumerate() {
-                        let g = self.topology.group_of(level, node);
-                        *deltas.entry(g).or_insert(0) += 1;
-                    }
-                }
-                _ => {}
-            }
-        }
-        for (level, deltas) in group_deltas.iter().enumerate() {
-            for (&g, &delta) in deltas {
-                let before = self.on_counts[level][g] as isize;
-                let after = before + delta;
-                let bonus = self.topology.group_completion_bonus(level, &self.profile);
-                if before > 0 && after <= 0 {
-                    power -= bonus;
-                } else if before == 0 && after > 0 {
-                    power += bonus;
+                    scratch.deltas[level][g] += delta;
                 }
             }
         }
+        // Shared-equipment switching of the touched groups. A cell can appear
+        // twice in `touched` when its delta transits through zero; the first
+        // visit applies the (final) delta and zeroes it, later visits no-op.
+        for i in 0..scratch.touched.len() {
+            let (level, g) = scratch.touched[i];
+            let delta = scratch.deltas[level][g];
+            let before = self.on_counts[level][g] as isize;
+            let after = before + delta;
+            let bonus = self.topology.group_completion_bonus(level, &self.profile);
+            if before > 0 && after <= 0 {
+                power -= bonus;
+            } else if before == 0 && after > 0 {
+                power += bonus;
+            }
+            scratch.deltas[level][g] = 0;
+        }
+        scratch.touched.clear();
         power
+    }
+
+    /// Frequency-independent probe over a candidate set: per-node baseline
+    /// and shared-equipment switching terms computed once, so each ladder
+    /// step of the online algorithm costs O(1) via [`BusyProbe::delta`].
+    ///
+    /// O(|nodes| + touched groups), zero allocation.
+    pub fn busy_probe(&self, nodes: &[NodeId]) -> BusyProbe {
+        let mut scratch = self.scratch.borrow_mut();
+        let mut sum_old = Watts::ZERO;
+        let mut bonus = Watts::ZERO;
+        for &node in nodes {
+            let old = self.states[node];
+            sum_old += self.profile.watts(old);
+            if !old.is_on() {
+                // An off candidate powers its groups' shared equipment back
+                // up if they are currently dark; count each group once.
+                for level in 0..self.topology.depth() {
+                    let g = self.topology.group_of(level, node);
+                    if scratch.deltas[level][g] == 0 {
+                        scratch.deltas[level][g] = 1;
+                        scratch.touched.push((level, g));
+                        if self.on_counts[level][g] == 0 {
+                            bonus += self.topology.group_completion_bonus(level, &self.profile);
+                        }
+                    }
+                }
+            }
+        }
+        scratch.reset();
+        BusyProbe {
+            count: nodes.len(),
+            sum_old,
+            bonus,
+        }
+    }
+
+    /// Cluster power *delta* if `nodes` all ran busy at `freq`: the fast path
+    /// behind [`power_if`](Self::power_if) for `Busy` targets
+    /// (`power_if(nodes, Busy(f))` is exactly `current_power() + this`).
+    pub fn power_delta_if_busy(&self, nodes: &[NodeId], freq: Frequency) -> Watts {
+        self.busy_probe(nodes).delta(self.profile.busy_watts(freq))
     }
 
     /// Advance the energy integrator to `time` without changing any state
@@ -432,6 +560,76 @@ mod tests {
         let hyp_on = acct.power_if(&[3], PowerState::Idle);
         acct.set_state(3, PowerState::Idle, 0);
         assert!(hyp_on.approx_eq(acct.current_power(), 1e-6));
+    }
+
+    #[test]
+    fn busy_delta_is_exactly_power_if() {
+        let mut acct = curie_accountant();
+        // A mixed state: some nodes off (chassis 0 fully dark), some busy.
+        for node in 0..18 {
+            acct.set_state(node, PowerState::Off, 0);
+        }
+        for node in 20..40 {
+            acct.set_state(node, PowerState::Busy(Frequency::from_ghz(2.0)), 0);
+        }
+        // Candidates spanning a dark chassis, idle nodes and busy nodes.
+        let nodes: Vec<NodeId> = (10..30).collect();
+        for f in [1.2, 2.0, 2.7] {
+            let freq = Frequency::from_ghz(f);
+            let via_probe = acct.current_power() + acct.power_delta_if_busy(&nodes, freq);
+            let via_power_if = acct.power_if(&nodes, PowerState::Busy(freq));
+            assert_eq!(
+                via_probe.as_watts().to_bits(),
+                via_power_if.as_watts().to_bits(),
+                "delta path and power_if disagree at {freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn busy_probe_is_reusable_across_frequencies() {
+        let mut acct = curie_accountant();
+        for node in 0..18 {
+            acct.set_state(node, PowerState::Off, 0);
+        }
+        let nodes: Vec<NodeId> = (0..25).collect();
+        let probe = acct.busy_probe(&nodes);
+        for f in [1.2, 1.8, 2.2, 2.7] {
+            let freq = Frequency::from_ghz(f);
+            let hyp = acct.current_power() + probe.delta(acct.profile().busy_watts(freq));
+            // Committing the change must land on the probed value.
+            let mut committed = acct.clone();
+            for &n in &nodes {
+                committed.set_state(n, PowerState::Busy(freq), 0);
+            }
+            assert!(
+                hyp.approx_eq(committed.current_power(), 1e-6),
+                "probe at {freq}: {hyp} vs committed {}",
+                committed.current_power()
+            );
+        }
+    }
+
+    #[test]
+    fn busy_probe_counts_each_dark_group_once() {
+        let mut acct = curie_accountant();
+        // Whole first rack off: rack equipment and its 5 chassis dark.
+        for node in 0..90 {
+            acct.set_state(node, PowerState::Off, 0);
+        }
+        // Two candidates in the same dark chassis: its 500 W completion
+        // bonus (and the rack's 900 W) must re-enter exactly once.
+        let probe = acct.busy_probe(&[0, 1]);
+        let busy = acct.profile().busy_watts(Frequency::from_ghz(2.7));
+        let expected = (busy - Watts(14.0)) * 2.0 + Watts(500.0) + Watts(900.0);
+        assert!(
+            probe.delta(busy).approx_eq(expected, 1e-6),
+            "delta {} != expected {expected}",
+            probe.delta(busy)
+        );
+        // Consecutive probes reuse the scratch and stay consistent.
+        let again = acct.busy_probe(&[0, 1]);
+        assert_eq!(probe, again);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod units;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::accounting::{ClusterPowerAccountant, EnergyIntegrator, PowerSample};
+    pub use crate::accounting::{BusyProbe, ClusterPowerAccountant, EnergyIntegrator, PowerSample};
     pub use crate::benchprofiles::{BenchmarkApp, BenchmarkProfile, FrequencyPoint};
     pub use crate::bonus::{GroupedShutdownPlanner, ShutdownPlan};
     pub use crate::degradation::DegradationModel;

@@ -192,12 +192,19 @@ impl PowerSeries {
         }
     }
 
-    /// Peak power inside `[start, end)`.
+    /// Peak power inside `[start, end)`: the level carried in at `start`
+    /// maxed with every change point inside the window.
+    ///
+    /// The samples are change points in nondecreasing time order, so the
+    /// window is located by binary search — multi-window campaign cells
+    /// query many windows against the same series, and a full scan per call
+    /// made that O(windows × samples).
     pub fn peak_within(&self, start: SimTime, end: SimTime) -> Watts {
         let start_level = self.at(start);
-        self.samples
+        let lo = self.samples.partition_point(|s| s.0 < start);
+        let hi = lo + self.samples[lo..].partition_point(|s| s.0 < end);
+        self.samples[lo..hi]
             .iter()
-            .filter(|(t, _)| *t >= start && *t < end)
             .map(|(_, p)| *p)
             .fold(start_level, Watts::max)
     }
@@ -371,6 +378,50 @@ mod tests {
         let resampled = series.resample(100, 25);
         assert_eq!(resampled.len(), 5);
         assert_eq!(resampled[2].1, Watts(300.0));
+    }
+
+    /// Regression for the binary-searched `peak_within`: a degenerate
+    /// window (`start == end`) contains no change points and must return
+    /// the level carried in at `start` — exactly what the full-scan seed
+    /// implementation returned.
+    #[test]
+    fn peak_within_degenerate_window_returns_the_carried_level() {
+        let series = PowerSeries::from_samples(&[
+            PowerSample {
+                time: 0,
+                power: Watts(100.0),
+            },
+            PowerSample {
+                time: 50,
+                power: Watts(300.0),
+            },
+            PowerSample {
+                time: 100,
+                power: Watts(200.0),
+            },
+        ]);
+        // On a change point, between change points, and before the series.
+        assert_eq!(series.peak_within(50, 50), Watts(300.0));
+        assert_eq!(series.peak_within(75, 75), Watts(300.0));
+        assert_eq!(series.peak_within(200, 200), Watts(200.0));
+        let empty = PowerSeries::default();
+        assert_eq!(empty.peak_within(10, 10), Watts::ZERO);
+        // And the binary-searched window agrees with a full scan everywhere.
+        for start in 0..120 {
+            for end in start..=120 {
+                let scanned = series
+                    .samples
+                    .iter()
+                    .filter(|(t, _)| *t >= start && *t < end)
+                    .map(|(_, p)| *p)
+                    .fold(series.at(start), Watts::max);
+                assert_eq!(
+                    series.peak_within(start, end),
+                    scanned,
+                    "window [{start}, {end})"
+                );
+            }
+        }
     }
 
     #[test]

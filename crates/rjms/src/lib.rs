@@ -67,10 +67,12 @@ pub use prelude::*;
 
 /// Compile-time audit that the simulator's data types can cross thread
 /// boundaries: the campaign executor (`apc-campaign`) shares platforms and
-/// moves reports/logs between `std::thread` workers. Everything here is
-/// plain owned data — no `Rc`, no raw pointers, no interior mutability — so
-/// these bounds hold structurally; the audit pins them against regressions
-/// (e.g. someone caching an `Rc` inside `Platform`).
+/// moves reports/logs between `std::thread` workers. The shared read-only
+/// types (`Platform`, configs) are plain owned data and stay `Sync`; the
+/// [`Cluster`] is `Send`-only — its power accountant keeps a `RefCell`
+/// probe scratch, which is fine because every worker owns its own cluster.
+/// The audit pins these bounds against regressions (e.g. someone caching an
+/// `Rc` inside `Platform`).
 #[allow(dead_code)]
 fn thread_safety_audit() {
     fn send<T: Send>() {}

@@ -174,7 +174,7 @@ proptest! {
         book.add(TimeWindow::new(0, 1_000_000), ReservationKind::PowerCap { cap });
         let nodes: Vec<usize> = (0..node_count).collect();
         let job = Job::new(0, JobSubmission::new(0, 0, (node_count * 16) as u32, 3600, 600));
-        let scheduler = OnlineScheduler::new(policy);
+        let scheduler = OnlineScheduler::new(policy, &cluster.platform().ladder);
         match scheduler.choose(&cluster, &book, &job, &nodes, 0) {
             FrequencyChoice::Start(f) => {
                 let allowed = policy.allowed_ladder(&cluster.platform().ladder);
