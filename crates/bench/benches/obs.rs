@@ -1,0 +1,95 @@
+//! Benchmarks pinning the cost of the observability primitives.
+//!
+//! The whole point of `apc-obs` is that instrumentation is cheap enough to
+//! leave on: a disabled counter is one branch, a live counter one relaxed
+//! atomic, a histogram record a handful of them. These targets keep those
+//! costs visible — if a registry change makes `counter_live` jump from a
+//! few nanoseconds to tens, this is where it shows before the perf gate
+//! catches the downstream regression.
+
+use apc_obs::{bucket_of, Counter, Histogram, Registry, SpanRecorder};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_metrics");
+    group.sample_size(20);
+
+    group.bench_function("counter_disabled", |b| {
+        let counter = Counter::disabled();
+        b.iter(|| {
+            black_box(&counter).inc();
+        })
+    });
+
+    group.bench_function("counter_live", |b| {
+        let registry = Registry::new();
+        let counter = registry.counter("bench.counter");
+        b.iter(|| {
+            black_box(&counter).inc();
+        })
+    });
+
+    group.bench_function("histogram_disabled", |b| {
+        let histogram = Histogram::disabled();
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(0x9e37_79b9);
+            black_box(&histogram).record(v);
+        })
+    });
+
+    group.bench_function("histogram_live", |b| {
+        let registry = Registry::new();
+        let histogram = registry.histogram("bench.histogram");
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(0x9e37_79b9);
+            black_box(&histogram).record(v);
+        })
+    });
+
+    group.bench_function("bucket_of", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(0x9e37_79b9);
+            black_box(bucket_of(v))
+        })
+    });
+    group.finish();
+}
+
+fn bench_spans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_spans");
+    group.sample_size(20);
+
+    group.bench_function("span_disabled", |b| {
+        let spans = SpanRecorder::disabled();
+        b.iter(|| {
+            let start = spans.start();
+            spans.complete(start, "bench", "bench", 0, Vec::new());
+        })
+    });
+
+    group.bench_function("span_live", |b| {
+        let spans = SpanRecorder::new();
+        b.iter(|| {
+            let start = spans.start();
+            spans.complete(start, "bench", "bench", 0, Vec::new());
+        });
+        // Keep the buffer from growing across the whole measurement.
+        black_box(spans.take_events().len());
+    });
+
+    group.bench_function("snapshot_32_instruments", |b| {
+        let registry = Registry::new();
+        for i in 0..16 {
+            registry.counter(&format!("bench.c{i}")).add(i);
+            registry.histogram(&format!("bench.h{i}")).record(i * 7 + 1);
+        }
+        b.iter(|| black_box(registry.snapshot().entries.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics, bench_spans);
+criterion_main!(benches);

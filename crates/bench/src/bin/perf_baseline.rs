@@ -7,13 +7,19 @@
 //! already exists) one entry with three families of numbers:
 //!
 //! * **replay** — one full scheduler replay of the reduced bench workload
-//!   per policy (the `scheduler_replay` criterion target), best-of-N wall
-//!   time plus the controller's events/second over the capped replays;
+//!   per policy (the `scheduler_replay` criterion target), median-of-rounds
+//!   wall time plus the controller's events/second over the capped replays;
 //! * **schedule_pass** — a pending-heavy microbench (thousands of queued
 //!   jobs competing for a saturated cluster under a cap) isolating the cost
 //!   of one scheduling pass;
 //! * **campaign** — the paper grid (policies × caps × intervals × seeds)
 //!   through the single-threaded campaign executor, in cells/second.
+//!
+//! The replay and schedule-pass numbers feed the gate's ratios, so they are
+//! measured as *medians over interleaved rounds* (every round times each of
+//! them once, back to back): background-load drift then shifts all of them
+//! together instead of inflating whichever one happened to own the slow
+//! window, and typical per-round overhead cancels out of each ratio.
 //!
 //! ```text
 //! cargo run --release -p apc-bench --bin perf-baseline -- \
@@ -45,6 +51,23 @@ use apc_rjms::time::{SimTime, HOUR};
 const USAGE: &str = "usage: perf-baseline [--label NAME] [--out FILE] [--quick] \
                      [--check] [--against FILE] [--threshold PCT] [--self-test]";
 
+/// Fingerprint of the recording host: CPU model (from `/proc/cpuinfo`, with
+/// the architecture as fallback) plus the available core count. Recorded
+/// next to each entry so `--check` can warn when a comparison crosses
+/// hosts — the gated ratios are host-independent, absolute times are not.
+fn host_fingerprint() -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split_once(':').map(|(_, v)| v.trim().to_string()))
+        })
+        .unwrap_or_else(|| std::env::consts::ARCH.to_string());
+    format!("{} x{cores}", model.replace('"', "'"))
+}
+
 /// Best-of-N wall time of `f`, warmed once, bounded by `budget`.
 fn best_of(budget: Duration, mut f: impl FnMut()) -> Duration {
     f(); // warm-up
@@ -63,6 +86,41 @@ fn best_of(budget: Duration, mut f: impl FnMut()) -> Duration {
     best
 }
 
+/// Per-closure *median* wall times over interleaved rounds: every round
+/// times each closure once, back to back. The gate divides these numbers by
+/// each other, so they must all see the same machine state — timing each
+/// scenario in its own sequential window lets background-load drift inflate
+/// one side of a ratio and fail (or mask) a check without any code change.
+/// The median (not the minimum) is used because on a shared vCPU the
+/// minimum occasionally catches a steal-free window for one quantity but
+/// not another, skewing the ratio; typical per-round overhead cancels.
+fn median_of_interleaved<const N: usize>(
+    budget: Duration,
+    mut fs: [&mut dyn FnMut(); N],
+) -> [Duration; N] {
+    for f in fs.iter_mut() {
+        f(); // warm-up
+    }
+    let mut samples: [Vec<Duration>; N] = std::array::from_fn(|_| Vec::new());
+    let started = Instant::now();
+    let mut rounds = 0u32;
+    while started.elapsed() < budget || rounds < 3 {
+        for (f, samples) in fs.iter_mut().zip(samples.iter_mut()) {
+            let t = Instant::now();
+            f();
+            samples.push(t.elapsed());
+        }
+        rounds += 1;
+        if rounds >= 1000 {
+            break;
+        }
+    }
+    samples.map(|mut s| {
+        s.sort_unstable();
+        s[s.len() / 2]
+    })
+}
+
 struct ReplayNumbers {
     baseline_ns: u128,
     shut_ns: u128,
@@ -71,23 +129,35 @@ struct ReplayNumbers {
     events_per_sec: f64,
 }
 
-/// One full replay per policy over the reduced bench workload.
-fn measure_replay(budget: Duration) -> ReplayNumbers {
+/// All five gated quantities — the four per-policy replays and the
+/// schedule-pass microbench — timed over interleaved rounds so every ratio's
+/// numerator and denominator sample the same machine state, plus the
+/// controller's events/second (not gated, measured separately after).
+fn measure_gated(budget: Duration) -> (ReplayNumbers, u64, f64) {
     let platform = bench_platform();
     let trace = bench_trace(&platform);
     let harness = ReplayHarness::new(platform, trace);
     let duration = harness.trace().duration;
 
-    let time_scenario = |scenario: &Scenario| -> u128 {
-        best_of(budget, || {
-            std::hint::black_box(harness.run(scenario).report.launched_jobs);
-        })
-        .as_nanos()
+    let scenarios = [
+        Scenario::baseline(),
+        Scenario::paper(PowercapPolicy::Shut, 0.6, duration),
+        Scenario::paper(PowercapPolicy::Dvfs, 0.6, duration),
+        Scenario::paper(PowercapPolicy::Mix, 0.6, duration),
+    ];
+    // `replay` captures only shared borrows, so the four per-scenario
+    // closures can all hold it at once.
+    let replay = |i: usize| {
+        std::hint::black_box(harness.run(&scenarios[i]).report.launched_jobs);
     };
-    let baseline_ns = time_scenario(&Scenario::baseline());
-    let shut_ns = time_scenario(&Scenario::paper(PowercapPolicy::Shut, 0.6, duration));
-    let dvfs_ns = time_scenario(&Scenario::paper(PowercapPolicy::Dvfs, 0.6, duration));
-    let mix_ns = time_scenario(&Scenario::paper(PowercapPolicy::Mix, 0.6, duration));
+    let (mut r0, mut r1, mut r2, mut r3) = (|| replay(0), || replay(1), || replay(2), || replay(3));
+    let pass_platform = bench_platform();
+    let mut passes = 0u64;
+    let mut pass_bench = || passes = run_pass_bench(&pass_platform);
+    let [baseline, shut, dvfs, mix, pass_wall] = median_of_interleaved(
+        budget,
+        [&mut r0, &mut r1, &mut r2, &mut r3, &mut pass_bench],
+    );
 
     // Events/second through the raw controller (the harness hides it), on
     // the same workload under the MIX policy at the 60 % cap.
@@ -113,46 +183,43 @@ fn measure_replay(budget: Duration) -> ReplayNumbers {
         events = controller.events_processed();
     });
     let events_per_sec = events as f64 / wall.as_secs_f64();
-    ReplayNumbers {
-        baseline_ns,
-        shut_ns,
-        dvfs_ns,
-        mix_ns,
+    let numbers = ReplayNumbers {
+        baseline_ns: baseline.as_nanos(),
+        shut_ns: shut.as_nanos(),
+        dvfs_ns: dvfs.as_nanos(),
+        mix_ns: mix.as_nanos(),
         events_per_sec,
-    }
+    };
+    let ns_per_pass = pass_wall.as_nanos() as f64 / passes.max(1) as f64;
+    (numbers, passes, ns_per_pass)
 }
 
-/// Pending-heavy microbench: a deep queue on a saturated, capped cluster so
-/// every scheduling pass walks the full backfill depth.
-fn measure_schedule_pass(budget: Duration) -> (u64, f64) {
-    let platform = bench_platform(); // 180 nodes
-    let mut passes = 0u64;
-    let wall = best_of(budget, || {
-        let hook = PowercapHook::new(PowercapConfig::for_policy(PowercapPolicy::Mix), &platform);
-        let mut controller = Controller::with_hook(
-            platform.clone(),
-            ControllerConfig::default(),
-            Box::new(hook),
-        );
-        let cap = platform.power_fraction(0.6);
-        controller.add_powercap_reservation(apc_rjms::time::TimeWindow::new(0, 4 * HOUR), cap);
-        // 2 000 pending 10-node jobs on a 180-node machine: ~18 can run at
-        // once, so the queue stays thousands deep for the whole interval.
-        for i in 0..2_000u64 {
-            controller.submit(JobSubmission::new(
-                (i % 7) as usize,
-                0,
-                160,
-                2 * HOUR,
-                900 + (i % 13) as SimTime * 60,
-            ));
-        }
-        controller.set_horizon(2 * HOUR);
-        std::hint::black_box(controller.run().launched_jobs);
-        passes = controller.schedule_passes();
-    });
-    let ns_per_pass = wall.as_nanos() as f64 / passes.max(1) as f64;
-    (passes, ns_per_pass)
+/// One run of the pending-heavy microbench: a deep queue on a saturated,
+/// capped cluster so every scheduling pass walks the full backfill depth.
+/// Returns the number of scheduling passes the run took.
+fn run_pass_bench(platform: &apc_rjms::cluster::Platform) -> u64 {
+    let hook = PowercapHook::new(PowercapConfig::for_policy(PowercapPolicy::Mix), platform);
+    let mut controller = Controller::with_hook(
+        platform.clone(),
+        ControllerConfig::default(),
+        Box::new(hook),
+    );
+    let cap = platform.power_fraction(0.6);
+    controller.add_powercap_reservation(apc_rjms::time::TimeWindow::new(0, 4 * HOUR), cap);
+    // 2 000 pending 10-node jobs on a 180-node machine: ~18 can run at
+    // once, so the queue stays thousands deep for the whole interval.
+    for i in 0..2_000u64 {
+        controller.submit(JobSubmission::new(
+            (i % 7) as usize,
+            0,
+            160,
+            2 * HOUR,
+            900 + (i % 13) as SimTime * 60,
+        ));
+    }
+    controller.set_horizon(2 * HOUR);
+    std::hint::black_box(controller.run().launched_jobs);
+    controller.schedule_passes()
 }
 
 /// The paper grid through the single-threaded executor.
@@ -178,17 +245,16 @@ fn json_entry(label: &str) -> String {
     } else {
         Duration::from_millis(1500)
     };
-    eprintln!("measuring replay per policy …");
-    let replay = measure_replay(budget);
-    eprintln!("measuring schedule-pass microbench …");
-    let (passes, ns_per_pass) = measure_schedule_pass(budget);
+    eprintln!("measuring replay per policy + schedule-pass microbench (interleaved) …");
+    let (replay, passes, ns_per_pass) = measure_gated(budget);
     eprintln!("measuring paper-grid campaign …");
     let (cells, wall_s, cells_per_sec) = measure_campaign(if quick { 1 } else { 2 });
     let recorded = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
+    let host = host_fingerprint();
     format!(
-        "  {{\"label\": \"{label}\", \"recorded_unix\": {recorded}, \
+        "  {{\"label\": \"{label}\", \"recorded_unix\": {recorded}, \"host\": \"{host}\", \
          \"replay\": {{\"baseline_none_ns\": {}, \"cap60_shut_ns\": {}, \
          \"cap60_dvfs_ns\": {}, \"cap60_mix_ns\": {}, \"events_per_sec\": {:.0}}}, \
          \"schedule_pass\": {{\"passes\": {passes}, \"ns_per_pass\": {:.1}}}, \
@@ -355,6 +421,19 @@ fn main() -> ExitCode {
             eprintln!("error: --check: fresh entry did not round-trip the parser");
             return ExitCode::FAILURE;
         };
+        match (&committed.host, &fresh.host) {
+            (Some(c), Some(f)) if c != f => eprintln!(
+                "warning: cross-host comparison — '{}' was recorded on \"{c}\", this run on \
+                 \"{f}\"; the gated ratios are host-independent, but treat close calls with care",
+                committed.label
+            ),
+            (None, _) => eprintln!(
+                "note: '{}' predates host fingerprints; cannot tell whether this comparison \
+                 crosses hosts",
+                committed.label
+            ),
+            _ => {}
+        }
         let report = gate::check(&committed, &fresh, threshold);
         eprintln!("{report}");
         if !report.passed() {

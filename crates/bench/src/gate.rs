@@ -33,6 +33,10 @@ pub struct PerfEntry {
     pub cap60_mix_ns: f64,
     /// Cost of one scheduling pass in the pending-heavy microbench.
     pub ns_per_pass: f64,
+    /// Fingerprint of the recording host (`"<cpu model> xN"`), when the
+    /// entry recorded one — lets a check warn on cross-host comparisons
+    /// (the tracked ratios are host-independent, absolute times are not).
+    pub host: Option<String>,
 }
 
 impl PerfEntry {
@@ -154,10 +158,7 @@ pub fn parse_trajectory(text: &str) -> Vec<PerfEntry> {
 
 /// The last (most recently appended) entry, optionally skipping labels for
 /// which `skip` returns true (e.g. a stale `ci-*` entry from a previous run).
-pub fn reference_entry(
-    entries: &[PerfEntry],
-    skip: impl Fn(&str) -> bool,
-) -> Option<&PerfEntry> {
+pub fn reference_entry(entries: &[PerfEntry], skip: impl Fn(&str) -> bool) -> Option<&PerfEntry> {
     entries.iter().rev().find(|e| !skip(&e.label))
 }
 
@@ -169,6 +170,7 @@ fn parse_entry_line(line: &str) -> Option<PerfEntry> {
         cap60_dvfs_ns: number_field(line, "cap60_dvfs_ns")?,
         cap60_mix_ns: number_field(line, "cap60_mix_ns")?,
         ns_per_pass: number_field(line, "ns_per_pass")?,
+        host: string_field(line, "host"),
     })
 }
 
@@ -210,6 +212,17 @@ mod tests {
         assert_eq!(e.cap60_dvfs_ns, 743960.0);
         assert_eq!(e.cap60_mix_ns, 472990.0);
         assert_eq!(e.ns_per_pass, 277462.2);
+        assert_eq!(e.host, None, "pre-fingerprint entries still parse");
+    }
+
+    #[test]
+    fn parses_the_host_fingerprint_when_present() {
+        let line = LINE.replace(
+            "\"recorded_unix\": 1754000000,",
+            "\"recorded_unix\": 1754000000, \"host\": \"Xeon E5-2680 x16\",",
+        );
+        let e = parse_trajectory(&line).pop().expect("line parses");
+        assert_eq!(e.host.as_deref(), Some("Xeon E5-2680 x16"));
     }
 
     #[test]
@@ -244,6 +257,7 @@ mod tests {
             cap60_dvfs_ns: committed.cap60_dvfs_ns / 2.0,
             cap60_mix_ns: committed.cap60_mix_ns / 2.0,
             ns_per_pass: committed.ns_per_pass / 2.0,
+            host: None,
         };
         assert!(check(&committed, &fresh, DEFAULT_THRESHOLD).passed());
     }

@@ -4,6 +4,7 @@
 //! cargo run --release -p apc-campaign --bin campaign -- [options]
 //! cargo run --release -p apc-campaign --bin campaign -- pareto DIR [options]
 //! cargo run --release -p apc-campaign --bin campaign -- query DIR [options]
+//! cargo run --release -p apc-campaign --bin campaign -- report DIR
 //!
 //! campaign options:
 //!   --threads N        worker threads (0 = all cores; default 1)
@@ -30,6 +31,12 @@
 //!   --strategy WHICH   work-steal | static (default work-steal)
 //!   --format WHICH     csv | json | both (default both)
 //!   --quiet            suppress the per-group stdout table
+//!   --progress         live top-style progress view on stderr (overall %,
+//!                      cells/s, ETA, steals, per-worker queue depths)
+//!   --metrics          dump the metrics registry snapshot to stderr at
+//!                      the end of the run
+//!   --trace-out FILE   record one span per cell and write them to FILE in
+//!                      Chrome Trace Event JSON (load at chrome://tracing)
 //!
 //! pareto DIR: non-dominated (energy, work, wait) front per workload group
 //!   --out FILE         where to write the CSV (default DIR/pareto.csv)
@@ -48,6 +55,9 @@
 //!                      combination of these columns, aggregated in the
 //!                      streaming scan (the row set is never materialised)
 //!   --agg WHICH        mean | min | max (default mean; needs --group-by)
+//!
+//! report DIR: post-run summary of a (possibly partial) result store —
+//!   completion state, axis coverage, and the across-seed summary table
 //! ```
 //!
 //! Results stream into an append-only partitioned store
@@ -70,10 +80,12 @@ use apc_workload::{load_swf_file, IntervalKind};
 const USAGE: &str = "usage: campaign [--threads N] [--seeds K] [--seed-base S] [--racks LIST] \
 [--intervals LIST] [--policies LIST] [--caps LIST] [--no-baseline] [--groupings LIST] \
 [--rules LIST] [--windows LIST] [--load LIST] [--backlog F] [--swf PATH] [--out DIR] \
-[--resume DIR] [--strategy work-steal|static] [--format csv|json|both] [--quiet]
+[--resume DIR] [--strategy work-steal|static] [--format csv|json|both] [--quiet] \
+[--progress] [--metrics] [--trace-out FILE]
        campaign pareto DIR [--out FILE] [--quiet]
        campaign query DIR [--workload L] [--scenario L] [--window L] [--policy P] [--seed N] \
-[--load F] [--racks R] [--columns LIST] [--limit N] [--group-by LIST [--agg mean|min|max]]";
+[--load F] [--racks R] [--columns LIST] [--limit N] [--group-by LIST [--agg mean|min|max]]
+       campaign report DIR";
 
 /// Parse one `--windows` axis value: `FRACxSECONDS` placements joined by
 /// `+` (several windows of one scenario).
@@ -122,6 +134,9 @@ struct Options {
     resume: bool,
     format: Format,
     quiet: bool,
+    progress: bool,
+    metrics: bool,
+    trace_out: Option<String>,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -142,6 +157,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut resume_dir: Option<String> = None;
     let mut format = Format::Both;
     let mut quiet = false;
+    let mut progress = false;
+    let mut metrics = false;
+    let mut trace_out: Option<String> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -246,6 +264,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 };
             }
             "--quiet" => quiet = true,
+            "--progress" => progress = true,
+            "--metrics" => metrics = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?.clone()),
             unknown => return Err(format!("unknown option: {unknown}")),
         }
     }
@@ -288,14 +309,30 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         resume,
         format,
         quiet,
+        progress,
+        metrics,
+        trace_out,
     }))
 }
 
 fn run(options: Options) -> Result<(), String> {
+    // Instrumentation attachments. Spans are only recorded when asked for
+    // (every cell would otherwise buffer an event); the metrics registry is
+    // shared with the progress monitor. Neither changes the campaign's
+    // stdout or result files — `instrumented_campaign_output_is_byte_identical`
+    // pins that.
+    let obs = if options.trace_out.is_some() {
+        CampaignObs::full()
+    } else if options.progress || options.metrics {
+        CampaignObs::metrics()
+    } else {
+        CampaignObs::disabled()
+    };
     let runner = CampaignRunner::new(options.spec.clone())
         .with_threads(options.threads)
         .with_strategy(options.strategy)
-        .with_source(options.source);
+        .with_source(options.source)
+        .with_obs(obs.clone());
 
     let cells = runner.cells()?.len();
     // Open (resume) or create the append-only result store; every finished
@@ -318,7 +355,14 @@ fn run(options: Options) -> Result<(), String> {
         "campaign: {cells} cells ({pending} to run) on {} thread(s)",
         runner.resolved_threads().min(pending.max(1))
     );
-    let outcome = runner.run_with_store(&mut store)?;
+    let monitor = options
+        .progress
+        .then(|| ProgressMonitor::start(obs.registry.clone(), pending));
+    let outcome = runner.run_with_store(&mut store);
+    if let Some(monitor) = monitor {
+        monitor.stop();
+    }
+    let outcome = outcome?;
 
     if !options.quiet {
         print!("{}", summary_table(&outcome.summaries));
@@ -344,29 +388,15 @@ fn run(options: Options) -> Result<(), String> {
         );
     }
 
-    let skipped = if outcome.stats.skipped > 0 {
-        format!(", {} resumed from store", outcome.stats.skipped)
-    } else {
-        String::new()
-    };
-    eprintln!(
-        "ran {} cells on {} thread(s) in {:.2} s ({} trace(s) generated, {} cache hits, \
-         {} steal(s){skipped})",
-        outcome.stats.cells,
-        outcome.stats.threads,
-        outcome.wall.as_secs_f64(),
-        outcome.stats.trace_cache_misses,
-        outcome.stats.trace_cache_hits,
-        outcome.stats.total_steals(),
-    );
-    if !outcome.stats.per_worker.is_empty() {
-        let per_worker: Vec<String> = outcome
-            .stats
-            .per_worker
-            .iter()
-            .map(|w| format!("w{} {} cell(s), {} stolen", w.worker, w.completed, w.stolen))
-            .collect();
-        eprintln!("workers: {}", per_worker.join(" | "));
+    eprint!("{}", outcome.stats.render(outcome.wall));
+    if options.metrics {
+        eprint!("{}", obs.registry.snapshot());
+    }
+    if let Some(path) = &options.trace_out {
+        let events = obs.spans.take_events();
+        let json = apc_obs::write_chrome_trace(&events, "campaign");
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {} span(s) to {path}", events.len());
     }
     for path in written {
         eprintln!("wrote {}", path.display());
@@ -587,14 +617,59 @@ fn run_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `campaign report DIR`: post-run summary of a (possibly partial) result
+/// store — completion state, axis coverage, and the same across-seed table
+/// a live run prints.
+fn run_report(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            flag if flag.starts_with("--") => return Err(format!("unknown option: {flag}")),
+            path if dir.is_none() => dir = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument: {extra}")),
+        }
+    }
+    let dir = dir.ok_or("report needs a result-store directory")?;
+    let store = ResultStore::open(&dir)?;
+    let rows = store.rows();
+    let state = if store.is_complete() {
+        "complete"
+    } else {
+        "partial — finish it with --resume"
+    };
+    println!(
+        "campaign {dir}: {}/{} cells recorded ({state}), spec {}",
+        store.completed_count(),
+        store.total_cells(),
+        store.spec_hash(),
+    );
+    if rows.is_empty() {
+        println!("no completed cells yet — nothing to summarize");
+        return Ok(());
+    }
+    let workloads: std::collections::BTreeSet<&str> =
+        rows.iter().map(|r| r.workload.as_str()).collect();
+    let scenarios: std::collections::BTreeSet<&str> =
+        rows.iter().map(|r| r.scenario.as_str()).collect();
+    let seeds: std::collections::BTreeSet<u64> = rows.iter().filter_map(|r| r.seed).collect();
+    println!(
+        "axes covered: {} workload(s) x {} scenario(s) x {} seed(s)",
+        workloads.len(),
+        scenarios.len(),
+        seeds.len(),
+    );
+    print!("{}", summary_table(&summarize(&rows)));
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(subcommand) = args.first().map(String::as_str) {
-        if subcommand == "pareto" || subcommand == "query" {
-            let run = if subcommand == "pareto" {
-                run_pareto(&args[1..])
-            } else {
-                run_query(&args[1..])
+        if subcommand == "pareto" || subcommand == "query" || subcommand == "report" {
+            let run = match subcommand {
+                "pareto" => run_pareto(&args[1..]),
+                "query" => run_query(&args[1..]),
+                _ => run_report(&args[1..]),
             };
             return match run {
                 Ok(()) => ExitCode::SUCCESS,

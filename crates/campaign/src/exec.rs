@@ -29,11 +29,13 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use apc_obs::Registry;
 use apc_replay::ReplayHarness;
 use apc_rjms::cluster::Platform;
 use apc_workload::{CurieTraceGenerator, TraceCache};
 
 use crate::agg::{summarize, CellRow, SummaryRow};
+use crate::obs::{CampaignObs, ExecObs};
 use crate::spec::{CampaignCell, CampaignSpec, CellWorkload, TraceSource};
 use crate::store::ResultStore;
 
@@ -85,6 +87,40 @@ impl RunStats {
     pub fn total_steals(&self) -> usize {
         self.per_worker.iter().map(|w| w.stolen).sum()
     }
+
+    /// The human summary the `campaign` CLI prints: run totals (including
+    /// total steals) on the first line, then one line per worker with its
+    /// completion rate and the share of its cells that were stolen.
+    pub fn render(&self, wall: Duration) -> String {
+        let skipped = if self.skipped > 0 {
+            format!(", {} resumed from store", self.skipped)
+        } else {
+            String::new()
+        };
+        let secs = wall.as_secs_f64();
+        let mut out = format!(
+            "ran {} cells on {} thread(s) in {secs:.2} s ({} trace(s) generated, \
+             {} cache hits, {} steal(s){skipped})\n",
+            self.cells,
+            self.threads,
+            self.trace_cache_misses,
+            self.trace_cache_hits,
+            self.total_steals(),
+        );
+        for w in &self.per_worker {
+            let rate = w.completed as f64 / secs.max(1e-9);
+            let stolen_share = if w.completed > 0 {
+                w.stolen as f64 * 100.0 / w.completed as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  w{}: {} cell(s) ({rate:.1} cells/s), {} stolen ({stolen_share:.0}%)\n",
+                w.worker, w.completed, w.stolen
+            ));
+        }
+        out
+    }
 }
 
 /// Everything a finished campaign produced.
@@ -107,6 +143,7 @@ pub struct CampaignRunner {
     source: TraceSource,
     threads: usize,
     strategy: ExecStrategy,
+    obs: CampaignObs,
 }
 
 impl CampaignRunner {
@@ -117,7 +154,16 @@ impl CampaignRunner {
             source: TraceSource::Synthetic,
             threads: 1,
             strategy: ExecStrategy::default(),
+            obs: CampaignObs::disabled(),
         }
+    }
+
+    /// Attach observability (a metrics registry the progress monitor can
+    /// sample, and/or a span recorder for Chrome-trace export). Results are
+    /// byte-identical with or without it (builder style).
+    pub fn with_obs(mut self, obs: CampaignObs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Replace the workload source (builder style).
@@ -275,11 +321,20 @@ impl CampaignRunner {
                 misses: 0,
             });
         }
+        // Run statistics live on the metrics registry: the caller's when one
+        // is attached (so a progress monitor sampling it sees the same
+        // numbers), a private live one otherwise — either way the executor
+        // publishes identically and RunStats is read back off the registry.
+        let registry = if self.obs.registry.is_live() {
+            self.obs.registry.clone()
+        } else {
+            Registry::new()
+        };
+        let obs = ExecObs::new(&registry, self.obs.spans.clone(), threads);
         let queues = WorkQueues::seed(pending, threads);
         let steal = self.strategy == ExecStrategy::WorkStealing;
         let (tx, rx) = mpsc::channel::<CellRow>();
         let mut sink_err: Option<String> = None;
-        let mut per_worker: Vec<WorkerStats> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for worker in 0..threads {
@@ -288,29 +343,25 @@ impl CampaignRunner {
                 let cache = &cache;
                 let spec = &self.spec;
                 let source = &self.source;
+                let obs = &obs;
                 handles.push(scope.spawn(move || {
-                    let mut stats = WorkerStats {
-                        worker,
-                        ..WorkerStats::default()
-                    };
                     // Worker-local harness slot: consecutive pulled cells of
                     // the same (racks, workload) reuse one ReplayHarness
                     // instead of rebuilding the platform and re-fetching the
                     // trace per cell.
                     let mut harness: Option<HarnessSlot> = None;
                     while let Some((idx, was_stolen)) = queues.next(worker, steal) {
+                        obs.set_queue_depth(worker, queues.depth(worker));
+                        let cell_span = obs.cell_begin();
                         let row = run_cell(spec, source, cache, &cells[idx], &mut harness);
-                        stats.completed += 1;
-                        if was_stolen {
-                            stats.stolen += 1;
-                        }
+                        obs.cell_end(cell_span, worker, idx, was_stolen, &row.scenario);
                         // The receiver only disappears if the coordinator's
                         // sink failed; stop producing rows then.
                         if tx.send(row).is_err() {
                             break;
                         }
                     }
-                    stats
+                    obs.set_queue_depth(worker, 0);
                 }));
             }
             drop(tx);
@@ -323,15 +374,16 @@ impl CampaignRunner {
                 }
             }
             for handle in handles {
-                per_worker.push(handle.join().expect("campaign worker panicked"));
+                handle.join().expect("campaign worker panicked");
             }
         });
         if let Some(e) = sink_err {
             return Err(e);
         }
+        obs.publish_cache(cache.hits(), cache.misses());
         Ok(ExecInner {
             threads,
-            per_worker,
+            per_worker: obs.per_worker_stats(),
             hits: cache.hits(),
             misses: cache.misses(),
         })
@@ -362,6 +414,14 @@ impl WorkQueues {
         WorkQueues {
             deques: deques.into_iter().map(Mutex::new).collect(),
         }
+    }
+
+    /// Cells left in `worker`'s own deque (for the queue-depth gauge).
+    fn depth(&self, worker: usize) -> usize {
+        self.deques[worker]
+            .lock()
+            .expect("work deque poisoned")
+            .len()
     }
 
     /// Pull the next cell for `worker`: own deque front first, then (when

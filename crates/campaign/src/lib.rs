@@ -51,7 +51,9 @@
 pub mod agg;
 pub mod diff;
 pub mod exec;
+pub mod obs;
 pub mod pareto;
+pub mod progress;
 pub mod query;
 pub mod sink;
 pub mod spec;
@@ -64,7 +66,9 @@ pub mod prelude {
     pub use crate::exec::{
         platform_for, CampaignOutcome, CampaignRunner, ExecStrategy, RunStats, WorkerStats,
     };
+    pub use crate::obs::CampaignObs;
     pub use crate::pareto::{pareto_front, render_pareto_csv, Objectives, ParetoRow};
+    pub use crate::progress::{render_progress, ProgressMonitor};
     pub use crate::query::{
         numeric, project, scan_store, AggKind, GroupAggregator, RowFilter, StoreScanner,
         DEFAULT_AGG_COLUMNS, NUMERIC_COLUMNS, QUERY_COLUMNS,

@@ -1,0 +1,223 @@
+//! The live campaign progress monitor (`campaign --progress`).
+//!
+//! A [`ProgressMonitor`] is a sampling thread over the campaign's metrics
+//! [`Registry`]: it never talks to the executor, it just snapshots the
+//! counters the workers publish and renders a top-style view — overall
+//! completion, cells/s, ETA, steal total, and one line per worker with its
+//! completion/steal counts and remaining own-deque depth.
+//!
+//! Everything goes to **stderr**: stdout carries campaign data (tables,
+//! query output) and must stay byte-identical with monitoring on or off.
+//! On a terminal the view redraws in place with ANSI cursor movement; piped
+//! (CI logs), it degrades to an occasional plain line.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use apc_obs::{Registry, Snapshot};
+
+/// How often the interactive view redraws.
+const INTERACTIVE_TICK: Duration = Duration::from_millis(200);
+/// How often the piped (non-terminal) fallback prints a line.
+const PLAIN_TICK: Duration = Duration::from_secs(2);
+
+/// One worker's numbers extracted from a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WorkerProgress {
+    completed: u64,
+    stolen: u64,
+    queue_depth: i64,
+}
+
+/// Pull the per-worker series out of a snapshot (workers are discovered by
+/// name, so the renderer needs no side channel about the thread count).
+fn workers_of(snapshot: &Snapshot) -> Vec<WorkerProgress> {
+    let mut workers = Vec::new();
+    loop {
+        let w = workers.len();
+        let Some(completed) = snapshot.counter(&format!("campaign.worker.{w}.completed")) else {
+            break;
+        };
+        workers.push(WorkerProgress {
+            completed,
+            stolen: snapshot
+                .counter(&format!("campaign.worker.{w}.stolen"))
+                .unwrap_or(0),
+            queue_depth: snapshot
+                .gauge(&format!("campaign.worker.{w}.queue_depth"))
+                .unwrap_or(0),
+        });
+    }
+    workers
+}
+
+/// Render the top-style progress view from a snapshot: a header line plus
+/// one line per worker. Pure — the monitor thread and the tests share it.
+pub fn render_progress(snapshot: &Snapshot, total: usize, elapsed: Duration) -> String {
+    let done = snapshot.counter("campaign.cells.completed").unwrap_or(0);
+    let steals = snapshot.counter("campaign.cells.stolen").unwrap_or(0);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let rate = done as f64 / secs;
+    let eta = if done > 0 && (done as usize) < total {
+        let remaining = (total - done as usize) as f64 / rate;
+        format!("ETA {remaining:.0} s")
+    } else if done as usize >= total {
+        "done".to_string()
+    } else {
+        "ETA --".to_string()
+    };
+    let percent = if total > 0 {
+        done as f64 * 100.0 / total as f64
+    } else {
+        100.0
+    };
+    let mut out = format!(
+        "campaign {done}/{total} cells ({percent:.0}%)  {rate:.1} cells/s  {eta}  \
+         {steals} steal(s)  {secs:.1} s elapsed\n"
+    );
+    for (w, p) in workers_of(snapshot).iter().enumerate() {
+        out.push_str(&format!(
+            "  w{w}: {:>4} done  {:>3} stolen  queue {}\n",
+            p.completed, p.stolen, p.queue_depth
+        ));
+    }
+    out
+}
+
+/// A background thread rendering [`render_progress`] until stopped.
+pub struct ProgressMonitor {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ProgressMonitor {
+    /// Start monitoring `registry` for a run of `total` cells. Rendering
+    /// mode (in-place redraw vs. plain lines) follows whether stderr is a
+    /// terminal.
+    pub fn start(registry: Registry, total: usize) -> Self {
+        ProgressMonitor::start_with_mode(registry, total, std::io::stderr().is_terminal())
+    }
+
+    /// Like [`start`](Self::start) with the terminal detection overridden —
+    /// lets tests drive the plain mode deterministically.
+    pub fn start_with_mode(registry: Registry, total: usize, interactive: bool) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            let tick = if interactive {
+                INTERACTIVE_TICK
+            } else {
+                PLAIN_TICK
+            };
+            let mut rendered_lines = 0usize;
+            loop {
+                let stopping = stop_flag.load(Ordering::Relaxed);
+                let frame = render_progress(&registry.snapshot(), total, started.elapsed());
+                let mut err = std::io::stderr().lock();
+                if interactive {
+                    // Move back over the previous frame and overwrite it.
+                    if rendered_lines > 0 {
+                        let _ = write!(err, "\x1b[{rendered_lines}A");
+                    }
+                    for line in frame.lines() {
+                        let _ = writeln!(err, "\x1b[2K{line}");
+                    }
+                    rendered_lines = frame.lines().count();
+                } else {
+                    // Plain mode: only the header line, no redraw tricks.
+                    let _ = writeln!(err, "{}", frame.lines().next().unwrap_or_default());
+                }
+                let _ = err.flush();
+                drop(err);
+                if stopping {
+                    break;
+                }
+                std::thread::sleep(tick);
+            }
+        });
+        ProgressMonitor {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the monitor, letting it paint one final frame first.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ProgressMonitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_registry() -> Registry {
+        let registry = Registry::new();
+        registry.counter("campaign.cells.completed").add(6);
+        registry.counter("campaign.cells.stolen").add(2);
+        registry.counter("campaign.worker.0.completed").add(4);
+        registry.counter("campaign.worker.0.stolen").add(0);
+        registry.gauge("campaign.worker.0.queue_depth").set(3);
+        registry.counter("campaign.worker.1.completed").add(2);
+        registry.counter("campaign.worker.1.stolen").add(2);
+        registry.gauge("campaign.worker.1.queue_depth").set(0);
+        registry
+    }
+
+    #[test]
+    fn render_shows_totals_rate_eta_and_workers() {
+        let registry = populated_registry();
+        let text = render_progress(&registry.snapshot(), 12, Duration::from_secs(3));
+        assert!(text.starts_with("campaign 6/12 cells (50%)"), "{text}");
+        assert!(text.contains("2.0 cells/s"), "{text}");
+        assert!(text.contains("ETA 3 s"), "{text}");
+        assert!(text.contains("2 steal(s)"), "{text}");
+        assert!(
+            text.contains("w0:    4 done    0 stolen  queue 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("w1:    2 done    2 stolen  queue 0"),
+            "{text}"
+        );
+        assert_eq!(text.lines().count(), 3, "header + one line per worker");
+    }
+
+    #[test]
+    fn render_handles_the_empty_and_finished_edges() {
+        let empty = Registry::new();
+        let text = render_progress(&empty.snapshot(), 10, Duration::from_secs(1));
+        assert!(text.contains("0/10"), "{text}");
+        assert!(text.contains("ETA --"), "{text}");
+        let registry = populated_registry();
+        let done = render_progress(&registry.snapshot(), 6, Duration::from_secs(3));
+        assert!(done.contains("done"), "{done}");
+        // Zero-total never divides by zero.
+        let zero = render_progress(&empty.snapshot(), 0, Duration::from_secs(1));
+        assert!(zero.contains("(100%)"), "{zero}");
+    }
+
+    #[test]
+    fn monitor_starts_renders_and_stops() {
+        let registry = populated_registry();
+        let monitor = ProgressMonitor::start_with_mode(registry, 12, false);
+        std::thread::sleep(Duration::from_millis(30));
+        monitor.stop();
+    }
+}

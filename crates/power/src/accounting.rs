@@ -17,7 +17,7 @@ use crate::state::PowerState;
 use crate::topology::{NodeId, Topology};
 use crate::units::{Joules, Watts};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 /// A timestamped power reading, used to build power time series for the
 /// paper's Figures 6 and 7.
@@ -120,6 +120,12 @@ pub struct ClusterPowerAccountant {
     record_samples: bool,
     /// Reusable probe scratch (see [`ProbeScratch`]).
     scratch: RefCell<ProbeScratch>,
+    /// Probes served by the frequency-independent `Busy` fast path
+    /// ([`busy_probe`](Self::busy_probe) and everything routed through it).
+    probe_fast: Cell<u64>,
+    /// Probes that walked the per-group scratch (`power_if` with an
+    /// `Off`/`Idle` target).
+    probe_slow: Cell<u64>,
 }
 
 impl ClusterPowerAccountant {
@@ -143,6 +149,8 @@ impl ClusterPowerAccountant {
             samples: Vec::new(),
             record_samples: false,
             scratch: RefCell::new(ProbeScratch::new(topology)),
+            probe_fast: Cell::new(0),
+            probe_slow: Cell::new(0),
         };
         acct.samples.push(PowerSample {
             time: 0,
@@ -262,6 +270,7 @@ impl ClusterPowerAccountant {
         if let PowerState::Busy(freq) = state {
             return self.current + self.power_delta_if_busy(nodes, freq);
         }
+        self.probe_slow.set(self.probe_slow.get() + 1);
         let mut scratch = self.scratch.borrow_mut();
         let mut power = self.current;
         for &node in nodes {
@@ -312,6 +321,7 @@ impl ClusterPowerAccountant {
     ///
     /// O(|nodes| + touched groups), zero allocation.
     pub fn busy_probe(&self, nodes: &[NodeId]) -> BusyProbe {
+        self.probe_fast.set(self.probe_fast.get() + 1);
         let mut scratch = self.scratch.borrow_mut();
         let mut sum_old = Watts::ZERO;
         let mut bonus = Watts::ZERO;
@@ -363,6 +373,14 @@ impl ClusterPowerAccountant {
     /// The recorded power samples (empty unless sample recording was enabled).
     pub fn samples(&self) -> &[PowerSample] {
         &self.samples
+    }
+
+    /// Lifetime probe counts `(fast, slow)`: probes answered by the
+    /// frequency-independent `Busy` fast path vs. probes that walked the
+    /// per-group scratch (`Off`/`Idle` targets). Plain `Cell` bumps — free
+    /// enough to stay always-on; observability layers read the deltas.
+    pub fn probe_counts(&self) -> (u64, u64) {
+        (self.probe_fast.get(), self.probe_slow.get())
     }
 
     /// Consistency check: recompute the power from scratch and compare with
@@ -630,6 +648,20 @@ mod tests {
         // Consecutive probes reuse the scratch and stay consistent.
         let again = acct.busy_probe(&[0, 1]);
         assert_eq!(probe, again);
+    }
+
+    #[test]
+    fn probe_counts_split_fast_and_slow_paths() {
+        let acct = curie_accountant();
+        assert_eq!(acct.probe_counts(), (0, 0));
+        let nodes: Vec<NodeId> = (0..10).collect();
+        // Busy targets route through the frequency-independent fast path …
+        acct.power_if(&nodes, PowerState::Busy(Frequency::from_ghz(2.0)));
+        acct.busy_probe(&nodes);
+        // … while Off/Idle targets walk the per-group scratch.
+        acct.power_if(&nodes, PowerState::Off);
+        acct.power_if(&nodes, PowerState::Idle);
+        assert_eq!(acct.probe_counts(), (2, 2));
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //!          --swf PATH  replay a Standard Workload Format trace (e.g. the
 //!                      real CEA-Curie trace) instead of the synthetic
 //!                      generator for fig6/fig7/fig8/claims/ablations
+//!          --trace-out FILE
+//!                      profile one replay of each paper scenario
+//!                      (100%/None, 60%/SHUT, 60%/DVFS, 60%/MIX) at the
+//!                      chosen scale and write the schedule-pass spans as
+//!                      Chrome Trace Event JSON — load FILE at
+//!                      chrome://tracing or ui.perfetto.dev, one lane per
+//!                      scenario; runs after (or without) any targets
 //! ```
 
 use std::process::ExitCode;
@@ -36,7 +43,7 @@ const VALID_TARGETS: [&str; 11] = [
 
 const USAGE: &str =
     "usage: experiments [fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|fig8|claims|ablations|model|all]... \
-     [--racks N|--full] [--seed S] [--swf PATH]";
+     [--racks N|--full] [--seed S] [--swf PATH] [--trace-out FILE]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
@@ -49,6 +56,7 @@ fn main() -> ExitCode {
     let mut racks = figures::DEFAULT_RACKS;
     let mut seed = 2012u64;
     let mut swf_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -69,6 +77,12 @@ fn main() -> ExitCode {
                 swf_path = match iter.next() {
                     Some(p) => Some(p.clone()),
                     None => return fail("--swf needs a file path argument"),
+                };
+            }
+            "--trace-out" => {
+                trace_out = match iter.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return fail("--trace-out needs a file path argument"),
                 };
             }
             "--full" => racks = 56,
@@ -98,7 +112,9 @@ fn main() -> ExitCode {
         ));
     }
 
-    if targets.is_empty() {
+    // Bare `--trace-out FILE` means "just profile" — only fill in the
+    // default static-table targets when no profile was requested either.
+    if targets.is_empty() && trace_out.is_none() {
         targets = vec![
             "fig2".into(),
             "fig3".into(),
@@ -115,7 +131,8 @@ fn main() -> ExitCode {
     // actually replays a workload — fig2..fig5 and the model sweep are pure
     // model evaluations and never touch it.
     const REPLAY_TARGETS: [&str; 6] = ["fig6", "fig7a", "fig7b", "fig8", "claims", "ablations"];
-    let replays_requested = targets.iter().any(|t| REPLAY_TARGETS.contains(&t.as_str()));
+    let replays_requested =
+        targets.iter().any(|t| REPLAY_TARGETS.contains(&t.as_str())) || trace_out.is_some();
     let swf_trace: Option<Arc<Trace>> = match &swf_path {
         Some(path) if replays_requested => match load_swf_file(path) {
             Ok(trace) => {
@@ -162,6 +179,18 @@ fn main() -> ExitCode {
         };
         println!("{output}");
         println!("{}", "=".repeat(100));
+    }
+
+    if let Some(path) = trace_out {
+        let (json, span_count) = figures::profile_trace(racks, seed, swf);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!(
+            "profiled the 4 paper scenarios at {racks} rack(s): wrote {span_count} span(s) to \
+             {path} (load at chrome://tracing or ui.perfetto.dev)"
+        );
     }
     ExitCode::SUCCESS
 }

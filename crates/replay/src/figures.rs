@@ -414,6 +414,47 @@ pub fn model_sweep() -> String {
     out
 }
 
+/// Profile one replay of each paper scenario (100%/None, 60%/SHUT,
+/// 60%/DVFS, 60%/MIX) with schedule-pass span recording attached, and
+/// return the Chrome Trace Event JSON plus the number of spans captured.
+/// Each scenario gets its own named lane (`tid`), so loading the file at
+/// chrome://tracing or ui.perfetto.dev shows the four replays side by side.
+pub fn profile_trace(racks: usize, seed: u64, swf: Option<&Arc<Trace>>) -> (String, usize) {
+    use apc_obs::{ArgValue, Registry, SpanRecorder, TraceEvent};
+    use apc_rjms::obs::ControllerObs;
+    let h = harness(racks, seed, IntervalKind::MedianJob, swf);
+    let duration = h.trace().duration;
+    let scenarios = [
+        Scenario::baseline(),
+        Scenario::paper(PowercapPolicy::Shut, 0.60, duration),
+        Scenario::paper(PowercapPolicy::Dvfs, 0.60, duration),
+        Scenario::paper(PowercapPolicy::Mix, 0.60, duration),
+    ];
+    let registry = Registry::new();
+    let spans = SpanRecorder::new();
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for (lane, scenario) in scenarios.iter().enumerate() {
+        // Label the lane with the scenario it replays.
+        events.push(TraceEvent {
+            name: "thread_name",
+            category: "__metadata",
+            phase: 'M',
+            ts_us: 0,
+            dur_us: 0,
+            tid: lane as u64,
+            args: vec![("name", ArgValue::Str(scenario.label()))],
+        });
+        let obs = ControllerObs::new(&registry, spans.clone()).with_lane(lane as u64);
+        let _ = h.run_with_obs(scenario, obs);
+    }
+    events.extend(spans.take_events());
+    let span_count = events.iter().filter(|e| e.phase == 'X').count();
+    (
+        apc_obs::write_chrome_trace(&events, "experiments"),
+        span_count,
+    )
+}
+
 fn describe_trace(h: &ReplayHarness) -> String {
     let stats = TraceStats::compute(h.trace(), h.platform().total_cores());
     format!(

@@ -23,6 +23,7 @@ use apc_rjms::cluster::Platform;
 use apc_rjms::config::ControllerConfig;
 use apc_rjms::controller::{Controller, SimulationReport};
 use apc_rjms::log::SimLog;
+use apc_rjms::obs::ControllerObs;
 use apc_workload::Trace;
 
 use crate::metrics::{NormalizedOutcome, PowerSeries, UtilizationSeries};
@@ -141,7 +142,11 @@ impl ReplayHarness {
 
     /// Phases 1–3 for one scenario: build the controller, seed the initial
     /// state, register the powercap reservations and run the replay.
-    fn run_controller(&self, scenario: &Scenario) -> (Controller, SimulationReport) {
+    fn run_controller(
+        &self,
+        scenario: &Scenario,
+        obs: ControllerObs,
+    ) -> (Controller, SimulationReport) {
         // Phase 1 — environment setup.
         let powercap_config = PowercapConfig {
             policy: scenario.policy,
@@ -154,6 +159,7 @@ impl ReplayHarness {
         let controller_config = ControllerConfig::default().with_power_samples();
         let mut controller =
             Controller::with_hook(self.platform.clone(), controller_config, Box::new(hook));
+        controller.set_obs(obs);
 
         // Phase 2 — interval initial state: fair-share history for every user
         // seen in the trace (precomputed at construction). The queued backlog
@@ -180,7 +186,15 @@ impl ReplayHarness {
 
     /// Run one scenario to completion and collect every metric.
     pub fn run(&self, scenario: &Scenario) -> ReplayOutcome {
-        let (mut controller, report) = self.run_controller(scenario);
+        self.run_with_obs(scenario, ControllerObs::disabled())
+    }
+
+    /// [`run`](Self::run) with controller observability attached: schedule
+    /// passes land on `obs`'s metrics registry and span recorder. The
+    /// simulation result is identical to an uninstrumented run — the
+    /// workspace's golden-fingerprint tests pin that.
+    pub fn run_with_obs(&self, scenario: &Scenario, obs: ControllerObs) -> ReplayOutcome {
+        let (mut controller, report) = self.run_controller(scenario, obs);
 
         // Phase 4 — post-treatment.
         let normalized = NormalizedOutcome::from_report(&report, &self.platform, &self.trace);
@@ -202,7 +216,7 @@ impl ReplayHarness {
     /// utilisation series, no event-log clone) — the per-cell hot path of
     /// the campaign executor.
     pub fn run_summary(&self, scenario: &Scenario) -> ReplaySummary {
-        let (controller, report) = self.run_controller(scenario);
+        let (controller, report) = self.run_controller(scenario, ControllerObs::disabled());
         let normalized = NormalizedOutcome::from_report(&report, &self.platform, &self.trace);
         let power = PowerSeries::from_samples(controller.cluster().accountant().samples());
         ReplaySummary {
@@ -326,6 +340,28 @@ mod tests {
             assert_eq!(full.normalized, lean.normalized);
             assert_eq!(full.power, lean.power);
         }
+    }
+
+    #[test]
+    fn run_with_obs_is_neutral_and_records() {
+        use apc_obs::{Registry, SpanRecorder};
+        let h = harness();
+        let scenario = Scenario::paper(PowercapPolicy::Mix, 0.6, h.trace().duration);
+        let plain = h.run(&scenario);
+        let registry = Registry::new();
+        let spans = SpanRecorder::new();
+        let instrumented = h.run_with_obs(
+            &scenario,
+            ControllerObs::new(&registry, spans.clone()).with_lane(3),
+        );
+        assert_eq!(plain.report, instrumented.report, "instrumentation-neutral");
+        assert_eq!(plain.log.len(), instrumented.log.len());
+        let snap = registry.snapshot();
+        let passes = snap.histogram("rjms.schedule_pass.duration_ns").unwrap();
+        assert!(passes.count > 0);
+        let events = spans.take_events();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.tid == 3), "spans on the given lane");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::hook::{NullHook, SchedulingHook, StartDecision};
 use crate::job::{Job, JobId, JobState, JobSubmission};
 use crate::log::{SimEventKind, SimLog};
 use crate::mask::NodeMask;
+use crate::obs::{ControllerObs, PassMeasurements};
 use crate::priority::{FairShareTracker, MultifactorPriority};
 use crate::reservation::{ReservationBook, ReservationId, ReservationKind};
 use crate::select::{NodeSelector, SelectScratch};
@@ -144,6 +145,7 @@ pub struct Controller {
     sched_passes: u64,
     scratch: ScheduleScratch,
     scratch_growth_passes: u64,
+    obs: ControllerObs,
 }
 
 impl Controller {
@@ -182,7 +184,15 @@ impl Controller {
             sched_passes: 0,
             scratch: ScheduleScratch::default(),
             scratch_growth_passes: 0,
+            obs: ControllerObs::disabled(),
         }
+    }
+
+    /// Attach observability handles (schedule-pass histograms, blocked-set
+    /// cache counters, probe-path counters, per-pass spans). Disabled by
+    /// default; never affects scheduling decisions or any simulation output.
+    pub fn set_obs(&mut self, obs: ControllerObs) {
+        self.obs = obs;
     }
 
     // ------------------------------------------------------------------
@@ -559,6 +569,14 @@ impl Controller {
         if self.pending.is_empty() {
             return;
         }
+        // Observability: reads the clock only when handles are attached and
+        // publishes once per pass — plain-local accumulation in the loop
+        // keeps the uninstrumented hot path untouched.
+        let pass = self.obs.pass_begin();
+        let mut measurements = PassMeasurements {
+            queue_depth: self.pending.len(),
+            ..PassMeasurements::default()
+        };
         self.fairshare.decay_to(self.now);
         let total_cores = self.cluster.platform().total_cores();
         let cores_per_node = self.cluster.platform().cores_per_node;
@@ -647,8 +665,12 @@ impl Controller {
                     .sum();
                 let index = (0..*cache_live).find(|&i| cache[i].signature == signature);
                 let index = match index {
-                    Some(i) => i,
+                    Some(i) => {
+                        measurements.cache_hits += 1;
+                        i
+                    }
                     None => {
+                        measurements.cache_misses += 1;
                         let i = *cache_live;
                         if i == cache.len() {
                             cache.push(BlockedEntry::default());
@@ -732,6 +754,7 @@ impl Controller {
                     selected_mask.extend(selected.iter().copied());
                     self.start_job(job_id, selected, selected_mask, frequency);
                     any_started = true;
+                    measurements.started += 1;
                     // Node availability changed: invalidate the cached
                     // counts (the blocked sets themselves are unaffected) so
                     // the remaining candidates see up-to-date numbers.
@@ -760,6 +783,8 @@ impl Controller {
             self.scratch_growth_passes += 1;
         }
         self.scratch = scratch;
+        self.obs
+            .pass_end(pass, measurements, self.cluster.accountant().probe_counts());
     }
 
     fn start_job(
@@ -1192,6 +1217,70 @@ mod tests {
             "scratch buffers grew in {grew} of {passes} passes — the steady \
              state is supposed to be allocation-free"
         );
+    }
+
+    /// Attaching observability must populate the registry without changing
+    /// a single scheduling decision.
+    #[test]
+    fn observability_populates_metrics_without_changing_the_schedule() {
+        let run = |instrument: bool| {
+            let registry = if instrument {
+                apc_obs::Registry::new()
+            } else {
+                apc_obs::Registry::disabled()
+            };
+            let spans = if instrument {
+                apc_obs::SpanRecorder::new()
+            } else {
+                apc_obs::SpanRecorder::disabled()
+            };
+            let mut c = controller();
+            c.set_obs(ControllerObs::new(&registry, spans.clone()));
+            let window = TimeWindow::new(HOUR, 2 * HOUR);
+            let id = c.reservations.add(
+                window,
+                ReservationKind::SwitchOff {
+                    nodes: (0..18).collect(),
+                },
+            );
+            c.events.push(window.start, Event::ReservationStart(id));
+            c.events.push(window.end, Event::ReservationEnd(id));
+            for i in 0..60 {
+                c.submit(job(
+                    i % 4,
+                    (i as SimTime * 37) % HOUR,
+                    32 + (i as u32 % 5) * 96,
+                    3600,
+                    200 + (i as SimTime % 9) * 100,
+                ));
+            }
+            c.set_horizon(4 * HOUR);
+            c.run();
+            let schedule: Vec<_> = c
+                .jobs()
+                .iter()
+                .map(|j| (j.id, j.start_time, j.end_time))
+                .collect();
+            (schedule, registry.snapshot(), spans.take_events())
+        };
+        let (plain, empty_snapshot, no_events) = run(false);
+        let (instrumented, snapshot, events) = run(true);
+        assert_eq!(plain, instrumented, "observability changed the schedule");
+        assert!(empty_snapshot.entries.is_empty());
+        assert!(no_events.is_empty());
+        let depth = snapshot
+            .histogram("rjms.schedule_pass.queue_depth")
+            .expect("pass histogram registered");
+        assert!(depth.count > 0, "non-empty passes were recorded");
+        let hits = snapshot.counter("rjms.blocked_cache.hits").unwrap();
+        let misses = snapshot.counter("rjms.blocked_cache.misses").unwrap();
+        assert!(
+            hits > misses,
+            "jobs share overlap signatures, hits ({hits}) should dominate misses ({misses})"
+        );
+        assert!(snapshot.counter("rjms.probe.fast").unwrap() > 0 || hits + misses > 0);
+        assert!(!events.is_empty(), "per-pass spans were recorded");
+        assert!(events.iter().all(|e| e.name == "schedule_pass"));
     }
 
     #[test]

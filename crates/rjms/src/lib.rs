@@ -40,6 +40,7 @@ pub mod job;
 pub mod log;
 pub mod mask;
 pub mod node;
+pub mod obs;
 pub mod priority;
 pub mod reservation;
 pub mod select;
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use crate::log::{SimEvent, SimEventKind, SimLog};
     pub use crate::mask::NodeMask;
     pub use crate::node::{AllocationState, SimNode};
+    pub use crate::obs::{ControllerObs, PassMeasurements};
     pub use crate::priority::{FairShareTracker, MultifactorPriority, PriorityWeights};
     pub use crate::reservation::{Reservation, ReservationId, ReservationKind};
     pub use crate::select::NodeSelector;

@@ -21,6 +21,9 @@
 //! * [`campaign`] — the parallel experiment-campaign subsystem: declarative
 //!   grids, a sharded multi-threaded executor, streaming aggregation and
 //!   CSV/JSON sinks (plus the `campaign` binary).
+//! * [`obs`] — zero-overhead observability: a metrics registry (counters,
+//!   gauges, log2 histograms), a span recorder with a Chrome Trace Event
+//!   writer, and the instrumentation hooks the layers above publish onto.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@
 
 pub use apc_campaign as campaign;
 pub use apc_core as core;
+pub use apc_obs as obs;
 pub use apc_power as power;
 pub use apc_replay as replay;
 pub use apc_rjms as rjms;
