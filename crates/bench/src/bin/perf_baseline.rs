@@ -13,7 +13,14 @@
 //!   jobs competing for a saturated cluster under a cap) isolating the cost
 //!   of one scheduling pass;
 //! * **campaign** — the paper grid (policies × caps × intervals × seeds)
-//!   through the single-threaded campaign executor, in cells/second.
+//!   through the single-threaded campaign executor, in cells/second;
+//! * **store** — full scans of a ~100k-row synthetic result store in both
+//!   on-disk formats (v2 CSV and the same store compacted to the v3 binary
+//!   columnar format), interleaved like the replay numbers, plus the
+//!   zone-map partition-skip count of a filtered v3 query. The v3/v2 scan
+//!   cost joins the gated ratios, and `--check` additionally enforces the
+//!   absolute [`gate::STORE_SPEEDUP_FLOOR`] (the columnar scan must stay
+//!   ≥10× faster than CSV row parsing).
 //!
 //! The replay and schedule-pass numbers feed the gate's ratios, so they are
 //! measured as *medians over interleaved rounds* (every round times each of
@@ -38,9 +45,15 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use std::path::{Path, PathBuf};
+
 use apc_bench::gate;
 use apc_bench::helpers::{bench_platform, bench_trace};
+use apc_campaign::agg::CellRow;
+use apc_campaign::compact::compact_store;
 use apc_campaign::prelude::{CampaignRunner, CampaignSpec};
+use apc_campaign::query::{RowFilter, ScanFlow, StoreScanner};
+use apc_campaign::store::{ResultStore, STORE_SCHEMA_V2};
 use apc_core::{PowercapConfig, PowercapHook, PowercapPolicy};
 use apc_replay::{ReplayHarness, Scenario};
 use apc_rjms::config::ControllerConfig;
@@ -238,6 +251,118 @@ fn measure_campaign(runs: u32) -> (usize, f64, f64) {
     (cells, wall_s, cells as f64 / wall_s)
 }
 
+struct StoreNumbers {
+    rows: usize,
+    v2_scan_ns: u128,
+    v3_scan_ns: u128,
+    zone_skipped_parts: usize,
+}
+
+/// One synthetic store row. The workload label flips halfway through the
+/// grid so the contiguous first-half partitions are zone-map skippable by a
+/// second-half workload filter; everything else is cheap deterministic
+/// filler with full-precision floats (so the v2 side pays the same hex
+/// round-trip cost a real campaign store does).
+fn synthetic_row(i: usize, total: usize) -> CellRow {
+    let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    CellRow {
+        index: i,
+        racks: 1 + (i % 4),
+        workload: if i < total / 2 {
+            "smalljob"
+        } else {
+            "medianjob"
+        }
+        .to_string(),
+        seed: Some(x % 32),
+        load_factor: 0.6 + (i % 5) as f64 * 0.3,
+        scenario: ["100%/None", "80%/SHUT", "60%/DVFS", "40%/MIX"][i % 4].to_string(),
+        window: "7200+3600".to_string(),
+        policy: ["none", "shut", "dvfs", "mix"][i % 4].to_string(),
+        cap_percent: [100.0, 80.0, 60.0, 40.0][i % 4],
+        grouping: "grouped".to_string(),
+        decision_rule: "paper-rho".to_string(),
+        launched_jobs: (x % 10_000) as usize,
+        completed_jobs: (x % 9_000) as usize,
+        killed_jobs: (x % 50) as usize,
+        pending_jobs: (x % 200) as usize,
+        work_core_seconds: x as f64 * 1e-3,
+        energy_joules: x as f64 * 7e-4,
+        energy_normalized: (x % 1000) as f64 / 997.0,
+        launched_jobs_normalized: (x % 100) as f64 / 101.0,
+        work_normalized: (x % 500) as f64 / 499.0,
+        mean_wait_seconds: (x % 7200) as f64 + 0.125,
+        peak_power_watts: 900.0 + (x % 300) as f64,
+    }
+}
+
+/// Duplicate a store directory (manifest + partition files) so the v2
+/// original can be compacted into a v3 twin without rebuilding it.
+fn copy_store(src: &Path, dst: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dst.join("cells"))?;
+    std::fs::copy(src.join("manifest.txt"), dst.join("manifest.txt"))?;
+    for entry in std::fs::read_dir(src.join("cells"))? {
+        let entry = entry?;
+        std::fs::copy(entry.path(), dst.join("cells").join(entry.file_name()))?;
+    }
+    Ok(())
+}
+
+/// Build the synthetic store in both formats and time full scans of each,
+/// interleaved; also run one zone-map-filtered v3 query and record how many
+/// partitions its zone maps let it skip.
+fn measure_store(budget: Duration, rows: usize) -> StoreNumbers {
+    let base: PathBuf = std::env::temp_dir().join(format!("apc-perf-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let v2_dir = base.join("v2");
+    let v3_dir = base.join("v3");
+    let mut store = ResultStore::create_with_schema(&v2_dir, 0xbe9c, rows, STORE_SCHEMA_V2)
+        .expect("create v2 store");
+    for i in 0..rows {
+        store.append(&synthetic_row(i, rows)).expect("append row");
+    }
+    drop(store);
+    copy_store(&v2_dir, &v3_dir).expect("copy store");
+    compact_store(&v3_dir, None).expect("compact to v3");
+
+    let full_scan = |dir: &Path| {
+        let scanner = StoreScanner::open(dir).expect("open store");
+        let mut seen = 0usize;
+        scanner
+            .scan(&RowFilter::default(), |row| {
+                std::hint::black_box(row.launched_jobs);
+                seen += 1;
+                Ok(ScanFlow::Continue)
+            })
+            .expect("scan store");
+        assert_eq!(seen, rows, "scan must visit every row");
+    };
+    let (mut scan_v2, mut scan_v3) = (|| full_scan(&v2_dir), || full_scan(&v3_dir));
+    let [v2_wall, v3_wall] = median_of_interleaved(budget, [&mut scan_v2, &mut scan_v3]);
+
+    // A filtered query: the first-half partitions hold only "smalljob"
+    // rows, so their zone maps prove them row-free for this filter.
+    let filter = RowFilter {
+        workload: Some("medianjob".to_string()),
+        ..RowFilter::default()
+    };
+    let scanner = StoreScanner::open(&v3_dir).expect("open v3 store");
+    let stats = scanner
+        .scan(&filter, |_| Ok(ScanFlow::Continue))
+        .expect("filtered scan");
+    assert!(
+        stats.partitions_skipped > 0,
+        "the synthetic layout must exercise zone-map skipping"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+    StoreNumbers {
+        rows,
+        v2_scan_ns: v2_wall.as_nanos(),
+        v3_scan_ns: v3_wall.as_nanos(),
+        zone_skipped_parts: stats.partitions_skipped,
+    }
+}
+
 fn json_entry(label: &str) -> String {
     let quick = std::env::args().any(|a| a == "--quick");
     let budget = if quick {
@@ -249,6 +374,9 @@ fn json_entry(label: &str) -> String {
     let (replay, passes, ns_per_pass) = measure_gated(budget);
     eprintln!("measuring paper-grid campaign …");
     let (cells, wall_s, cells_per_sec) = measure_campaign(if quick { 1 } else { 2 });
+    eprintln!("measuring result-store scans (v2 CSV vs v3 columnar) …");
+    let store = measure_store(budget, if quick { 20_000 } else { 120_000 });
+    let speedup = store.v2_scan_ns as f64 / store.v3_scan_ns.max(1) as f64;
     let recorded = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -258,6 +386,8 @@ fn json_entry(label: &str) -> String {
          \"replay\": {{\"baseline_none_ns\": {}, \"cap60_shut_ns\": {}, \
          \"cap60_dvfs_ns\": {}, \"cap60_mix_ns\": {}, \"events_per_sec\": {:.0}}}, \
          \"schedule_pass\": {{\"passes\": {passes}, \"ns_per_pass\": {:.1}}}, \
+         \"store\": {{\"rows\": {}, \"v2_scan_ns\": {}, \"v3_scan_ns\": {}, \
+         \"speedup\": {speedup:.1}, \"zone_skipped_parts\": {}}}, \
          \"campaign\": {{\"cells\": {cells}, \"wall_s\": {:.3}, \"cells_per_sec\": {:.1}}}}}",
         replay.baseline_ns,
         replay.shut_ns,
@@ -265,6 +395,10 @@ fn json_entry(label: &str) -> String {
         replay.mix_ns,
         replay.events_per_sec,
         ns_per_pass,
+        store.rows,
+        store.v2_scan_ns,
+        store.v3_scan_ns,
+        store.zone_skipped_parts,
         wall_s,
         cells_per_sec,
     )
@@ -444,6 +578,23 @@ fn main() -> ExitCode {
                 committed.label
             );
             return ExitCode::FAILURE;
+        }
+        // Absolute floor, independent of the committed baseline: the v3
+        // columnar scan must stay an order of magnitude ahead of CSV row
+        // parsing, measured side by side in this very run.
+        if let Some(speedup) = fresh.store_speedup() {
+            eprintln!(
+                "store scan: v3 is {speedup:.1}x faster than v2 CSV (floor {:.0}x)",
+                gate::STORE_SPEEDUP_FLOOR
+            );
+            if speedup < gate::STORE_SPEEDUP_FLOOR {
+                eprintln!(
+                    "perf gate failed: v3 store scan speedup {speedup:.1}x is below the \
+                     {:.0}x floor",
+                    gate::STORE_SPEEDUP_FLOOR
+                );
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

@@ -18,6 +18,13 @@ use std::fmt;
 /// The default allowed relative growth of any tracked ratio (15 %).
 pub const DEFAULT_THRESHOLD: f64 = 0.15;
 
+/// Minimum required speedup of a full v3 columnar store scan over the same
+/// scan of the v2 CSV store (an absolute floor, not a ratio-growth check:
+/// the binary format's whole point is to beat row-parsing by an order of
+/// magnitude, and both sides are measured in the same run on the same
+/// host, so the quotient is host-independent).
+pub const STORE_SPEEDUP_FLOOR: f64 = 10.0;
+
 /// One entry of the perf trajectory, reduced to the fields the gate tracks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfEntry {
@@ -33,6 +40,11 @@ pub struct PerfEntry {
     pub cap60_mix_ns: f64,
     /// Cost of one scheduling pass in the pending-heavy microbench.
     pub ns_per_pass: f64,
+    /// Full scan wall time of the ~100k-row synthetic v2 (CSV) store, when
+    /// the entry recorded store metrics.
+    pub store_v2_scan_ns: Option<f64>,
+    /// Full scan wall time of the same store compacted to v3 (columnar).
+    pub store_v3_scan_ns: Option<f64>,
     /// Fingerprint of the recording host (`"<cpu model> xN"`), when the
     /// entry recorded one — lets a check warn on cross-host comparisons
     /// (the tracked ratios are host-independent, absolute times are not).
@@ -40,15 +52,33 @@ pub struct PerfEntry {
 }
 
 impl PerfEntry {
-    /// The tracked host-independent ratios, labelled.
-    fn ratios(&self) -> [(&'static str, f64); 4] {
+    /// The tracked host-independent ratios, labelled. Variable-length:
+    /// entries recorded before a metric family existed simply lack its
+    /// ratio, and [`check`] matches ratios by name so old baselines stay
+    /// comparable on the ratios they do have.
+    fn ratios(&self) -> Vec<(&'static str, f64)> {
         let base = self.baseline_none_ns.max(1.0);
-        [
+        let mut out = vec![
             ("cap60_shut / baseline", self.cap60_shut_ns / base),
             ("cap60_dvfs / baseline", self.cap60_dvfs_ns / base),
             ("cap60_mix / baseline", self.cap60_mix_ns / base),
             ("schedule_pass / baseline", self.ns_per_pass / base),
-        ]
+        ];
+        if let (Some(v2), Some(v3)) = (self.store_v2_scan_ns, self.store_v3_scan_ns) {
+            // Cost ratio like the others: bigger = the columnar scan lost
+            // ground against the CSV scan measured in the same run.
+            out.push(("store_v3_scan / store_v2_scan", v3 / v2.max(1.0)));
+        }
+        out
+    }
+
+    /// The v2-over-v3 store scan speedup, when the entry recorded store
+    /// metrics; compare against [`STORE_SPEEDUP_FLOOR`].
+    pub fn store_speedup(&self) -> Option<f64> {
+        match (self.store_v2_scan_ns, self.store_v3_scan_ns) {
+            (Some(v2), Some(v3)) => Some(v2 / v3.max(1.0)),
+            _ => None,
+        }
     }
 
     /// A copy with the DVFS replay inflated by `factor` — used by the gate
@@ -123,16 +153,23 @@ impl fmt::Display for GateReport {
 
 /// Compare `fresh` against `committed`: a ratio breaches when it exceeds the
 /// committed ratio by more than `threshold` (relative, e.g. `0.15` = 15 %).
+///
+/// Ratios are matched by name: one an entry lacks (a baseline recorded
+/// before that metric family existed, or a fresh run that skipped it) is
+/// left out of the report rather than misaligned against a different ratio.
 pub fn check(committed: &PerfEntry, fresh: &PerfEntry, threshold: f64) -> GateReport {
+    let fresh_ratios = fresh.ratios();
     let checks = committed
         .ratios()
         .into_iter()
-        .zip(fresh.ratios())
-        .map(|((name, committed), (_, fresh))| RatioCheck {
-            name,
-            committed,
-            fresh,
-            breached: fresh > committed * (1.0 + threshold),
+        .filter_map(|(name, committed)| {
+            let (_, fresh) = fresh_ratios.iter().find(|(n, _)| *n == name)?;
+            Some(RatioCheck {
+                name,
+                committed,
+                fresh: *fresh,
+                breached: *fresh > committed * (1.0 + threshold),
+            })
         })
         .collect();
     GateReport {
@@ -170,6 +207,8 @@ fn parse_entry_line(line: &str) -> Option<PerfEntry> {
         cap60_dvfs_ns: number_field(line, "cap60_dvfs_ns")?,
         cap60_mix_ns: number_field(line, "cap60_mix_ns")?,
         ns_per_pass: number_field(line, "ns_per_pass")?,
+        store_v2_scan_ns: number_field(line, "v2_scan_ns"),
+        store_v3_scan_ns: number_field(line, "v3_scan_ns"),
         host: string_field(line, "host"),
     })
 }
@@ -257,9 +296,73 @@ mod tests {
             cap60_dvfs_ns: committed.cap60_dvfs_ns / 2.0,
             cap60_mix_ns: committed.cap60_mix_ns / 2.0,
             ns_per_pass: committed.ns_per_pass / 2.0,
+            store_v2_scan_ns: None,
+            store_v3_scan_ns: None,
             host: None,
         };
         assert!(check(&committed, &fresh, DEFAULT_THRESHOLD).passed());
+    }
+
+    /// An entry with store metrics attached.
+    fn entry_with_store(v2_ns: f64, v3_ns: f64) -> PerfEntry {
+        PerfEntry {
+            store_v2_scan_ns: Some(v2_ns),
+            store_v3_scan_ns: Some(v3_ns),
+            ..entry()
+        }
+    }
+
+    #[test]
+    fn store_metrics_parse_and_join_the_tracked_ratios() {
+        let line = LINE.replace(
+            "\"campaign\":",
+            "\"store\": {\"rows\": 120000, \"v2_scan_ns\": 250000000, \
+             \"v3_scan_ns\": 12500000, \"speedup\": 20.0, \"zone_skipped_parts\": 937}, \
+             \"campaign\":",
+        );
+        let e = parse_trajectory(&line).pop().expect("line parses");
+        assert_eq!(e.store_v2_scan_ns, Some(250_000_000.0));
+        assert_eq!(e.store_v3_scan_ns, Some(12_500_000.0));
+        assert_eq!(e.store_speedup(), Some(20.0));
+        let report = check(&e, &e, DEFAULT_THRESHOLD);
+        assert_eq!(report.checks.len(), 5, "store ratio joins the gate");
+        assert!(report.passed());
+        // A v3 scan that lost 2x against v2 trips the store ratio alone.
+        let slower = PerfEntry {
+            store_v3_scan_ns: Some(25_000_000.0),
+            ..e.clone()
+        };
+        let report = check(&e, &slower, DEFAULT_THRESHOLD);
+        let breached: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| c.breached)
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(breached, vec!["store_v3_scan / store_v2_scan"]);
+    }
+
+    #[test]
+    fn ratios_are_matched_by_name_across_schema_generations() {
+        // Old committed baseline without store metrics vs a fresh entry
+        // with them: the four shared ratios gate, the store ratio is
+        // silently absent rather than misaligned.
+        let old = entry();
+        let fresh = entry_with_store(1e8, 1e7);
+        let report = check(&old, &fresh, DEFAULT_THRESHOLD);
+        assert_eq!(report.checks.len(), 4);
+        assert!(report.passed());
+        // And symmetrically when the fresh run lacks store metrics.
+        let report = check(&fresh, &old, DEFAULT_THRESHOLD);
+        assert_eq!(report.checks.len(), 4);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn store_speedup_floor_is_a_meaningful_threshold() {
+        assert!(entry_with_store(1e8, 1e7).store_speedup().unwrap() >= STORE_SPEEDUP_FLOOR);
+        assert!(entry_with_store(1e8, 2e7).store_speedup().unwrap() < STORE_SPEEDUP_FLOOR);
+        assert_eq!(entry().store_speedup(), None);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! cargo run --release -p apc-campaign --bin campaign -- pareto DIR [options]
 //! cargo run --release -p apc-campaign --bin campaign -- query DIR [options]
 //! cargo run --release -p apc-campaign --bin campaign -- report DIR
+//! cargo run --release -p apc-campaign --bin campaign -- compact DIR [options]
 //!
 //! campaign options:
 //!   --threads N        worker threads (0 = all cores; default 1)
@@ -26,6 +27,9 @@
 //!   --backlog F        generator initial backlog factor (default 1.3)
 //!   --swf PATH         replay an SWF trace instead of the synthetic grid
 //!   --out DIR          results directory (default campaign-results)
+//!   --store-schema V   store partition codec: 3 = binary columnar .apc
+//!                      (default), 2 = text CSV (interop with old tooling);
+//!                      --resume keeps the store's existing schema
 //!   --resume DIR       resume the interrupted campaign stored in DIR
 //!                      (grid flags must match; validated by spec hash)
 //!   --strategy WHICH   work-steal | static (default work-steal)
@@ -48,9 +52,9 @@
 //!                      conjunctive row filters
 //!   --columns LIST     columns to print (default: all, cells.csv order);
 //!                      with --group-by, the numeric columns to aggregate
-//!   --limit N          print at most N matching rows (the match count
-//!                      still reflects the whole store); with --group-by,
-//!                      at most N groups
+//!   --limit N          stop the scan after N matching rows — remaining
+//!                      partitions are never read; with --group-by, render
+//!                      at most N groups (the fold still sees every row)
 //!   --group-by LIST    fold matching rows into one output row per distinct
 //!                      combination of these columns, aggregated in the
 //!                      streaming scan (the row set is never materialised)
@@ -58,15 +62,22 @@
 //!
 //! report DIR: post-run summary of a (possibly partial) result store —
 //!   completion state, axis coverage, and the across-seed summary table
+//!
+//! compact DIR: merge duplicate/superseded records and rewrite every
+//!   partition as one columnar v3 block (migrates v2 CSV stores to v3)
+//!   --per-part N       change the partition width while compacting
+//!   --quiet            suppress the stderr report
 //! ```
 //!
 //! Results stream into an append-only partitioned store
-//! (`DIR/cells/part-NNNN.csv` + `DIR/manifest.txt`) while cells run, so a
+//! (`DIR/cells/part-NNNN.apc` + `DIR/manifest.txt`) while cells run, so a
 //! killed campaign can be picked up with `--resume DIR`; the rendered
 //! `cells.*`/`summary.*` files are produced from the store at the end and
-//! are byte-identical whether or not the campaign was interrupted. `query`
-//! streams the store one partition at a time, so very large campaigns are
-//! inspectable without loading every partition into memory.
+//! are byte-identical whether or not the campaign was interrupted (and
+//! whichever `--store-schema` the store uses). `query` streams the store
+//! one partition at a time — skipping v3 partitions whose zone maps prove
+//! no row can match — so very large campaigns are inspectable without
+//! loading every partition into memory.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -80,12 +91,13 @@ use apc_workload::{load_swf_file, IntervalKind};
 const USAGE: &str = "usage: campaign [--threads N] [--seeds K] [--seed-base S] [--racks LIST] \
 [--intervals LIST] [--policies LIST] [--caps LIST] [--no-baseline] [--groupings LIST] \
 [--rules LIST] [--windows LIST] [--load LIST] [--backlog F] [--swf PATH] [--out DIR] \
-[--resume DIR] [--strategy work-steal|static] [--format csv|json|both] [--quiet] \
-[--progress] [--metrics] [--trace-out FILE]
+[--store-schema 2|3] [--resume DIR] [--strategy work-steal|static] [--format csv|json|both] \
+[--quiet] [--progress] [--metrics] [--trace-out FILE]
        campaign pareto DIR [--out FILE] [--quiet]
        campaign query DIR [--workload L] [--scenario L] [--window L] [--policy P] [--seed N] \
 [--load F] [--racks R] [--columns LIST] [--limit N] [--group-by LIST [--agg mean|min|max]]
-       campaign report DIR";
+       campaign report DIR
+       campaign compact DIR [--per-part N] [--quiet]";
 
 /// Parse one `--windows` axis value: `FRACxSECONDS` placements joined by
 /// `+` (several windows of one scenario).
@@ -131,6 +143,7 @@ struct Options {
     strategy: ExecStrategy,
     source: TraceSource,
     out_dir: String,
+    store_schema: u32,
     resume: bool,
     format: Format,
     quiet: bool,
@@ -154,6 +167,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut seed_base = 2012u64;
     let mut swf = None;
     let mut out_dir: Option<String> = None;
+    let mut store_schema = STORE_SCHEMA_VERSION;
     let mut resume_dir: Option<String> = None;
     let mut format = Format::Both;
     let mut quiet = false;
@@ -241,6 +255,15 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--swf" => swf = Some(value("--swf")?.clone()),
             "--out" => out_dir = Some(value("--out")?.clone()),
+            "--store-schema" => {
+                store_schema = match value("--store-schema")?.as_str() {
+                    "2" => STORE_SCHEMA_V2,
+                    "3" => STORE_SCHEMA_VERSION,
+                    other => {
+                        return Err(format!("--store-schema must be 2 or 3, got {other}"));
+                    }
+                };
+            }
             "--resume" => resume_dir = Some(value("--resume")?.clone()),
             "--strategy" => {
                 strategy = match value("--strategy")?.as_str() {
@@ -306,6 +329,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         strategy,
         source,
         out_dir,
+        store_schema,
         resume,
         format,
         quiet,
@@ -338,6 +362,7 @@ fn run(options: Options) -> Result<(), String> {
     // Open (resume) or create the append-only result store; every finished
     // cell streams into it, so a killed run can be resumed from here.
     let mut store = if options.resume {
+        // A resumed store keeps whatever schema it was created with.
         let store = ResultStore::open(&options.out_dir)?;
         eprintln!(
             "resuming {}: {} of {} cells already recorded",
@@ -347,8 +372,13 @@ fn run(options: Options) -> Result<(), String> {
         );
         store
     } else {
-        ResultStore::create(&options.out_dir, runner.fingerprint(), cells)
-            .map_err(|e| format!("cannot create result store in {}: {e}", options.out_dir))?
+        ResultStore::create_with_schema(
+            &options.out_dir,
+            runner.fingerprint(),
+            cells,
+            options.store_schema,
+        )
+        .map_err(|e| format!("cannot create result store in {}: {e}", options.out_dir))?
     };
     let pending = cells - store.completed_count().min(cells);
     eprintln!(
@@ -459,8 +489,14 @@ fn run_pareto(args: &[String]) -> Result<(), String> {
         }
     }
     let dir = dir.ok_or("pareto needs a result-store directory")?;
-    let store = ResultStore::open(&dir)?;
-    let rows = store.rows();
+    // Stream the store through the scanner (one partition resident at a
+    // time, columnar decode on v3) instead of the full loader.
+    let scanner = StoreScanner::open(&dir)?;
+    let mut rows = Vec::with_capacity(scanner.completed_count());
+    scanner.scan(&RowFilter::default(), |row| {
+        rows.push(row.clone());
+        Ok(ScanFlow::Continue)
+    })?;
     if rows.is_empty() {
         return Err(format!("store at {dir} records no completed cells yet"));
     }
@@ -587,14 +623,19 @@ fn run_query(args: &[String]) -> Result<(), String> {
         // Open (and thereby validate) the store before writing anything to
         // stdout — a bad directory must not leave a lone CSV header behind.
         let scanner = StoreScanner::open(&dir)?;
-        let matched = scanner.scan(&filter, |row| aggregator.fold(row))?;
+        let stats = scanner.scan(&filter, |row| {
+            aggregator.fold(row)?;
+            Ok(ScanFlow::Continue)
+        })?;
         println!("{}", aggregator.header());
         for line in aggregator.rows(limit) {
             println!("{line}");
         }
         eprintln!(
-            "{matched} row(s) matched; {} group(s)",
-            aggregator.group_count()
+            "{} row(s) matched; {} group(s); {} partition(s) zone-skipped",
+            stats.matched,
+            aggregator.group_count(),
+            stats.partitions_skipped,
         );
         return Ok(());
     }
@@ -603,17 +644,65 @@ fn run_query(args: &[String]) -> Result<(), String> {
     // stdout — a bad directory must not leave a lone CSV header behind.
     let scanner = StoreScanner::open(&dir)?;
     println!("{}", columns.join(","));
+    if limit == Some(0) {
+        eprintln!("0 row(s) matched; 0 printed; 0 partition(s) zone-skipped");
+        return Ok(());
+    }
     let mut printed = 0usize;
-    let matched = scanner.scan(&filter, |row| {
-        if limit.is_some_and(|n| printed >= n) {
-            return Ok(());
-        }
+    let stats = scanner.scan(&filter, |row| {
         let fields: Result<Vec<String>, String> = columns.iter().map(|c| project(row, c)).collect();
         println!("{}", fields?.join(","));
         printed += 1;
-        Ok(())
+        // --limit ends the scan here: partitions past the N-th match are
+        // never opened.
+        Ok(if limit.is_some_and(|n| printed >= n) {
+            ScanFlow::Stop
+        } else {
+            ScanFlow::Continue
+        })
     })?;
-    eprintln!("{matched} row(s) matched; {printed} printed");
+    eprintln!(
+        "{} row(s) matched; {printed} printed; {} partition(s) zone-skipped{}",
+        stats.matched,
+        stats.partitions_skipped,
+        if stats.stopped_early {
+            " (scan stopped at --limit)"
+        } else {
+            ""
+        },
+    );
+    Ok(())
+}
+
+/// `campaign compact DIR [--per-part N] [--quiet]`: merge duplicate and
+/// superseded records, drop untrusted rows, and rewrite every partition as
+/// one columnar v3 block — also the v2 → v3 migration path.
+fn run_compact(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut per_part: Option<usize> = None;
+    let mut quiet = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--per-part" => {
+                per_part = Some(
+                    iter.next()
+                        .ok_or_else(|| "--per-part needs a value".to_string())?
+                        .parse()
+                        .map_err(|_| "--per-part needs an integer".to_string())?,
+                );
+            }
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown option: {flag}")),
+            path if dir.is_none() => dir = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument: {extra}")),
+        }
+    }
+    let dir = dir.ok_or("compact needs a result-store directory")?;
+    let stats = compact_store(std::path::Path::new(&dir), per_part)?;
+    if !quiet {
+        eprint!("{}", stats.render());
+    }
     Ok(())
 }
 
@@ -630,18 +719,22 @@ fn run_report(args: &[String]) -> Result<(), String> {
         }
     }
     let dir = dir.ok_or("report needs a result-store directory")?;
-    let store = ResultStore::open(&dir)?;
-    let rows = store.rows();
-    let state = if store.is_complete() {
+    let scanner = StoreScanner::open(&dir)?;
+    let mut rows = Vec::with_capacity(scanner.completed_count());
+    scanner.scan(&RowFilter::default(), |row| {
+        rows.push(row.clone());
+        Ok(ScanFlow::Continue)
+    })?;
+    let state = if scanner.is_complete() {
         "complete"
     } else {
         "partial — finish it with --resume"
     };
     println!(
         "campaign {dir}: {}/{} cells recorded ({state}), spec {}",
-        store.completed_count(),
-        store.total_cells(),
-        store.spec_hash(),
+        scanner.completed_count(),
+        scanner.total_cells(),
+        scanner.spec_hash(),
     );
     if rows.is_empty() {
         println!("no completed cells yet — nothing to summarize");
@@ -665,10 +758,11 @@ fn run_report(args: &[String]) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(subcommand) = args.first().map(String::as_str) {
-        if subcommand == "pareto" || subcommand == "query" || subcommand == "report" {
+        if matches!(subcommand, "pareto" | "query" | "report" | "compact") {
             let run = match subcommand {
                 "pareto" => run_pareto(&args[1..]),
                 "query" => run_query(&args[1..]),
+                "compact" => run_compact(&args[1..]),
                 _ => run_report(&args[1..]),
             };
             return match run {

@@ -1,35 +1,54 @@
-//! Compare two `summary.csv` files from the same campaign grid.
+//! Compare two campaign summaries — rendered `summary.csv` files or result
+//! store directories — from the same campaign grid.
 //!
 //! ```text
-//! cargo run --release -p apc-campaign --bin campaign-diff -- A.csv B.csv [options]
+//! cargo run --release -p apc-campaign --bin campaign-diff -- A B [options]
+//!
+//! A and B are each either a rendered summary.csv file or a result store
+//! directory (one containing manifest.txt); store inputs are scanned and
+//! summarized in memory, so v2 CSV and v3 columnar stores both work and
+//! no intermediate export file is needed.
 //!
 //! options:
 //!   --threshold PCT    max tolerated relative change per metric, in percent
 //!                      (default 0: any delta fails)
+//!   --intersect        compare only the grid rows both sides have instead
+//!                      of failing on a grid mismatch; prints a coverage
+//!                      line so partial overlap stays visible. An empty
+//!                      intersection still fails — nothing was compared.
 //!   --quiet            only print breaches, not the full delta list
 //!
 //! exit status:
-//!   0  same grid, no metric beyond the threshold
-//!   1  grids differ, or at least one metric breached the threshold
+//!   0  same grid (or, with --intersect, a non-empty common subgrid) and
+//!      no metric beyond the threshold
+//!   1  grids differ (without --intersect), the intersection is empty, or
+//!      at least one metric breached the threshold
 //!   2  usage or input error
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
 
+use apc_campaign::agg::summarize;
 use apc_campaign::diff::diff_summary_csv;
+use apc_campaign::query::{RowFilter, ScanFlow, StoreScanner};
+use apc_campaign::sink::render_summary_csv;
 
-const USAGE: &str = "usage: campaign-diff A.csv B.csv [--threshold PCT] [--quiet]";
+const USAGE: &str =
+    "usage: campaign-diff A B [--threshold PCT] [--intersect] [--quiet]  (A/B: summary.csv or store dir)";
 
 struct Options {
     a_path: String,
     b_path: String,
     threshold_percent: f64,
+    intersect: bool,
     quiet: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut paths: Vec<String> = Vec::new();
     let mut threshold_percent = 0.0f64;
+    let mut intersect = false;
     let mut quiet = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -49,26 +68,42 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     return Err(format!("--threshold must be >= 0, got {threshold_percent}"));
                 }
             }
+            "--intersect" => intersect = true,
             "--quiet" => quiet = true,
             flag if flag.starts_with("--") => return Err(format!("unknown option: {flag}")),
             path => paths.push(path.to_string()),
         }
     }
     let [a_path, b_path] = <[String; 2]>::try_from(paths)
-        .map_err(|got| format!("expected exactly 2 summary.csv paths, got {}", got.len()))?;
+        .map_err(|got| format!("expected exactly 2 inputs, got {}", got.len()))?;
     Ok(Some(Options {
         a_path,
         b_path,
         threshold_percent,
+        intersect,
         quiet,
     }))
 }
 
+/// Load one input as rendered summary.csv text: read the file directly, or
+/// scan + summarize a result store directory in memory.
+fn load_summary(path_str: &str) -> Result<String, String> {
+    let path = Path::new(path_str);
+    if path.is_dir() {
+        let scanner = StoreScanner::open(path)?;
+        let mut rows = Vec::new();
+        scanner.scan(&RowFilter::default(), |row| {
+            rows.push(row.clone());
+            Ok(ScanFlow::Continue)
+        })?;
+        return Ok(render_summary_csv(&summarize(&rows)));
+    }
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path_str}: {e}"))
+}
+
 fn run(options: &Options) -> Result<bool, String> {
-    let a = std::fs::read_to_string(&options.a_path)
-        .map_err(|e| format!("cannot read {}: {e}", options.a_path))?;
-    let b = std::fs::read_to_string(&options.b_path)
-        .map_err(|e| format!("cannot read {}: {e}", options.b_path))?;
+    let a = load_summary(&options.a_path)?;
+    let b = load_summary(&options.b_path)?;
     let report = diff_summary_csv(&a, &b)?;
     let breaches = report.breaches(options.threshold_percent);
     if options.quiet {
@@ -83,7 +118,7 @@ fn run(options: &Options) -> Result<bool, String> {
                 options.threshold_percent
             );
         }
-        if !report.grid_matches() {
+        if !report.grid_matches() && !options.intersect {
             println!(
                 "grid mismatch: {} rows only in A, {} only in B",
                 report.only_in_a.len(),
@@ -93,6 +128,9 @@ fn run(options: &Options) -> Result<bool, String> {
     } else {
         print!("{}", report.render(options.threshold_percent));
     }
+    if options.intersect {
+        print!("{}", report.coverage_summary());
+    }
     eprintln!(
         "compared {} rows: {} metric deltas, {} beyond {}% threshold{}",
         report.compared_rows,
@@ -101,11 +139,20 @@ fn run(options: &Options) -> Result<bool, String> {
         options.threshold_percent,
         if report.grid_matches() {
             ""
+        } else if options.intersect {
+            " (partial grids, intersect mode)"
         } else {
             " (GRID MISMATCH)"
         },
     );
-    Ok(report.grid_matches() && breaches.is_empty())
+    let grid_ok = if options.intersect {
+        // Comparing nothing proves nothing — an empty intersection is a
+        // failure, not a vacuous pass.
+        report.compared_rows > 0
+    } else {
+        report.grid_matches()
+    };
+    Ok(grid_ok && breaches.is_empty())
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,923 @@
+//! Schema v3: the binary columnar partition codec (`cells/part-NNNN.apc`).
+//!
+//! A v3 partition file is a sequence of self-contained **blocks**. The live
+//! executor appends one single-row block per finished cell — the file stays
+//! append-only, so the crash-safety story is exactly the CSV store's (a
+//! torn tail fails its checksum and is dropped, never trusted) — and
+//! `campaign compact` rewrites a store into one wide block per partition,
+//! where the columnar layout, the shared dictionaries and the per-block
+//! zone maps pay off.
+//!
+//! Block layout (all integers little-endian):
+//!
+//! ```text
+//! 0             magic "APC3"
+//! 4             block_len: u32     total block size, magic through checksum
+//! 8             row_count: u32
+//! 12            cols_offset: u32   where the column arrays start
+//! 16            dictionaries       6 string columns × [count: u32,
+//!                                  count × (len: u32, utf-8 bytes)]
+//! cols_offset   column arrays      7 × u64 ints, 9 × u64 float bits,
+//!                                  6 × u32 dictionary codes, 1 × u8 flags
+//! …             zone maps          (min, max) per numeric column
+//! block_len-8   checksum: u64      FNV-1a over the preceding block bytes
+//!                                  as LE u64 words (zero-padded tail)
+//! ```
+//!
+//! Floats are stored as raw `f64` bit patterns, so every value — including
+//! NaN — round-trips exactly and the rendered CSV/JSON exports are
+//! byte-identical whether the rows come from a v2 or a v3 store. The
+//! reader parses a fully-read buffer in place: filters are resolved to
+//! dictionary codes once per block and evaluated as integer compares, the
+//! zone maps (and, for strings, dictionary membership) prove whole blocks
+//! can hold no matching row before any column is decoded, and only
+//! matching rows are ever materialised as [`CellRow`]s.
+
+use std::fs;
+use std::path::Path;
+
+use crate::agg::CellRow;
+use crate::query::RowFilter;
+
+/// File extension of a v3 partition.
+pub const PART_EXT_V3: &str = "apc";
+
+const MAGIC: &[u8; 4] = b"APC3";
+const HEADER_BYTES: usize = 16;
+/// Fixed-width integer columns: index, racks, seed, launched, completed,
+/// killed, pending.
+const INT_COLS: usize = 7;
+const COL_INDEX: usize = 0;
+const COL_RACKS: usize = 1;
+const COL_SEED: usize = 2;
+/// Float columns (stored as bit patterns): load_factor, cap_percent,
+/// work_core_seconds, energy_joules, energy_normalized,
+/// launched_jobs_normalized, work_normalized, mean_wait_seconds,
+/// peak_power_watts.
+const FLOAT_COLS: usize = 9;
+const FCOL_LOAD: usize = 0;
+/// Dictionary-encoded string columns: workload, scenario, window, policy,
+/// grouping, decision_rule.
+const DICT_COLS: usize = 6;
+const DCOL_WORKLOAD: usize = 0;
+const DCOL_SCENARIO: usize = 1;
+const DCOL_WINDOW: usize = 2;
+const DCOL_POLICY: usize = 3;
+/// Bytes per row across all column arrays.
+const ROW_BYTES: usize = INT_COLS * 8 + FLOAT_COLS * 8 + DICT_COLS * 4 + 1;
+/// Bytes of the zone-map section: (min, max) per numeric column.
+const ZONE_BYTES: usize = (INT_COLS + FLOAT_COLS) * 16;
+/// The smallest structurally possible block (empty dictionaries, no rows).
+const MIN_BLOCK_BYTES: usize = HEADER_BYTES + DICT_COLS * 4 + ZONE_BYTES + 8;
+/// Row flag bit: the seed column holds a value (vs. a fixed-trace row).
+const FLAG_SEED_PRESENT: u8 = 1;
+
+/// 64-bit FNV-1a over `bytes` taken as little-endian u64 words (the tail
+/// zero-padded to a full word) — the block checksum.
+///
+/// Word-wise rather than the classic byte-wise FNV: one xor-multiply per 8
+/// bytes instead of per byte, which matters because every scan validates
+/// every block it reads and the multiply chain is strictly serial. The
+/// xor-then-odd-multiply step is a bijection on u64, so any change to any
+/// single word still changes the hash; the zero-padding is unambiguous
+/// because the checksummed bytes start with the block's own `block_len`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        hash ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut word = [0u8; 8];
+        word[..tail.len()].copy_from_slice(tail);
+        hash ^= u64::from_le_bytes(word);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn int_fields(row: &CellRow) -> [u64; INT_COLS] {
+    [
+        row.index as u64,
+        row.racks as u64,
+        row.seed.unwrap_or(0),
+        row.launched_jobs as u64,
+        row.completed_jobs as u64,
+        row.killed_jobs as u64,
+        row.pending_jobs as u64,
+    ]
+}
+
+fn float_fields(row: &CellRow) -> [f64; FLOAT_COLS] {
+    [
+        row.load_factor,
+        row.cap_percent,
+        row.work_core_seconds,
+        row.energy_joules,
+        row.energy_normalized,
+        row.launched_jobs_normalized,
+        row.work_normalized,
+        row.mean_wait_seconds,
+        row.peak_power_watts,
+    ]
+}
+
+fn dict_fields(row: &CellRow) -> [&str; DICT_COLS] {
+    [
+        &row.workload,
+        &row.scenario,
+        &row.window,
+        &row.policy,
+        &row.grouping,
+        &row.decision_rule,
+    ]
+}
+
+/// Encode `rows` as one self-contained v3 block.
+///
+/// Dictionaries are built in first-occurrence order, numeric zone maps are
+/// computed over the rows (seed over present seeds only, floats over
+/// non-NaN values only), and the trailing checksum covers every preceding
+/// byte, so a write torn anywhere inside the block is detected on read.
+pub fn encode_block(rows: &[CellRow]) -> Vec<u8> {
+    assert!(
+        u32::try_from(rows.len()).is_ok(),
+        "a block holds at most u32::MAX rows"
+    );
+    let n = rows.len();
+    // Dictionaries in first-occurrence order. Labels per block are few
+    // (policies, scenarios, …), so linear probing beats hashing here.
+    let mut dicts: [Vec<&str>; DICT_COLS] = Default::default();
+    let mut codes = vec![[0u32; DICT_COLS]; n];
+    for (r, row) in rows.iter().enumerate() {
+        for (c, value) in dict_fields(row).into_iter().enumerate() {
+            let code = match dicts[c].iter().position(|v| *v == value) {
+                Some(i) => i,
+                None => {
+                    dicts[c].push(value);
+                    dicts[c].len() - 1
+                }
+            };
+            codes[r][c] = code as u32;
+        }
+    }
+    let dict_bytes: usize = dicts
+        .iter()
+        .map(|d| 4 + d.iter().map(|v| 4 + v.len()).sum::<usize>())
+        .sum();
+    let cols_offset = HEADER_BYTES + dict_bytes;
+    let block_len = cols_offset + n * ROW_BYTES + ZONE_BYTES + 8;
+    let mut out = Vec::with_capacity(block_len);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(block_len as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&(cols_offset as u32).to_le_bytes());
+    for dict in &dicts {
+        out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+        for v in dict {
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v.as_bytes());
+        }
+    }
+    let mut int_zones = [(u64::MAX, 0u64); INT_COLS];
+    for (c, zone) in int_zones.iter_mut().enumerate() {
+        for row in rows {
+            let v = int_fields(row)[c];
+            out.extend_from_slice(&v.to_le_bytes());
+            if c != COL_SEED || row.seed.is_some() {
+                zone.0 = zone.0.min(v);
+                zone.1 = zone.1.max(v);
+            }
+        }
+    }
+    let mut float_zones = [(f64::INFINITY, f64::NEG_INFINITY); FLOAT_COLS];
+    for (c, zone) in float_zones.iter_mut().enumerate() {
+        for row in rows {
+            let v = float_fields(row)[c];
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+            if !v.is_nan() {
+                zone.0 = zone.0.min(v);
+                zone.1 = zone.1.max(v);
+            }
+        }
+    }
+    for c in 0..DICT_COLS {
+        for code in &codes {
+            out.extend_from_slice(&code[c].to_le_bytes());
+        }
+    }
+    for row in rows {
+        out.push(if row.seed.is_some() {
+            FLAG_SEED_PRESENT
+        } else {
+            0
+        });
+    }
+    for (lo, hi) in int_zones {
+        out.extend_from_slice(&lo.to_le_bytes());
+        out.extend_from_slice(&hi.to_le_bytes());
+    }
+    for (lo, hi) in float_zones {
+        out.extend_from_slice(&lo.to_bits().to_le_bytes());
+        out.extend_from_slice(&hi.to_bits().to_le_bytes());
+    }
+    debug_assert_eq!(out.len(), block_len - 8);
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// One parsed block: offsets into the partition buffer.
+#[derive(Debug)]
+struct BlockMeta {
+    /// Row count.
+    rows: usize,
+    /// Absolute offset of the column arrays.
+    cols: usize,
+    /// Absolute offset of the zone-map section.
+    zone: usize,
+    /// Per dictionary column: the decoded entries. Materialised at parse
+    /// time (dictionaries are tiny — a handful of entries per block) so
+    /// per-row string access is a plain indexed borrow with no repeated
+    /// UTF-8 validation on the hot decode path.
+    dicts: [Vec<String>; DICT_COLS],
+}
+
+/// A fully-read v3 partition file, scanned in place.
+///
+/// [`parse`](PartitionBuf::parse) walks the buffer block by block; the
+/// first block that fails framing, structure, UTF-8 or checksum validation
+/// ends the trusted region (an append-only file can only be torn at its
+/// tail), and everything after it is ignored — the binary equivalent of
+/// skipping a torn CSV line.
+#[derive(Debug)]
+pub struct PartitionBuf {
+    data: Vec<u8>,
+    blocks: Vec<BlockMeta>,
+    trusted_len: usize,
+}
+
+/// A [`RowFilter`] resolved against one block: string criteria become
+/// dictionary codes, so per-row evaluation is pure integer compares.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedRowFilter {
+    workload: Option<u32>,
+    scenario: Option<u32>,
+    window: Option<u32>,
+    policy: Option<u32>,
+    seed: Option<u64>,
+    load_bits: Option<u64>,
+    racks: Option<u64>,
+}
+
+impl ResolvedRowFilter {
+    /// No populated criterion: every row passes, so a scan can skip the
+    /// per-row [`PartitionBuf::matches`] calls for this block entirely.
+    pub(crate) fn is_unconstrained(&self) -> bool {
+        self.workload.is_none()
+            && self.scenario.is_none()
+            && self.window.is_none()
+            && self.policy.is_none()
+            && self.seed.is_none()
+            && self.load_bits.is_none()
+            && self.racks.is_none()
+    }
+}
+
+fn u32_le(data: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_le(data: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Parse the block starting at `start`; `None` when it is torn, truncated
+/// or corrupted (checksum mismatch).
+fn parse_block(data: &[u8], start: usize) -> Option<BlockMeta> {
+    let header = data.get(start..start.checked_add(HEADER_BYTES)?)?;
+    if &header[0..4] != MAGIC {
+        return None;
+    }
+    let block_len = u32_le(header, 4) as usize;
+    let rows = u32_le(header, 8) as usize;
+    let cols_rel = u32_le(header, 12) as usize;
+    let end = start.checked_add(block_len)?;
+    if block_len < MIN_BLOCK_BYTES || end > data.len() {
+        return None;
+    }
+    // The column arrays, zone maps and checksum have fixed sizes, so the
+    // whole layout is checkable from the header alone.
+    if cols_rel < HEADER_BYTES
+        || cols_rel
+            .checked_add(rows.checked_mul(ROW_BYTES)?)?
+            .checked_add(ZONE_BYTES + 8)?
+            != block_len
+    {
+        return None;
+    }
+    let sum = u64_le(data, end - 8);
+    if fnv1a(&data[start..end - 8]) != sum {
+        return None;
+    }
+    // Dictionary section: must end exactly where the columns start, every
+    // entry must be valid UTF-8, and every code in the code columns must
+    // index into its dictionary — validated once here so the accessors are
+    // infallible.
+    let dict_end = start + cols_rel;
+    let mut pos = start + HEADER_BYTES;
+    let mut dicts: [Vec<String>; DICT_COLS] = Default::default();
+    for dict in dicts.iter_mut() {
+        if pos + 4 > dict_end {
+            return None;
+        }
+        let count = u32_le(data, pos) as usize;
+        pos += 4;
+        for _ in 0..count {
+            if pos + 4 > dict_end {
+                return None;
+            }
+            let len = u32_le(data, pos) as usize;
+            pos += 4;
+            if pos.checked_add(len)? > dict_end {
+                return None;
+            }
+            dict.push(std::str::from_utf8(&data[pos..pos + len]).ok()?.to_string());
+            pos += len;
+        }
+    }
+    if pos != dict_end {
+        return None;
+    }
+    let codes_base = dict_end + (INT_COLS + FLOAT_COLS) * 8 * rows;
+    for (c, dict) in dicts.iter().enumerate() {
+        for r in 0..rows {
+            if u32_le(data, codes_base + (c * rows + r) * 4) as usize >= dict.len() {
+                return None;
+            }
+        }
+    }
+    Some(BlockMeta {
+        rows,
+        cols: dict_end,
+        zone: end - 8 - ZONE_BYTES,
+        dicts,
+    })
+}
+
+impl PartitionBuf {
+    /// Parse a partition buffer. Never fails: an invalid or torn block ends
+    /// the trusted region and everything before it stays readable.
+    pub fn parse(data: Vec<u8>) -> Self {
+        let mut blocks = Vec::new();
+        let mut pos = 0usize;
+        while let Some(meta) = parse_block(&data, pos) {
+            pos = meta.zone + ZONE_BYTES + 8;
+            blocks.push(meta);
+        }
+        PartitionBuf {
+            data,
+            blocks,
+            trusted_len: pos,
+        }
+    }
+
+    /// Read and parse a partition file.
+    pub fn read(path: &Path) -> Result<Self, String> {
+        let data = fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Ok(Self::parse(data))
+    }
+
+    /// Number of intact blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Rows in block `b`.
+    pub fn block_rows(&self, b: usize) -> usize {
+        self.blocks[b].rows
+    }
+
+    /// Total rows across all intact blocks.
+    pub fn total_rows(&self) -> usize {
+        self.blocks.iter().map(|m| m.rows).sum()
+    }
+
+    /// Byte length of the trusted prefix — where a crashed append tore the
+    /// file. The writer truncates to this before appending again, so the
+    /// next block is reachable.
+    pub fn trusted_len(&self) -> usize {
+        self.trusted_len
+    }
+
+    fn int_value(&self, b: usize, col: usize, r: usize) -> u64 {
+        let m = &self.blocks[b];
+        u64_le(&self.data, m.cols + (col * m.rows + r) * 8)
+    }
+
+    fn float_value(&self, b: usize, col: usize, r: usize) -> f64 {
+        let m = &self.blocks[b];
+        f64::from_bits(u64_le(
+            &self.data,
+            m.cols + ((INT_COLS + col) * m.rows + r) * 8,
+        ))
+    }
+
+    fn dict_code(&self, b: usize, col: usize, r: usize) -> u32 {
+        let m = &self.blocks[b];
+        let base = m.cols + (INT_COLS + FLOAT_COLS) * 8 * m.rows;
+        u32_le(&self.data, base + (col * m.rows + r) * 4)
+    }
+
+    fn flags(&self, b: usize, r: usize) -> u8 {
+        let m = &self.blocks[b];
+        self.data[m.cols + (INT_COLS + FLOAT_COLS) * 8 * m.rows + DICT_COLS * 4 * m.rows + r]
+    }
+
+    fn dict_str(&self, b: usize, col: usize, code: u32) -> &str {
+        &self.blocks[b].dicts[col][code as usize]
+    }
+
+    fn int_zone(&self, b: usize, col: usize) -> (u64, u64) {
+        let off = self.blocks[b].zone + col * 16;
+        (u64_le(&self.data, off), u64_le(&self.data, off + 8))
+    }
+
+    fn float_zone(&self, b: usize, col: usize) -> (f64, f64) {
+        let off = self.blocks[b].zone + (INT_COLS + col) * 16;
+        (
+            f64::from_bits(u64_le(&self.data, off)),
+            f64::from_bits(u64_le(&self.data, off + 8)),
+        )
+    }
+
+    /// The cell index of row `r` in block `b` — the only column the scanner
+    /// touches for rows it never decodes.
+    pub fn cell_index(&self, b: usize, r: usize) -> usize {
+        self.int_value(b, COL_INDEX, r) as usize
+    }
+
+    /// Resolve `filter` against block `b`'s dictionaries and zone maps.
+    ///
+    /// `None` proves **no row of the block can match**: a string criterion
+    /// absent from the block's dictionary, or a numeric criterion outside
+    /// the column's (min, max) zone. The conjunctive filter semantics make
+    /// any single failing criterion sufficient.
+    pub(crate) fn resolve_filter(&self, b: usize, filter: &RowFilter) -> Option<ResolvedRowFilter> {
+        let find = |col: usize, needle: &str| -> Option<u32> {
+            self.blocks[b].dicts[col]
+                .iter()
+                .position(|entry| entry == needle)
+                .map(|i| i as u32)
+        };
+        let workload = match &filter.workload {
+            None => None,
+            Some(w) => Some(find(DCOL_WORKLOAD, w)?),
+        };
+        let scenario = match &filter.scenario {
+            None => None,
+            Some(s) => Some(find(DCOL_SCENARIO, s)?),
+        };
+        let window = match &filter.window {
+            None => None,
+            Some(w) => Some(find(DCOL_WINDOW, w)?),
+        };
+        let policy = match &filter.policy {
+            None => None,
+            Some(p) => Some(find(DCOL_POLICY, p)?),
+        };
+        if let Some(r) = filter.racks {
+            let (lo, hi) = self.int_zone(b, COL_RACKS);
+            if lo > hi || (r as u64) < lo || (r as u64) > hi {
+                return None;
+            }
+        }
+        if let Some(s) = filter.seed {
+            // The seed zone covers only rows whose seed is present; an
+            // all-fixed-trace block has the empty (MAX, 0) zone.
+            let (lo, hi) = self.int_zone(b, COL_SEED);
+            if lo > hi || s < lo || s > hi {
+                return None;
+            }
+        }
+        if let Some(l) = filter.load_factor {
+            // Load filters match by bit pattern; the zone map orders real
+            // values, so it can only prune finite (non-NaN) criteria.
+            if !l.is_nan() {
+                let (lo, hi) = self.float_zone(b, FCOL_LOAD);
+                if !(lo <= l && l <= hi) {
+                    return None;
+                }
+            }
+        }
+        Some(ResolvedRowFilter {
+            workload,
+            scenario,
+            window,
+            policy,
+            seed: filter.seed,
+            load_bits: filter.load_factor.map(f64::to_bits),
+            racks: filter.racks.map(|r| r as u64),
+        })
+    }
+
+    /// Does row `r` of block `b` pass the resolved filter? Equivalent to
+    /// [`RowFilter::matches`] on the decoded row, without decoding it.
+    pub(crate) fn matches(&self, b: usize, r: usize, rf: &ResolvedRowFilter) -> bool {
+        rf.workload
+            .is_none_or(|c| self.dict_code(b, DCOL_WORKLOAD, r) == c)
+            && rf
+                .scenario
+                .is_none_or(|c| self.dict_code(b, DCOL_SCENARIO, r) == c)
+            && rf
+                .window
+                .is_none_or(|c| self.dict_code(b, DCOL_WINDOW, r) == c)
+            && rf
+                .policy
+                .is_none_or(|c| self.dict_code(b, DCOL_POLICY, r) == c)
+            && rf.seed.is_none_or(|s| {
+                self.flags(b, r) & FLAG_SEED_PRESENT != 0 && self.int_value(b, COL_SEED, r) == s
+            })
+            && rf
+                .load_bits
+                .is_none_or(|bits| self.float_value(b, FCOL_LOAD, r).to_bits() == bits)
+            && rf
+                .racks
+                .is_none_or(|k| self.int_value(b, COL_RACKS, r) == k)
+    }
+
+    /// Decode row `r` of block `b` into `row`, reusing its string buffers.
+    pub fn decode_into(&self, b: usize, r: usize, row: &mut CellRow) {
+        row.index = self.int_value(b, COL_INDEX, r) as usize;
+        row.racks = self.int_value(b, COL_RACKS, r) as usize;
+        row.seed =
+            (self.flags(b, r) & FLAG_SEED_PRESENT != 0).then(|| self.int_value(b, COL_SEED, r));
+        row.launched_jobs = self.int_value(b, 3, r) as usize;
+        row.completed_jobs = self.int_value(b, 4, r) as usize;
+        row.killed_jobs = self.int_value(b, 5, r) as usize;
+        row.pending_jobs = self.int_value(b, 6, r) as usize;
+        row.load_factor = self.float_value(b, 0, r);
+        row.cap_percent = self.float_value(b, 1, r);
+        row.work_core_seconds = self.float_value(b, 2, r);
+        row.energy_joules = self.float_value(b, 3, r);
+        row.energy_normalized = self.float_value(b, 4, r);
+        row.launched_jobs_normalized = self.float_value(b, 5, r);
+        row.work_normalized = self.float_value(b, 6, r);
+        row.mean_wait_seconds = self.float_value(b, 7, r);
+        row.peak_power_watts = self.float_value(b, 8, r);
+        // Skip the copy when the reused buffer already holds the value —
+        // dictionary columns repeat heavily, so across a scan this is the
+        // common case and the equality probe is cheaper than the write.
+        let set = |dst: &mut String, src: &str| {
+            if dst != src {
+                dst.clear();
+                dst.push_str(src);
+            }
+        };
+        set(
+            &mut row.workload,
+            self.dict_str(b, DCOL_WORKLOAD, self.dict_code(b, DCOL_WORKLOAD, r)),
+        );
+        set(
+            &mut row.scenario,
+            self.dict_str(b, DCOL_SCENARIO, self.dict_code(b, DCOL_SCENARIO, r)),
+        );
+        set(
+            &mut row.window,
+            self.dict_str(b, DCOL_WINDOW, self.dict_code(b, DCOL_WINDOW, r)),
+        );
+        set(
+            &mut row.policy,
+            self.dict_str(b, DCOL_POLICY, self.dict_code(b, DCOL_POLICY, r)),
+        );
+        set(
+            &mut row.grouping,
+            self.dict_str(b, 4, self.dict_code(b, 4, r)),
+        );
+        set(
+            &mut row.decision_rule,
+            self.dict_str(b, 5, self.dict_code(b, 5, r)),
+        );
+    }
+
+    /// Decode row `r` of block `b` as a fresh [`CellRow`].
+    pub fn decode(&self, b: usize, r: usize) -> CellRow {
+        let mut row = blank_row();
+        self.decode_into(b, r, &mut row);
+        row
+    }
+
+    /// Decode every row of every intact block, in file order. Duplicate and
+    /// untrusted-row filtering is the caller's job, exactly as with CSV
+    /// partition lines.
+    pub fn decode_all(&self) -> Vec<CellRow> {
+        let mut rows = Vec::with_capacity(self.total_rows());
+        for b in 0..self.block_count() {
+            for r in 0..self.block_rows(b) {
+                rows.push(self.decode(b, r));
+            }
+        }
+        rows
+    }
+}
+
+/// A zero-valued scratch row for [`PartitionBuf::decode_into`].
+pub(crate) fn blank_row() -> CellRow {
+    CellRow {
+        index: 0,
+        racks: 0,
+        workload: String::new(),
+        seed: None,
+        load_factor: 0.0,
+        scenario: String::new(),
+        window: String::new(),
+        policy: String::new(),
+        cap_percent: 0.0,
+        grouping: String::new(),
+        decision_rule: String::new(),
+        launched_jobs: 0,
+        completed_jobs: 0,
+        killed_jobs: 0,
+        pending_jobs: 0,
+        work_core_seconds: 0.0,
+        energy_joules: 0.0,
+        energy_normalized: 0.0,
+        launched_jobs_normalized: 0.0,
+        work_normalized: 0.0,
+        mean_wait_seconds: 0.0,
+        peak_power_watts: 0.0,
+    }
+}
+
+/// Field-by-field equality with floats compared by bit pattern (so NaN
+/// payloads count) — the round-trip contract of the codec. Test helper.
+pub fn rows_bit_identical(a: &CellRow, b: &CellRow) -> bool {
+    a.index == b.index
+        && a.racks == b.racks
+        && a.workload == b.workload
+        && a.seed == b.seed
+        && a.load_factor.to_bits() == b.load_factor.to_bits()
+        && a.scenario == b.scenario
+        && a.window == b.window
+        && a.policy == b.policy
+        && a.cap_percent.to_bits() == b.cap_percent.to_bits()
+        && a.grouping == b.grouping
+        && a.decision_rule == b.decision_rule
+        && a.launched_jobs == b.launched_jobs
+        && a.completed_jobs == b.completed_jobs
+        && a.killed_jobs == b.killed_jobs
+        && a.pending_jobs == b.pending_jobs
+        && a.work_core_seconds.to_bits() == b.work_core_seconds.to_bits()
+        && a.energy_joules.to_bits() == b.energy_joules.to_bits()
+        && a.energy_normalized.to_bits() == b.energy_normalized.to_bits()
+        && a.launched_jobs_normalized.to_bits() == b.launched_jobs_normalized.to_bits()
+        && a.work_normalized.to_bits() == b.work_normalized.to_bits()
+        && a.mean_wait_seconds.to_bits() == b.mean_wait_seconds.to_bits()
+        && a.peak_power_watts.to_bits() == b.peak_power_watts.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(index: usize) -> CellRow {
+        CellRow {
+            index,
+            racks: 1 + index % 3,
+            workload: if index.is_multiple_of(2) {
+                "medianjob"
+            } else {
+                "24h"
+            }
+            .into(),
+            seed: (!index.is_multiple_of(5)).then_some(2012 + index as u64),
+            load_factor: if index.is_multiple_of(7) {
+                f64::NAN
+            } else {
+                1.8
+            },
+            scenario: format!("{}%/SHUT", 40 + 20 * (index % 3)),
+            window: "7200+3600".into(),
+            policy: "shut".into(),
+            cap_percent: 60.0,
+            grouping: "grouped".into(),
+            decision_rule: "paper-rho".into(),
+            launched_jobs: 10 + index,
+            completed_jobs: 9,
+            killed_jobs: 0,
+            pending_jobs: 1,
+            work_core_seconds: 0.1 + index as f64 / 3.0,
+            energy_joules: 1e9 / 7.0,
+            energy_normalized: 0.5,
+            launched_jobs_normalized: 0.25,
+            work_normalized: 0.125,
+            mean_wait_seconds: if index.is_multiple_of(2) {
+                12.5
+            } else {
+                f64::NAN
+            },
+            peak_power_watts: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let rows: Vec<CellRow> = (0..40).map(row).collect();
+        let block = encode_block(&rows);
+        let buf = PartitionBuf::parse(block);
+        assert_eq!(buf.block_count(), 1);
+        assert_eq!(buf.block_rows(0), 40);
+        assert_eq!(buf.trusted_len(), buf.data.len());
+        for (r, original) in rows.iter().enumerate() {
+            let decoded = buf.decode(0, r);
+            assert!(
+                rows_bit_identical(original, &decoded),
+                "row {r}: {original:?} vs {decoded:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_appended_blocks_parse_as_a_sequence() {
+        let mut data = Vec::new();
+        for i in 0..5 {
+            data.extend_from_slice(&encode_block(std::slice::from_ref(&row(i))));
+        }
+        let buf = PartitionBuf::parse(data);
+        assert_eq!(buf.block_count(), 5);
+        assert_eq!(buf.total_rows(), 5);
+        for b in 0..5 {
+            assert!(rows_bit_identical(&row(b), &buf.decode(b, 0)));
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_length_drops_only_the_torn_tail() {
+        let first = encode_block(&[row(0), row(1)]);
+        let second = encode_block(&[row(2)]);
+        let full: Vec<u8> = [first.clone(), second].concat();
+        for keep in 0..full.len() {
+            let buf = PartitionBuf::parse(full[..keep].to_vec());
+            if keep < first.len() {
+                assert_eq!(buf.block_count(), 0, "torn first block at {keep}");
+                assert_eq!(buf.trusted_len(), 0);
+            } else if keep < full.len() {
+                assert_eq!(buf.block_count(), 1, "torn second block at {keep}");
+                assert_eq!(buf.trusted_len(), first.len());
+                assert!(rows_bit_identical(&row(1), &buf.decode(0, 1)));
+            }
+        }
+        assert_eq!(PartitionBuf::parse(full).block_count(), 2);
+    }
+
+    #[test]
+    fn corruption_anywhere_fails_the_checksum() {
+        let block = encode_block(&[row(0), row(1), row(2)]);
+        // Flip one bit at a sample of positions across the block: header,
+        // dictionaries, columns, zone maps and checksum itself.
+        for pos in (0..block.len()).step_by(7) {
+            let mut bad = block.clone();
+            bad[pos] ^= 0x10;
+            let buf = PartitionBuf::parse(bad);
+            assert_eq!(buf.block_count(), 0, "corruption at byte {pos} accepted");
+        }
+    }
+
+    #[test]
+    fn zone_maps_prune_blocks_that_cannot_match() {
+        let rows: Vec<CellRow> = (0..10).map(row).collect();
+        let buf = PartitionBuf::parse(encode_block(&rows));
+        // Present label resolves; absent label proves no match.
+        let hit = RowFilter {
+            workload: Some("medianjob".into()),
+            ..RowFilter::default()
+        };
+        assert!(buf.resolve_filter(0, &hit).is_some());
+        let miss = RowFilter {
+            workload: Some("bigjob".into()),
+            ..RowFilter::default()
+        };
+        assert!(buf.resolve_filter(0, &miss).is_none());
+        // Numeric zones: racks ∈ [1, 3], seeds ∈ [2013, 2021], load 1.8.
+        for (filter, expect) in [
+            (
+                RowFilter {
+                    racks: Some(2),
+                    ..RowFilter::default()
+                },
+                true,
+            ),
+            (
+                RowFilter {
+                    racks: Some(9),
+                    ..RowFilter::default()
+                },
+                false,
+            ),
+            (
+                RowFilter {
+                    seed: Some(2013),
+                    ..RowFilter::default()
+                },
+                true,
+            ),
+            (
+                RowFilter {
+                    seed: Some(1),
+                    ..RowFilter::default()
+                },
+                false,
+            ),
+            (
+                RowFilter {
+                    load_factor: Some(1.8),
+                    ..RowFilter::default()
+                },
+                true,
+            ),
+            (
+                RowFilter {
+                    load_factor: Some(2.5),
+                    ..RowFilter::default()
+                },
+                false,
+            ),
+        ] {
+            assert_eq!(
+                buf.resolve_filter(0, &filter).is_some(),
+                expect,
+                "{filter:?}"
+            );
+        }
+        // An all-fixed-trace block has an empty seed zone: any seed filter
+        // prunes it.
+        let mut fixed = row(1);
+        fixed.seed = None;
+        let buf = PartitionBuf::parse(encode_block(&[fixed]));
+        let by_seed = RowFilter {
+            seed: Some(0),
+            ..RowFilter::default()
+        };
+        assert!(buf.resolve_filter(0, &by_seed).is_none());
+    }
+
+    #[test]
+    fn resolved_matches_agrees_with_row_filter_matches() {
+        let rows: Vec<CellRow> = (0..20).map(row).collect();
+        let buf = PartitionBuf::parse(encode_block(&rows));
+        let filters = [
+            RowFilter::default(),
+            RowFilter {
+                workload: Some("24h".into()),
+                ..RowFilter::default()
+            },
+            RowFilter {
+                seed: Some(2015),
+                racks: Some(1),
+                ..RowFilter::default()
+            },
+            RowFilter {
+                load_factor: Some(1.8),
+                policy: Some("shut".into()),
+                ..RowFilter::default()
+            },
+            RowFilter {
+                scenario: Some("60%/SHUT".into()),
+                window: Some("7200+3600".into()),
+                ..RowFilter::default()
+            },
+        ];
+        for filter in &filters {
+            match buf.resolve_filter(0, filter) {
+                Some(rf) => {
+                    for (r, original) in rows.iter().enumerate() {
+                        assert_eq!(
+                            buf.matches(0, r, &rf),
+                            filter.matches(original),
+                            "row {r} under {filter:?}"
+                        );
+                    }
+                }
+                None => {
+                    assert!(
+                        rows.iter().all(|r| !filter.matches(r)),
+                        "pruned block contains a matching row for {filter:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_bytes_parse_as_zero_blocks() {
+        assert_eq!(PartitionBuf::parse(Vec::new()).block_count(), 0);
+        assert_eq!(
+            PartitionBuf::parse(b"not a partition".to_vec()).block_count(),
+            0
+        );
+        let csvish = b"index,racks,workload\n1,2,medianjob\n".to_vec();
+        assert_eq!(PartitionBuf::parse(csvish).block_count(), 0);
+    }
+}

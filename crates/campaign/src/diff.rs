@@ -10,6 +10,9 @@
 //!
 //! The `campaign-diff` binary is a thin CLI over this module: exit 0 when
 //! the grids match and no delta breaches the threshold, exit 1 otherwise.
+//! With `--intersect` the grids may legitimately differ (e.g. a smoke
+//! subset against the full campaign): only the common subgrid is judged
+//! and [`DiffReport::coverage_summary`] reports what was left out.
 
 use std::collections::BTreeMap;
 
@@ -107,6 +110,23 @@ impl DiffReport {
     /// Do the two files cover exactly the same grid rows?
     pub fn grid_matches(&self) -> bool {
         self.only_in_a.is_empty() && self.only_in_b.is_empty()
+    }
+
+    /// One-line coverage summary for intersect-mode diffs: how much of each
+    /// grid was actually compared.
+    ///
+    /// Intersect mode (`campaign-diff --intersect`) deliberately compares
+    /// partial grids — e.g. a full campaign against a cheap smoke subset —
+    /// so "rows only in A" is expected, not an error. This line keeps the
+    /// asymmetry visible so a diff that silently compared 3 of 3000 rows
+    /// can't masquerade as a clean full-grid pass.
+    pub fn coverage_summary(&self) -> String {
+        format!(
+            "coverage: {} common row(s); {} only in A, {} only in B\n",
+            self.compared_rows,
+            self.only_in_a.len(),
+            self.only_in_b.len()
+        )
     }
 
     /// Deltas whose relative change exceeds `threshold_percent` (including
@@ -338,6 +358,24 @@ mod tests {
         let rendered = report.render(0.0);
         assert!(rendered.contains("only in A"));
         assert!(rendered.contains("only in B"));
+    }
+
+    #[test]
+    fn coverage_summary_reports_the_compared_subgrid() {
+        let a = csv(&[row(0, "60%/SHUT", 10, 5.0), row(1, "40%/MIX", 8, 7.0)]);
+        let b = csv(&[row(0, "60%/SHUT", 10, 5.0), row(1, "80%/DVFS", 8, 7.0)]);
+        let report = diff_summary_csv(&a, &b).unwrap();
+        assert_eq!(
+            report.coverage_summary(),
+            "coverage: 1 common row(s); 1 only in A, 1 only in B\n"
+        );
+        // The common subgrid itself is clean: intersect mode would pass.
+        assert!(report.breaches(0.0).is_empty());
+        let full = diff_summary_csv(&a, &a).unwrap();
+        assert_eq!(
+            full.coverage_summary(),
+            "coverage: 2 common row(s); 0 only in A, 0 only in B\n"
+        );
     }
 
     #[test]

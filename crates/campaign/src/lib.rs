@@ -15,10 +15,12 @@
 //!   [`TraceCache`](apc_workload::TraceCache), worker-local harness reuse,
 //!   and **byte-identical results for any thread count**;
 //! * [`store`] — the append-only partitioned
-//!   [`ResultStore`](store::ResultStore) (`cells/part-NNNN.csv` plus a
-//!   manifest recording the spec fingerprint and completed cell indices)
-//!   that rows stream into as they finish, giving crash-safe campaigns
-//!   and `--resume`;
+//!   [`ResultStore`](store::ResultStore) (binary columnar
+//!   `cells/part-NNNN.apc` partitions — see [`colstore`] — plus a manifest
+//!   recording the spec fingerprint and completed cell indices) that rows
+//!   stream into as they finish, giving crash-safe campaigns and
+//!   `--resume`; v2 CSV stores stay readable and [`compact`] migrates
+//!   them;
 //! * [`agg`] — streaming reduction of each replay outcome to a flat
 //!   [`CellRow`](agg::CellRow) plus across-seed mean/min/max/stddev
 //!   [`SummaryRow`](agg::SummaryRow)s, without ever buffering whole
@@ -49,6 +51,8 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod colstore;
+pub mod compact;
 pub mod diff;
 pub mod exec;
 pub mod obs;
@@ -62,6 +66,8 @@ pub mod store;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::agg::{summarize, CellRow, MetricSummary, SummaryRow};
+    pub use crate::colstore::{encode_block, PartitionBuf};
+    pub use crate::compact::{compact_store, CompactStats};
     pub use crate::diff::{diff_summary_csv, DiffReport, MetricDelta};
     pub use crate::exec::{
         platform_for, CampaignOutcome, CampaignRunner, ExecStrategy, RunStats, WorkerStats,
@@ -70,8 +76,8 @@ pub mod prelude {
     pub use crate::pareto::{pareto_front, render_pareto_csv, Objectives, ParetoRow};
     pub use crate::progress::{render_progress, ProgressMonitor};
     pub use crate::query::{
-        numeric, project, scan_store, AggKind, GroupAggregator, RowFilter, StoreScanner,
-        DEFAULT_AGG_COLUMNS, NUMERIC_COLUMNS, QUERY_COLUMNS,
+        numeric, project, scan_store, AggKind, GroupAggregator, RowFilter, ScanFlow, ScanStats,
+        StoreScanner, DEFAULT_AGG_COLUMNS, NUMERIC_COLUMNS, QUERY_COLUMNS,
     };
     pub use crate::sink::{
         render_cells_csv, render_cells_json, render_summary_csv, render_summary_json, CampaignSink,
@@ -81,7 +87,7 @@ pub mod prelude {
         place_windows, CampaignCell, CampaignSpec, CellWorkload, TraceSource, WindowPlacement,
         WindowSet, SINGLE_PAPER_WINDOW,
     };
-    pub use crate::store::ResultStore;
+    pub use crate::store::{ResultStore, STORE_SCHEMA_V2, STORE_SCHEMA_VERSION};
 }
 
 pub use prelude::*;

@@ -4,21 +4,35 @@
 //! trusted row into memory — right for resuming, wrong for *inspecting* a
 //! huge campaign. The query path instead reads the manifest's completion
 //! log once and then streams the partition files **one at a time**, keeping
-//! only the current partition's rows resident: a million-cell store is
-//! filtered with the memory footprint of one 64-row partition plus the
-//! matches the caller retains.
+//! only the current partition resident: a million-cell store is filtered
+//! with the memory footprint of one partition plus the matches the caller
+//! retains.
 //!
-//! Duplicate records for a cell (a torn row followed by its rerun) resolve
-//! to the last parseable occurrence, exactly as the full loader does; this
-//! stays correct under streaming because a cell's records always live in
-//! the one partition its index maps to.
+//! On schema v3 partitions the scan never materialises non-matching rows at
+//! all: each block's [`RowFilter`] is resolved once against the block's
+//! dictionaries and zone maps ([`crate::colstore`]) — a partition every one
+//! of whose blocks provably holds no matching row is **skipped** without
+//! touching its column data, and within scanned blocks rows are matched by
+//! integer compares on the raw columns, decoding only the matches into a
+//! reused scratch row. v2 (CSV) partitions stream through the same
+//! [`StoreScanner`] with the original line parser. The callback steers the
+//! scan: returning [`ScanFlow::Stop`] ends it early (`--limit`), and the
+//! returned [`ScanStats`] report matches plus partitions scanned/skipped.
+//!
+//! Duplicate records for a cell (a torn record followed by its rerun)
+//! resolve to the last intact occurrence, exactly as the full loader does;
+//! this stays correct under streaming because a cell's records always live
+//! in the one partition its index maps to — and stays correct under
+//! zone-map skipping because skipping never changes *which* occurrence is
+//! last, only whether a partition provably contains no match at all.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::agg::CellRow;
-use crate::store::{sorted_part_paths, ParsedManifest, MANIFEST_NAME, PARTS_DIR};
+use crate::colstore::PartitionBuf;
+use crate::store::{is_v3_part, sorted_part_paths, ParsedManifest, MANIFEST_NAME, PARTS_DIR};
 
 /// A conjunctive row filter: every populated field must match.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -429,17 +443,47 @@ impl GroupAggregator {
     }
 }
 
+/// The scan callback's verdict: keep streaming or end the scan now.
+///
+/// `Stop` is how `campaign query --limit N` avoids reading partitions past
+/// the N-th match — the scan returns immediately with
+/// [`ScanStats::stopped_early`] set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanFlow {
+    /// Deliver the next matching row.
+    Continue,
+    /// End the scan after this row.
+    Stop,
+}
+
+/// What a [`StoreScanner::scan`] did: matches delivered and, on v3 stores,
+/// how much work the zone maps saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Rows that passed the filter and were delivered to the callback.
+    pub matched: usize,
+    /// Partitions whose records were actually read.
+    pub partitions_scanned: usize,
+    /// Partitions proven row-free for this filter by their blocks'
+    /// dictionaries/zone maps and skipped without reading column data
+    /// (always 0 on v2 CSV partitions, which carry no zone maps).
+    pub partitions_skipped: usize,
+    /// Did the callback end the scan with [`ScanFlow::Stop`]?
+    pub stopped_early: bool,
+}
+
 /// A validated handle for streaming reads of a store directory.
 ///
 /// [`open`](StoreScanner::open) parses the manifest up front — magic,
 /// schema version, completion log — exactly as
 /// [`ResultStore::open`](crate::store::ResultStore::open) does, so a v1
 /// store or a foreign directory is rejected *before* the caller produces
-/// any output; [`scan`](StoreScanner::scan) then streams the partitions.
+/// any output; [`scan`](StoreScanner::scan) then streams the partitions,
+/// dispatching per file on the v2 (CSV) or v3 (columnar) codec.
 #[derive(Debug)]
 pub struct StoreScanner {
     dir: PathBuf,
-    done: BTreeSet<usize>,
+    manifest: ParsedManifest,
 }
 
 impl StoreScanner {
@@ -449,46 +493,167 @@ impl StoreScanner {
         let manifest_path = dir.join(MANIFEST_NAME);
         let text = fs::read_to_string(&manifest_path)
             .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
-        let done = ParsedManifest::parse(&dir, &text)?.done;
-        Ok(StoreScanner { dir, done })
+        let manifest = ParsedManifest::parse(&dir, &text)?;
+        Ok(StoreScanner { dir, manifest })
     }
 
     /// Number of cells the completion log trusts.
     pub fn completed_count(&self) -> usize {
-        self.done.len()
+        self.manifest.done.len()
+    }
+
+    /// The campaign's total cell count, from the manifest header.
+    pub fn total_cells(&self) -> usize {
+        self.manifest.total_cells
+    }
+
+    /// The recorded spec fingerprint, from the manifest header.
+    pub fn spec_hash(&self) -> u64 {
+        self.manifest.spec_hash
+    }
+
+    /// The store's schema version (v2 text or v3 columnar).
+    pub fn schema(&self) -> u32 {
+        self.manifest.schema
+    }
+
+    /// Has every cell of the campaign been recorded?
+    pub fn is_complete(&self) -> bool {
+        self.manifest.done.len() == self.manifest.total_cells
     }
 
     /// Stream every trusted, filter-matching row to `on_row`, in cell-index
-    /// order, without ever holding more than one partition's rows in
-    /// memory. Returns the number of rows that matched.
+    /// order, without ever holding more than one partition in memory.
     pub fn scan(
         &self,
         filter: &RowFilter,
-        mut on_row: impl FnMut(&CellRow) -> Result<(), String>,
-    ) -> Result<usize, String> {
-        let mut matched = 0usize;
+        mut on_row: impl FnMut(&CellRow) -> Result<ScanFlow, String>,
+    ) -> Result<ScanStats, String> {
+        let mut stats = ScanStats::default();
+        let mut scratch = crate::colstore::blank_row();
+        // Flatten the manifest's completion set into a bit-per-cell lookup
+        // once per scan: the per-row trust check runs for every record of
+        // every partition, and an O(log n) set probe there dominates large
+        // scans.
+        let done_len = self
+            .manifest
+            .done
+            .iter()
+            .next_back()
+            .map_or(0, |&last| last + 1);
+        let mut done = vec![false; done_len];
+        for &idx in &self.manifest.done {
+            done[idx] = true;
+        }
+        let is_done = |idx: usize| idx < done.len() && done[idx];
         for (_, path) in sorted_part_paths(&self.dir.join(PARTS_DIR))? {
-            let text = fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            // Cells of one index always land in the same partition, so a
-            // per-partition map is enough to resolve duplicates to the last
-            // parseable record while streaming partition by partition.
-            let mut rows: BTreeMap<usize, CellRow> = BTreeMap::new();
-            for line in text.lines().skip(1) {
-                if let Ok(row) = CellRow::parse_store_line(line) {
-                    if self.done.contains(&row.index) {
-                        rows.insert(row.index, row);
+            if is_v3_part(&path) {
+                let buf = PartitionBuf::read(&path)?;
+                let blocks = buf.block_count();
+                if blocks == 0 {
+                    continue; // fully torn or empty file: nothing trusted
+                }
+                // Resolve the filter once per block: string criteria become
+                // dictionary codes, numeric criteria check the zone maps. A
+                // block that resolves to None provably holds no match.
+                let resolved: Vec<_> = (0..blocks).map(|b| buf.resolve_filter(b, filter)).collect();
+                if resolved.iter().all(|r| r.is_none()) {
+                    // Every block of this partition is proven row-free for
+                    // the filter: skip the partition without touching any
+                    // column data. (Unreachable for an empty filter, which
+                    // always resolves.)
+                    stats.partitions_skipped += 1;
+                    continue;
+                }
+                stats.partitions_scanned += 1;
+                // Cells of one index always land in the same partition, so
+                // last-wins duplicate resolution needs only the (block, row)
+                // of each index's final trusted occurrence — found by
+                // reading the index column alone. The common case (any
+                // compacted store, and every live store that never re-ran a
+                // cell) has strictly increasing indexes, which proves there
+                // are no duplicates and the file order *is* index order: emit
+                // directly, no dedup map. A last occurrence inside an
+                // unmatchable block still wins (and simply emits nothing),
+                // keeping skip decisions and duplicate resolution
+                // independent.
+                let mut monotone = true;
+                let mut prev: Option<usize> = None;
+                'check: for b in 0..blocks {
+                    for r in 0..buf.block_rows(b) {
+                        let idx = buf.cell_index(b, r);
+                        if prev.is_some_and(|p| p >= idx) {
+                            monotone = false;
+                            break 'check;
+                        }
+                        prev = Some(idx);
+                    }
+                }
+                if monotone {
+                    for (b, rf) in resolved.iter().enumerate() {
+                        let Some(rf) = rf else { continue };
+                        // An unconstrained filter passes every row, so the
+                        // per-row match call is pure overhead on full scans.
+                        let check = !rf.is_unconstrained();
+                        for r in 0..buf.block_rows(b) {
+                            if is_done(buf.cell_index(b, r)) && (!check || buf.matches(b, r, rf)) {
+                                buf.decode_into(b, r, &mut scratch);
+                                stats.matched += 1;
+                                if on_row(&scratch)? == ScanFlow::Stop {
+                                    stats.stopped_early = true;
+                                    return Ok(stats);
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+                let mut last: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+                for b in 0..blocks {
+                    for r in 0..buf.block_rows(b) {
+                        let idx = buf.cell_index(b, r);
+                        if is_done(idx) {
+                            last.insert(idx, (b, r));
+                        }
+                    }
+                }
+                for &(b, r) in last.values() {
+                    let Some(rf) = &resolved[b] else { continue };
+                    if buf.matches(b, r, rf) {
+                        buf.decode_into(b, r, &mut scratch);
+                        stats.matched += 1;
+                        if on_row(&scratch)? == ScanFlow::Stop {
+                            stats.stopped_early = true;
+                            return Ok(stats);
+                        }
+                    }
+                }
+            } else {
+                stats.partitions_scanned += 1;
+                let text = fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                // Per-partition map resolving duplicates to the last
+                // parseable record, as in the full loader.
+                let mut rows: BTreeMap<usize, CellRow> = BTreeMap::new();
+                for line in text.lines().skip(1) {
+                    if let Ok(row) = CellRow::parse_store_line(line) {
+                        if is_done(row.index) {
+                            rows.insert(row.index, row);
+                        }
+                    }
+                }
+                for row in rows.values() {
+                    if filter.matches(row) {
+                        stats.matched += 1;
+                        if on_row(row)? == ScanFlow::Stop {
+                            stats.stopped_early = true;
+                            return Ok(stats);
+                        }
                     }
                 }
             }
-            for row in rows.values() {
-                if filter.matches(row) {
-                    matched += 1;
-                    on_row(row)?;
-                }
-            }
         }
-        Ok(matched)
+        Ok(stats)
     }
 }
 
@@ -496,8 +661,8 @@ impl StoreScanner {
 pub fn scan_store(
     dir: &Path,
     filter: &RowFilter,
-    on_row: impl FnMut(&CellRow) -> Result<(), String>,
-) -> Result<usize, String> {
+    on_row: impl FnMut(&CellRow) -> Result<ScanFlow, String>,
+) -> Result<ScanStats, String> {
     StoreScanner::open(dir)?.scan(filter, on_row)
 }
 
@@ -544,8 +709,10 @@ mod tests {
     }
 
     /// A 200-cell store spanning several partitions, alternating workloads.
-    fn build_store(dir: &Path) {
-        let mut store = crate::store::ResultStore::create(dir, 0xabcd, 200).unwrap();
+    /// `schema` picks the partition codec; both must behave identically.
+    fn build_store_with_schema(dir: &Path, schema: u32) {
+        let mut store =
+            crate::store::ResultStore::create_with_schema(dir, 0xabcd, 200, schema).unwrap();
         for i in 0..200 {
             let workload = if i % 2 == 0 { "medianjob" } else { "24h" };
             let scenario = if i % 4 == 0 { "60%/SHUT" } else { "100%/None" };
@@ -553,26 +720,149 @@ mod tests {
         }
     }
 
+    fn build_store(dir: &Path) {
+        build_store_with_schema(dir, crate::store::STORE_SCHEMA_VERSION);
+    }
+
     #[test]
     fn scan_streams_matching_rows_in_index_order() {
-        let dir = temp_dir("scan");
-        build_store(&dir);
+        for schema in [
+            crate::store::STORE_SCHEMA_V2,
+            crate::store::STORE_SCHEMA_VERSION,
+        ] {
+            let dir = temp_dir(&format!("scan-v{schema}"));
+            build_store_with_schema(&dir, schema);
+            let filter = RowFilter {
+                workload: Some("medianjob".into()),
+                scenario: Some("60%/SHUT".into()),
+                ..RowFilter::default()
+            };
+            let mut seen = Vec::new();
+            let stats = scan_store(&dir, &filter, |r| {
+                seen.push(r.index);
+                Ok(ScanFlow::Continue)
+            })
+            .unwrap();
+            assert_eq!(stats.matched, 50, "schema v{schema}");
+            assert!(!stats.stopped_early);
+            assert_eq!(seen.len(), 50);
+            assert!(seen.windows(2).all(|w| w[0] < w[1]), "index-sorted");
+            assert!(seen.iter().all(|i| i % 4 == 0));
+            // Workloads alternate within every partition, so nothing is
+            // provably row-free here; CSV partitions can never be skipped.
+            assert_eq!(stats.partitions_skipped, 0);
+            assert_eq!(stats.partitions_scanned, 200usize.div_ceil(64));
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn zone_maps_skip_partitions_that_cannot_match() {
+        let dir = temp_dir("zone-skip");
+        // Workloads in contiguous index ranges: cells [0, 100) medianjob,
+        // [100, 200) 24h. With 64-cell partitions: part 0 all-medianjob,
+        // part 1 mixed, parts 2 and 3 all-24h.
+        let mut store = crate::store::ResultStore::create(&dir, 0xabcd, 200).unwrap();
+        for i in 0..200 {
+            let workload = if i < 100 { "medianjob" } else { "24h" };
+            store.append(&row(i, workload, "60%/SHUT")).unwrap();
+        }
+        drop(store);
         let filter = RowFilter {
-            workload: Some("medianjob".into()),
-            scenario: Some("60%/SHUT".into()),
+            workload: Some("24h".into()),
             ..RowFilter::default()
         };
         let mut seen = Vec::new();
-        let matched = scan_store(&dir, &filter, |r| {
+        let stats = scan_store(&dir, &filter, |r| {
             seen.push(r.index);
-            Ok(())
+            Ok(ScanFlow::Continue)
         })
         .unwrap();
-        assert_eq!(matched, 50);
-        assert_eq!(seen.len(), 50);
-        assert!(seen.windows(2).all(|w| w[0] < w[1]), "index-sorted");
-        assert!(seen.iter().all(|i| i % 4 == 0));
+        assert_eq!(stats.matched, 100);
+        assert_eq!(stats.partitions_skipped, 1, "part 0 is provably 24h-free");
+        assert_eq!(stats.partitions_scanned, 3);
+        // The skip is provably sound: a brute-force pass over *all* rows
+        // finds exactly the matches the skipping scan delivered.
+        let mut brute = Vec::new();
+        scan_store(&dir, &RowFilter::default(), |r| {
+            if filter.matches(r) {
+                brute.push(r.index);
+            }
+            Ok(ScanFlow::Continue)
+        })
+        .unwrap();
+        assert_eq!(seen, brute);
+        // The opposite filter skips the two all-24h partitions.
+        let inverse = RowFilter {
+            workload: Some("medianjob".into()),
+            ..RowFilter::default()
+        };
+        let stats = scan_store(&dir, &inverse, |_| Ok(ScanFlow::Continue)).unwrap();
+        assert_eq!((stats.matched, stats.partitions_skipped), (100, 2));
+        // A filter matching nothing anywhere skips every partition.
+        let nothing = RowFilter {
+            workload: Some("bigjob".into()),
+            ..RowFilter::default()
+        };
+        let stats = scan_store(&dir, &nothing, |_| Ok(ScanFlow::Continue)).unwrap();
+        assert_eq!((stats.matched, stats.partitions_skipped), (0, 4));
+        assert_eq!(stats.partitions_scanned, 0);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_flow_stop_ends_the_scan_early() {
+        let dir = temp_dir("early-exit");
+        build_store(&dir);
+        let mut seen = Vec::new();
+        let limit = 5usize;
+        let stats = scan_store(&dir, &RowFilter::default(), |r| {
+            seen.push(r.index);
+            Ok(if seen.len() == limit {
+                ScanFlow::Stop
+            } else {
+                ScanFlow::Continue
+            })
+        })
+        .unwrap();
+        assert!(stats.stopped_early);
+        assert_eq!(stats.matched, limit);
+        assert_eq!(seen, [0, 1, 2, 3, 4]);
+        assert_eq!(
+            stats.partitions_scanned, 1,
+            "remaining partitions are never opened"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_and_v3_scans_deliver_bit_identical_rows() {
+        let dir_v2 = temp_dir("equiv-v2");
+        let dir_v3 = temp_dir("equiv-v3");
+        build_store_with_schema(&dir_v2, crate::store::STORE_SCHEMA_V2);
+        build_store_with_schema(&dir_v3, crate::store::STORE_SCHEMA_VERSION);
+        let mut v2_rows = Vec::new();
+        let mut v3_rows = Vec::new();
+        scan_store(&dir_v2, &RowFilter::default(), |r| {
+            v2_rows.push(r.clone());
+            Ok(ScanFlow::Continue)
+        })
+        .unwrap();
+        scan_store(&dir_v3, &RowFilter::default(), |r| {
+            v3_rows.push(r.clone());
+            Ok(ScanFlow::Continue)
+        })
+        .unwrap();
+        assert_eq!(v2_rows.len(), v3_rows.len());
+        for (a, b) in v2_rows.iter().zip(&v3_rows) {
+            assert!(
+                crate::colstore::rows_bit_identical(a, b),
+                "cell {}: {a:?} vs {b:?}",
+                a.index
+            );
+        }
+        fs::remove_dir_all(&dir_v2).unwrap();
+        fs::remove_dir_all(&dir_v3).unwrap();
     }
 
     #[test]
@@ -584,8 +874,8 @@ mod tests {
         let text = fs::read_to_string(&manifest).unwrap();
         let kept: Vec<&str> = text.lines().filter(|l| *l != "done 8").collect();
         fs::write(&manifest, kept.join("\n") + "\n").unwrap();
-        let matched = scan_store(&dir, &RowFilter::default(), |_| Ok(())).unwrap();
-        assert_eq!(matched, 199);
+        let stats = scan_store(&dir, &RowFilter::default(), |_| Ok(ScanFlow::Continue)).unwrap();
+        assert_eq!(stats.matched, 199);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -668,8 +958,12 @@ mod tests {
             AggKind::Mean,
         )
         .unwrap();
-        let matched = scan_store(&dir, &RowFilter::default(), |row| agg.fold(row)).unwrap();
-        assert_eq!(matched, 200);
+        let stats = scan_store(&dir, &RowFilter::default(), |row| {
+            agg.fold(row)?;
+            Ok(ScanFlow::Continue)
+        })
+        .unwrap();
+        assert_eq!(stats.matched, 200);
         // Groups: (medianjob, 60%/SHUT) = indices ≡ 0 (mod 4),
         // (medianjob, 100%/None) = 2 (mod 4), (24h, 100%/None) = odd.
         assert_eq!(agg.group_count(), 3);
@@ -774,7 +1068,7 @@ mod tests {
         let dir = temp_dir("foreign");
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join(MANIFEST_NAME), "not a store\n").unwrap();
-        let err = scan_store(&dir, &RowFilter::default(), |_| Ok(())).unwrap_err();
+        let err = scan_store(&dir, &RowFilter::default(), |_| Ok(ScanFlow::Continue)).unwrap_err();
         assert!(err.contains("bad magic"), "got: {err}");
         // Validation happens at open(), before any row callback could run —
         // the query CLI relies on this to keep stdout clean on error.
@@ -789,6 +1083,10 @@ mod tests {
         build_store(&dir);
         let scanner = StoreScanner::open(&dir).unwrap();
         assert_eq!(scanner.completed_count(), 200);
+        assert_eq!(scanner.total_cells(), 200);
+        assert_eq!(scanner.spec_hash(), 0xabcd);
+        assert_eq!(scanner.schema(), crate::store::STORE_SCHEMA_VERSION);
+        assert!(scanner.is_complete());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -6,8 +6,8 @@
 //! ```text
 //! <dir>/
 //!   manifest.txt            # header + one `done <index>` line per cell
-//!   cells/part-0000.csv     # full-precision rows for cells [0, 64)
-//!   cells/part-0001.csv     # cells [64, 128), …
+//!   cells/part-0000.apc     # binary columnar rows for cells [0, 64)
+//!   cells/part-0001.apc     # cells [64, 128), …
 //! ```
 //!
 //! The manifest header records a format magic, the schema version, the
@@ -15,14 +15,21 @@
 //! and the partition width. After the header comes the completion log: a
 //! `done <index>` line is appended **after** the cell's row has been
 //! written to its partition, so a row without a matching `done` entry (a
-//! crash between the two writes, or a line torn mid-write) is simply not
+//! crash between the two writes, or a record torn mid-write) is simply not
 //! trusted and the cell reruns on resume.
 //!
-//! Rows are stored with Rust's shortest round-trip float `Display` (see
-//! [`CellRow::to_store_line`]), so a campaign resumed from disk aggregates
-//! bit-identical values to an uninterrupted run — the byte-identical-output
-//! guarantee survives a crash. Duplicate records for one index (a torn row
-//! followed by its rerun) resolve to the **last** parseable occurrence.
+//! Schema v3 partitions (`part-NNNN.apc`) are sequences of self-contained
+//! columnar blocks (see [`crate::colstore`]): the executor appends one
+//! single-row block per finished cell, each carrying its own dictionaries,
+//! zone maps and checksum; `campaign compact` later merges them into one
+//! wide block per partition. Schema v2 stores (`part-NNNN.csv`, text rows)
+//! remain fully readable — every reader dispatches on the partition file's
+//! extension, never on the manifest, which also makes the compact swap
+//! crash-tolerant. Either way floats round-trip bit-exactly (v2 via
+//! shortest round-trip `Display`, v3 via raw bit patterns), so a campaign
+//! resumed from disk — or exported from either schema — renders
+//! byte-identical CSV/JSON. Duplicate records for one index (a torn record
+//! followed by its rerun) resolve to the **last** intact occurrence.
 //!
 //! [`CampaignSpec::fingerprint`]: crate::spec::CampaignSpec::fingerprint
 
@@ -32,18 +39,27 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use crate::agg::CellRow;
+use crate::colstore::{self, PartitionBuf};
 
 /// Store format magic + schema version, the first manifest line.
 const MANIFEST_MAGIC: &str = "apc-campaign-store";
 
 /// On-disk schema version; bump when the row layout changes.
 ///
-/// v1 (PR 3) rows had 20 fields; v2 adds the `load_factor` and `window`
+/// v1 (PR 3) rows had 20 fields; v2 added the `load_factor` and `window`
 /// columns (and an optional `seed`) for the cap-window / load-factor sweep
-/// axes. A v1 store cannot be resumed by v2 code — the row codec and the
-/// spec fingerprint both changed — so [`ResultStore::open`] rejects it with
-/// a versioned error instead of re-running cells into a mixed-layout store.
-pub const STORE_SCHEMA_VERSION: u32 = 2;
+/// axes; v3 (PR 8) keeps the 22-column row but stores partitions as binary
+/// columnar blocks with dictionaries, zone maps and checksums
+/// ([`crate::colstore`]). v2 stores stay readable and resumable — readers
+/// dispatch on the partition file extension — but a v1 store cannot be
+/// opened: the row codec and the spec fingerprint both changed, so
+/// [`ResultStore::open`] rejects it with a versioned error instead of
+/// re-running cells into a mixed-layout store.
+pub const STORE_SCHEMA_VERSION: u32 = 3;
+
+/// The previous (text CSV partition) schema, still supported for reads,
+/// resume and as an explicit `--store-schema 2` write target.
+pub const STORE_SCHEMA_V2: u32 = 2;
 
 /// Default number of cells per partition file.
 pub const DEFAULT_CELLS_PER_PART: usize = 64;
@@ -54,25 +70,28 @@ pub const MANIFEST_NAME: &str = "manifest.txt";
 /// Name of the partition subdirectory inside a store directory.
 pub const PARTS_DIR: &str = "cells";
 
-/// Header of every partition file (same columns as the rendered
+/// Header of every v2 (CSV) partition file (same columns as the rendered
 /// `cells.csv`, but with full-precision float fields).
 pub const PART_CSV_HEADER: &str = crate::sink::CELLS_CSV_HEADER;
 
 /// The partition files of a store, sorted by **partition number** (parsed
-/// from the `part-N.csv` name, not lexically — `part-10000` must come after
-/// `part-9999`, where a lexical sort would interleave them once grids grow
-/// past 640 k cells). Files that do not look like partitions are ignored.
+/// from the `part-N.csv` / `part-N.apc` name, not lexically — `part-10000`
+/// must come after `part-9999`, where a lexical sort would interleave them
+/// once grids grow past 640 k cells). Files that do not look like
+/// partitions are ignored.
 pub(crate) fn sorted_part_paths(parts_dir: &Path) -> Result<Vec<(usize, PathBuf)>, String> {
     let entries =
         fs::read_dir(parts_dir).map_err(|e| format!("cannot read {}: {e}", parts_dir.display()))?;
     let mut parts: Vec<(usize, PathBuf)> = entries
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter_map(|p| {
-            let number = p
+            let stem = p
                 .file_name()
                 .and_then(|n| n.to_str())
-                .and_then(|n| n.strip_prefix("part-"))
-                .and_then(|n| n.strip_suffix(".csv"))
+                .and_then(|n| n.strip_prefix("part-"))?;
+            let number = stem
+                .strip_suffix(".csv")
+                .or_else(|| stem.strip_suffix(".apc"))
                 .and_then(|n| n.parse::<usize>().ok())?;
             Some((number, p))
         })
@@ -81,12 +100,39 @@ pub(crate) fn sorted_part_paths(parts_dir: &Path) -> Result<Vec<(usize, PathBuf)
     Ok(parts)
 }
 
+/// Is this partition path a v3 (binary columnar) file? Readers dispatch on
+/// the extension, not the manifest schema, so a directory mixing `.csv` and
+/// `.apc` partitions (mid-migration, or resumed after `compact`) reads
+/// correctly.
+pub(crate) fn is_v3_part(path: &Path) -> bool {
+    path.extension().and_then(|e| e.to_str()) == Some(colstore::PART_EXT_V3)
+}
+
+/// Decode every record of one partition file, whatever its codec, in file
+/// order. Torn records are dropped by the codec (unparseable CSV line /
+/// checksum-failing block); `done`-set filtering and last-wins duplicate
+/// resolution are the caller's, exactly as before.
+pub(crate) fn load_part_rows(path: &Path) -> Result<Vec<CellRow>, String> {
+    if is_v3_part(path) {
+        Ok(PartitionBuf::read(path)?.decode_all())
+    } else {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Ok(text
+            .lines()
+            .skip(1)
+            .filter_map(|line| CellRow::parse_store_line(line).ok())
+            .collect())
+    }
+}
+
 /// A parsed `manifest.txt`: the header fields plus the trusted `done` set.
-/// Shared by the full loader ([`ResultStore::open`]) and the streaming
-/// query path ([`crate::query::scan_store`]) so both validate the magic and
-/// schema version identically.
+/// Shared by the full loader ([`ResultStore::open`]), the streaming query
+/// path ([`crate::query::scan_store`]) and [`crate::compact`] so all three
+/// validate the magic and schema version identically.
 #[derive(Debug)]
 pub(crate) struct ParsedManifest {
+    pub(crate) schema: u32,
     pub(crate) spec_hash: u64,
     pub(crate) total_cells: usize,
     pub(crate) cells_per_part: usize,
@@ -109,11 +155,12 @@ impl ParsedManifest {
             .next()
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| format!("manifest header {header:?} has no schema version"))?;
-        if schema != STORE_SCHEMA_VERSION {
+        if schema != STORE_SCHEMA_VERSION && schema != STORE_SCHEMA_V2 {
             return Err(format!(
-                "store schema v{schema} is not the supported v{STORE_SCHEMA_VERSION} — \
-                 this store was written by an incompatible version; rerun the campaign \
-                 into a fresh --out directory"
+                "store schema v{schema} is not the supported v{STORE_SCHEMA_VERSION} \
+                 (or the read-compatible v{STORE_SCHEMA_V2}) — this store was written \
+                 by an incompatible version; rerun the campaign into a fresh --out \
+                 directory"
             ));
         }
         let mut spec_hash = None;
@@ -156,6 +203,7 @@ impl ParsedManifest {
             }
         }
         Ok(ParsedManifest {
+            schema,
             spec_hash: spec_hash.ok_or("manifest has no spec hash")?,
             total_cells: total_cells.ok_or("manifest has no cell count")?,
             cells_per_part,
@@ -176,12 +224,14 @@ fn last_byte(path: &Path, len: u64) -> io::Result<u8> {
 
 /// An append-only, crash-resumable campaign result store.
 ///
-/// Create one with [`ResultStore::create`] for a fresh campaign or
-/// [`ResultStore::open`] to resume; the executor calls
+/// Create one with [`ResultStore::create`] for a fresh campaign (schema
+/// v3), [`ResultStore::create_with_schema`] to pin the schema explicitly,
+/// or [`ResultStore::open`] to resume; the executor calls
 /// [`append`](ResultStore::append) once per finished cell.
 #[derive(Debug)]
 pub struct ResultStore {
     dir: PathBuf,
+    schema: u32,
     spec_hash: u64,
     total_cells: usize,
     cells_per_part: usize,
@@ -202,6 +252,25 @@ impl ResultStore {
     ///
     /// [`fingerprint`]: crate::spec::CampaignSpec::fingerprint
     pub fn create(dir: impl Into<PathBuf>, spec_hash: u64, total_cells: usize) -> io::Result<Self> {
+        Self::create_with_schema(dir, spec_hash, total_cells, STORE_SCHEMA_VERSION)
+    }
+
+    /// [`create`](Self::create), but writing the given schema version:
+    /// [`STORE_SCHEMA_VERSION`] (v3, binary columnar — the default) or
+    /// [`STORE_SCHEMA_V2`] (text CSV partitions, for interop with older
+    /// tooling).
+    pub fn create_with_schema(
+        dir: impl Into<PathBuf>,
+        spec_hash: u64,
+        total_cells: usize,
+        schema: u32,
+    ) -> io::Result<Self> {
+        if schema != STORE_SCHEMA_VERSION && schema != STORE_SCHEMA_V2 {
+            return Err(io::Error::other(format!(
+                "unsupported store schema v{schema} (supported: \
+                 v{STORE_SCHEMA_V2}, v{STORE_SCHEMA_VERSION})"
+            )));
+        }
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let parts = dir.join(PARTS_DIR);
@@ -211,13 +280,14 @@ impl ResultStore {
         fs::create_dir_all(&parts)?;
         let manifest_path = dir.join(MANIFEST_NAME);
         let mut manifest = fs::File::create(&manifest_path)?;
-        writeln!(manifest, "{MANIFEST_MAGIC} {STORE_SCHEMA_VERSION}")?;
+        writeln!(manifest, "{MANIFEST_MAGIC} {schema}")?;
         writeln!(manifest, "spec {spec_hash:016x}")?;
         writeln!(manifest, "cells {total_cells}")?;
         writeln!(manifest, "per-part {DEFAULT_CELLS_PER_PART}")?;
         manifest.flush()?;
         Ok(ResultStore {
             dir,
+            schema,
             spec_hash,
             total_cells,
             cells_per_part: DEFAULT_CELLS_PER_PART,
@@ -231,8 +301,9 @@ impl ResultStore {
     /// trusted row from the partition files.
     ///
     /// Untrusted data is skipped, never fatal: rows without a `done`
-    /// manifest entry (crash between row and log append), lines that fail
-    /// to parse (torn by a crash), and trailing torn `done` lines.
+    /// manifest entry (crash between row and log append), records that fail
+    /// to parse (a line or block torn by a crash), and trailing torn `done`
+    /// lines.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
         let dir = dir.into();
         let manifest_path = dir.join(MANIFEST_NAME);
@@ -240,6 +311,7 @@ impl ResultStore {
             .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
         let manifest = ParsedManifest::parse(&dir, &text)?;
         let ParsedManifest {
+            schema,
             spec_hash,
             total_cells,
             cells_per_part,
@@ -247,16 +319,12 @@ impl ResultStore {
         } = manifest;
 
         // Load rows from the partitions, trusting only indices in the done
-        // set and keeping the last parseable record per index.
+        // set and keeping the last intact record per index.
         let mut rows = BTreeMap::new();
         for (_, path) in sorted_part_paths(&dir.join(PARTS_DIR))? {
-            let text = fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            for line in text.lines().skip(1) {
-                if let Ok(row) = CellRow::parse_store_line(line) {
-                    if done.contains(&row.index) {
-                        rows.insert(row.index, row);
-                    }
+            for row in load_part_rows(&path)? {
+                if done.contains(&row.index) {
+                    rows.insert(row.index, row);
                 }
             }
         }
@@ -275,6 +343,7 @@ impl ResultStore {
         }
         Ok(ResultStore {
             dir,
+            schema,
             spec_hash,
             total_cells,
             cells_per_part,
@@ -312,23 +381,51 @@ impl ResultStore {
         let part_no = row.index / self.cells_per_part;
         if self.current_part.as_ref().map(|(n, _)| *n) != Some(part_no) {
             let path = self.part_path(part_no);
-            let mut file = fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)?;
-            let len = file.metadata()?.len();
-            if len == 0 {
-                writeln!(file, "{PART_CSV_HEADER}")?;
-            } else if last_byte(&path, len)? != b'\n' {
-                // The previous run died mid-record: terminate the torn line
-                // so this append starts cleanly (the torn row is already
-                // untrusted — its `done` entry was never written).
-                file.write_all(b"\n")?;
+            if self.schema == STORE_SCHEMA_V2 {
+                let mut file = fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)?;
+                let len = file.metadata()?.len();
+                if len == 0 {
+                    writeln!(file, "{PART_CSV_HEADER}")?;
+                } else if last_byte(&path, len)? != b'\n' {
+                    // The previous run died mid-record: terminate the torn
+                    // line so this append starts cleanly (the torn row is
+                    // already untrusted — its `done` entry was never
+                    // written).
+                    file.write_all(b"\n")?;
+                }
+                self.current_part = Some((part_no, file));
+            } else {
+                // v3: if the previous run died mid-block, truncate the file
+                // to its trusted prefix so the new block is reachable (a
+                // block after torn bytes would never parse).
+                match fs::read(&path) {
+                    Ok(data) => {
+                        let len = data.len();
+                        let trusted = PartitionBuf::parse(data).trusted_len();
+                        if trusted < len {
+                            let file = fs::OpenOptions::new().write(true).open(&path)?;
+                            file.set_len(trusted as u64)?;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+                let file = fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)?;
+                self.current_part = Some((part_no, file));
             }
-            self.current_part = Some((part_no, file));
         }
         let (_, file) = self.current_part.as_mut().expect("part handle just set");
-        writeln!(file, "{}", row.to_store_line())?;
+        if self.schema == STORE_SCHEMA_V2 {
+            writeln!(file, "{}", row.to_store_line())?;
+        } else {
+            file.write_all(&colstore::encode_block(std::slice::from_ref(row)))?;
+        }
         file.flush()?;
         writeln!(self.manifest, "done {}", row.index)?;
         self.manifest.flush()?;
@@ -336,16 +433,26 @@ impl ResultStore {
         Ok(())
     }
 
-    /// Path of partition `part_no`.
+    /// Path of partition `part_no` under this store's write schema.
     fn part_path(&self, part_no: usize) -> PathBuf {
+        let ext = if self.schema == STORE_SCHEMA_V2 {
+            "csv"
+        } else {
+            colstore::PART_EXT_V3
+        };
         self.dir
             .join(PARTS_DIR)
-            .join(format!("part-{part_no:04}.csv"))
+            .join(format!("part-{part_no:04}.{ext}"))
     }
 
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The schema version this store was created/opened with.
+    pub fn schema(&self) -> u32 {
+        self.schema
     }
 
     /// The recorded spec fingerprint.
@@ -431,6 +538,7 @@ mod tests {
     fn append_then_open_recovers_exact_rows() {
         let dir = temp_dir("roundtrip");
         let mut store = ResultStore::create(&dir, 0xfeed, 200).unwrap();
+        assert_eq!(store.schema(), STORE_SCHEMA_VERSION);
         // Out-of-order appends across several partitions, as a work-stealing
         // run produces them.
         for i in [150usize, 3, 64, 0, 199, 65] {
@@ -465,10 +573,51 @@ mod tests {
         for part in 0..4 {
             assert!(dir
                 .join(PARTS_DIR)
-                .join(format!("part-{part:04}.csv"))
+                .join(format!("part-{part:04}.apc"))
                 .exists());
         }
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_store_writes_csv_and_reads_back() {
+        let dir = temp_dir("v2-compat");
+        let mut store =
+            ResultStore::create_with_schema(&dir, 0xfeed, 200, STORE_SCHEMA_V2).unwrap();
+        assert_eq!(store.schema(), STORE_SCHEMA_V2);
+        for i in [0usize, 64, 150] {
+            store.append(&row(i)).unwrap();
+        }
+        drop(store);
+        assert!(dir.join(PARTS_DIR).join("part-0000.csv").exists());
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.schema(), STORE_SCHEMA_V2);
+        let rows = reopened.rows();
+        assert_eq!(
+            rows.iter().map(|r| r.index).collect::<Vec<_>>(),
+            [0, 64, 150]
+        );
+        for r in &rows {
+            assert_eq!(
+                r.work_core_seconds.to_bits(),
+                row(r.index).work_core_seconds.to_bits()
+            );
+        }
+        // Resuming a v2 store keeps appending CSV.
+        let mut resumed = ResultStore::open(&dir).unwrap();
+        resumed.append(&row(1)).unwrap();
+        drop(resumed);
+        assert!(!dir.join(PARTS_DIR).join("part-0000.apc").exists());
+        assert_eq!(ResultStore::open(&dir).unwrap().completed_count(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_rejects_unknown_schema() {
+        let dir = temp_dir("bad-schema");
+        let err = ResultStore::create_with_schema(&dir, 1, 10, 7).unwrap_err();
+        assert!(err.to_string().contains("unsupported store schema v7"));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -492,24 +641,25 @@ mod tests {
     }
 
     #[test]
-    fn torn_part_lines_and_duplicate_records_resolve_safely() {
+    fn torn_part_blocks_and_duplicate_records_resolve_safely() {
         let dir = temp_dir("torn");
         let mut store = ResultStore::create(&dir, 1, 10).unwrap();
         store.append(&row(0)).unwrap();
         store.append(&row(1)).unwrap();
         drop(store);
-        // Tear the last part line in half (crash mid-write) …
-        let part = dir.join(PARTS_DIR).join("part-0000.csv");
-        let text = fs::read_to_string(&part).unwrap();
-        fs::write(&part, &text[..text.len() - 30]).unwrap();
+        // Tear the last block in half (crash mid-write) …
+        let part = dir.join(PARTS_DIR).join("part-0000.apc");
+        let data = fs::read(&part).unwrap();
+        fs::write(&part, &data[..data.len() - 30]).unwrap();
         // … then "rerun" cell 1: reopen and append a fresh record.
         let mut reopened = ResultStore::open(&dir).unwrap();
-        assert!(!reopened.contains(1), "torn row must not be trusted");
+        assert!(!reopened.contains(1), "torn record must not be trusted");
         let mut fresh = row(1);
         fresh.launched_jobs = 999;
         reopened.append(&fresh).unwrap();
         drop(reopened);
-        // The duplicate resolves to the last parseable record.
+        // The torn tail was truncated before the append, so the fresh block
+        // parses; the duplicate resolves to the last intact record.
         let last = ResultStore::open(&dir).unwrap();
         let rows = last.rows();
         assert_eq!(rows.len(), 2);
@@ -575,7 +725,8 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         // Simulate a grid large enough for 5-digit partition numbers next
         // to 4-digit ones: lexically "part-10000" sorts before "part-9999".
-        for name in ["part-10000.csv", "part-9999.csv", "part-0002.csv"] {
+        // Both codec extensions participate in one ordering.
+        for name in ["part-10000.apc", "part-9999.csv", "part-0002.apc"] {
             fs::write(dir.join(name), "x\n").unwrap();
         }
         fs::write(dir.join("not-a-part.txt"), "y\n").unwrap();

@@ -114,9 +114,10 @@ fn resume_survives_a_record_torn_mid_write() {
     let crash_dir = temp_dir("torn-crashed");
     run_full(&crash_dir, 1);
     truncate_manifest(&crash_dir, 3);
-    // Tear the last partition record in half too — the row whose `done`
-    // entry never made it.
-    let part = crash_dir.join("cells").join("part-0000.csv");
+    // Tear the last partition block in half too — the row whose `done`
+    // entry never made it. The truncated v3 block fails its structural
+    // check and checksum, so the reader's trusted region ends before it.
+    let part = crash_dir.join("cells").join("part-0000.apc");
     let bytes = fs::read(&part).unwrap();
     fs::write(&part, &bytes[..bytes.len() - 25]).unwrap();
 
