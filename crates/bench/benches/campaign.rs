@@ -68,6 +68,8 @@ fn store_row(index: usize) -> CellRow {
         cap_percent: 60.0,
         grouping: "grouped".into(),
         decision_rule: "paper-rho".into(),
+        schedule: "-".into(),
+        faults: "-".into(),
         launched_jobs: index,
         completed_jobs: index / 2,
         killed_jobs: 0,
@@ -137,6 +139,8 @@ fn sweep_summaries(count: usize) -> Vec<SummaryRow> {
             cap_percent: 40.0 + (i % 3) as f64 * 20.0,
             grouping: "grouped".to_string(),
             decision_rule: "paper-rho".to_string(),
+            schedule: "-".to_string(),
+            faults: "-".to_string(),
             replications: 3,
             launched_jobs: metric(100.0),
             energy_normalized: metric(((i * 37) % 101) as f64 / 100.0),

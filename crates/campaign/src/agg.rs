@@ -45,6 +45,14 @@ pub struct CellRow {
     pub grouping: String,
     /// Decision rule name.
     pub decision_rule: String,
+    /// Cap-schedule label (`start+duration@percent` pairs joined with `|`,
+    /// `"-"` for scenarios without a time-varying schedule) — see
+    /// [`Scenario::schedule_label`](apc_replay::Scenario::schedule_label).
+    pub schedule: String,
+    /// Fault-plan label (`COUNTxDURATION@SEED`, `"-"` for fault-free
+    /// scenarios) — see
+    /// [`Scenario::fault_label`](apc_replay::Scenario::fault_label).
+    pub faults: String,
     /// Jobs started during the interval.
     pub launched_jobs: usize,
     /// Jobs run to completion.
@@ -113,6 +121,8 @@ impl CellRow {
             cap_percent: scenario.cap_fraction.map_or(100.0, |f| f * 100.0),
             grouping: scenario.grouping.name().to_string(),
             decision_rule: scenario.decision_rule.name().to_string(),
+            schedule: scenario.schedule_label(),
+            faults: scenario.fault_label(),
             launched_jobs: report.launched_jobs,
             completed_jobs: report.completed_jobs,
             killed_jobs: report.killed_jobs,
@@ -138,8 +148,17 @@ impl CellRow {
     /// which `f64::from_str` accepts back.
     pub fn to_store_line(&self) -> String {
         use crate::sink::csv_field;
+        // Rows without schedule/fault labels keep the original 22-field
+        // layout byte for byte; labelled rows append the two columns. The
+        // parser accepts both, so stores written before the scenario-engine
+        // refactor load unchanged.
+        let labels = if self.schedule == "-" && self.faults == "-" {
+            String::new()
+        } else {
+            format!(",{},{}", csv_field(&self.schedule), csv_field(&self.faults))
+        };
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}{labels}",
             self.index,
             self.racks,
             csv_field(&self.workload),
@@ -172,8 +191,10 @@ impl CellRow {
     /// lines (e.g. a row torn in half by a crash) as "cell not recorded".
     pub fn parse_store_line(line: &str) -> Result<CellRow, String> {
         let fields = crate::sink::split_csv_line(line)?;
-        if fields.len() != 22 {
-            return Err(format!("expected 22 fields, got {}", fields.len()));
+        // 22 fields = a label-free row (possibly from a pre-refactor store);
+        // 24 fields = a row carrying schedule/fault labels.
+        if fields.len() != 22 && fields.len() != 24 {
+            return Err(format!("expected 22 or 24 fields, got {}", fields.len()));
         }
         fn int(raw: &str, what: &str) -> Result<usize, String> {
             raw.parse()
@@ -204,6 +225,8 @@ impl CellRow {
             cap_percent: float(&fields[8], "cap_percent")?,
             grouping: fields[9].clone(),
             decision_rule: fields[10].clone(),
+            schedule: fields.get(22).cloned().unwrap_or_else(|| "-".to_string()),
+            faults: fields.get(23).cloned().unwrap_or_else(|| "-".to_string()),
             launched_jobs: int(&fields[11], "launched_jobs")?,
             completed_jobs: int(&fields[12], "completed_jobs")?,
             killed_jobs: int(&fields[13], "killed_jobs")?,
@@ -234,17 +257,21 @@ impl CellRow {
             self.window.clone(),
             self.grouping.clone(),
             self.decision_rule.clone(),
+            self.schedule.clone(),
+            self.faults.clone(),
         )
     }
 }
 
 /// (racks, fixed-workload?, cap bits, load bits, workload, scenario, window,
-/// grouping, decision rule).
+/// grouping, decision rule, schedule, faults).
 type GroupKey = (
     usize,
     bool,
     u64,
     u64,
+    String,
+    String,
     String,
     String,
     String,
@@ -343,6 +370,10 @@ pub struct SummaryRow {
     pub grouping: String,
     /// Decision rule name.
     pub decision_rule: String,
+    /// Cap-schedule label (`"-"` when the group has no time-varying cap).
+    pub schedule: String,
+    /// Fault-plan label (`"-"` for fault-free groups).
+    pub faults: String,
     /// Number of seed replications folded in.
     pub replications: usize,
     /// Launched jobs across seeds.
@@ -405,6 +436,8 @@ pub fn summarize(rows: &[CellRow]) -> Vec<SummaryRow> {
                 window,
                 grouping,
                 decision_rule,
+                schedule,
+                faults,
             ) = key;
             SummaryRow {
                 racks,
@@ -415,6 +448,8 @@ pub fn summarize(rows: &[CellRow]) -> Vec<SummaryRow> {
                 cap_percent: f64::from_bits(cap_bits),
                 grouping,
                 decision_rule,
+                schedule,
+                faults,
                 replications: acc.replications,
                 launched_jobs: acc.launched_jobs.finish(),
                 energy_normalized: acc.energy_normalized.finish(),
@@ -443,6 +478,8 @@ mod tests {
             cap_percent: 60.0,
             grouping: "grouped".into(),
             decision_rule: "paper-rho".into(),
+            schedule: "-".into(),
+            faults: "-".into(),
             launched_jobs: launched,
             completed_jobs: launched,
             killed_jobs: 0,
@@ -580,6 +617,43 @@ mod tests {
         let back = CellRow::parse_store_line(&line).unwrap();
         assert_eq!(back.scenario, "odd,\"label\"");
         assert_eq!(back.workload, "a,b");
+    }
+
+    #[test]
+    fn labelled_rows_round_trip_and_legacy_lines_still_parse() {
+        // A row with schedule/fault labels appends two columns…
+        let mut r = row(3, 1, "SCHED/SHUT", 5, 9.0);
+        r.schedule = "0+7200@80|7200+10800@40".into();
+        r.faults = "3x600@7".into();
+        let line = r.to_store_line();
+        assert_eq!(crate::sink::split_csv_line(&line).unwrap().len(), 24);
+        let back = CellRow::parse_store_line(&line).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_store_line(), line);
+        // …while a label-free row keeps the pre-refactor 22-field layout,
+        // and a line from an old store (no label columns at all) parses
+        // with "-" placeholders.
+        let legacy = row(4, 1, "60%/SHUT", 5, 9.0);
+        let line = legacy.to_store_line();
+        assert_eq!(crate::sink::split_csv_line(&line).unwrap().len(), 22);
+        let back = CellRow::parse_store_line(&line).unwrap();
+        assert_eq!(back.schedule, "-");
+        assert_eq!(back.faults, "-");
+        assert_eq!(back, legacy);
+    }
+
+    #[test]
+    fn schedule_and_fault_labels_split_summary_groups() {
+        let a = row(0, 1, "SCHED/SHUT", 10, 40.0);
+        let mut b = row(1, 2, "SCHED/SHUT", 12, 42.0);
+        b.schedule = "0+7200@80".into();
+        let mut c = row(2, 1, "SCHED/SHUT", 9, 39.0);
+        c.faults = "2x600@7".into();
+        let summaries = summarize(&[a, b, c]);
+        assert_eq!(summaries.len(), 3);
+        assert!(summaries.iter().all(|s| s.replications == 1));
+        assert_eq!(summaries[1].schedule, "0+7200@80");
+        assert_eq!(summaries[2].faults, "2x600@7");
     }
 
     #[test]

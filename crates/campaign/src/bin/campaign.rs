@@ -22,6 +22,16 @@
 //!                      the windows of one scenario, `,` separates axis
 //!                      values — e.g. `0.5x3600` (paper) or
 //!                      `0.5x3600,0x1800+1x1800` (default 0.5x3600)
+//!   --cap-schedule PATH
+//!                      add one time-varying cap schedule axis value read
+//!                      from PATH (`START DURATION FRACTION` lines, `#`
+//!                      comments; see README "Scenarios"); repeatable —
+//!                      scheduled scenarios run in addition to the
+//!                      static-window grid
+//!   --faults LIST      fault-plan axis values: `none` or `NxDUR@SEED`
+//!                      (N node outages of DUR seconds each, placement
+//!                      seeded by SEED), e.g. `none,3x600@7` — each value
+//!                      crosses the whole scenario grid
 //!   --load LIST        generator arrival load factors, e.g. 1.0,1.8
 //!                      (default 1.8; each value is one workload axis entry)
 //!   --backlog F        generator initial backlog factor (default 1.3)
@@ -44,14 +54,22 @@
 //!
 //! pareto DIR: non-dominated (energy, work, wait) front per workload group
 //!   --out FILE         where to write the CSV (default DIR/pareto.csv)
+//!   --cells            front individual replications instead of across-seed
+//!                      means — dominance is counted per seed, exposing
+//!                      variance-driven trade-offs (default output
+//!                      DIR/pareto-cells.csv)
 //!   --quiet            suppress the stdout table
 //!
 //! query DIR: stream filtered rows out of the partitioned store
 //!   --workload L | --scenario L | --window L | --policy P | --seed N |
-//!   --load F | --racks R
-//!                      conjunctive row filters
+//!   --load F | --racks R | --schedule L | --faults L
+//!                      conjunctive row filters (`--schedule -` / `--faults -`
+//!                      keep the rows without that axis)
 //!   --columns LIST     columns to print (default: all, cells.csv order);
-//!                      with --group-by, the numeric columns to aggregate
+//!                      with --group-by, the numeric columns to aggregate.
+//!                      v3 partitions decode only the requested columns
+//!                      (projection pushdown), so narrow queries over wide
+//!                      stores skip most of the decode work
 //!   --limit N          stop the scan after N matching rows — remaining
 //!                      partitions are never read; with --group-by, render
 //!                      at most N groups (the fold still sees every row)
@@ -86,16 +104,19 @@ use apc_campaign::prelude::*;
 use apc_core::PowercapPolicy;
 use apc_power::bonus::GroupingStrategy;
 use apc_power::tradeoff::DecisionRule;
+use apc_replay::{CapSchedule, FaultPlan};
 use apc_workload::{load_swf_file, IntervalKind};
 
 const USAGE: &str = "usage: campaign [--threads N] [--seeds K] [--seed-base S] [--racks LIST] \
 [--intervals LIST] [--policies LIST] [--caps LIST] [--no-baseline] [--groupings LIST] \
-[--rules LIST] [--windows LIST] [--load LIST] [--backlog F] [--swf PATH] [--out DIR] \
-[--store-schema 2|3] [--resume DIR] [--strategy work-steal|static] [--format csv|json|both] \
-[--quiet] [--progress] [--metrics] [--trace-out FILE]
-       campaign pareto DIR [--out FILE] [--quiet]
+[--rules LIST] [--windows LIST] [--cap-schedule PATH]... [--faults LIST] [--load LIST] \
+[--backlog F] [--swf PATH] [--out DIR] [--store-schema 2|3] [--resume DIR] \
+[--strategy work-steal|static] [--format csv|json|both] [--quiet] [--progress] [--metrics] \
+[--trace-out FILE]
+       campaign pareto DIR [--out FILE] [--cells] [--quiet]
        campaign query DIR [--workload L] [--scenario L] [--window L] [--policy P] [--seed N] \
-[--load F] [--racks R] [--columns LIST] [--limit N] [--group-by LIST [--agg mean|min|max]]
+[--load F] [--racks R] [--schedule L] [--faults L] [--columns LIST] [--limit N] \
+[--group-by LIST [--agg mean|min|max]]
        campaign report DIR
        campaign compact DIR [--per-part N] [--quiet]";
 
@@ -244,6 +265,33 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     return Err("--windows needs a non-empty comma-separated list".into());
                 }
                 spec.cap_windows = sets;
+            }
+            "--cap-schedule" => {
+                let path = value("--cap-schedule")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("--cap-schedule: cannot read {path}: {e}"))?;
+                let schedule =
+                    CapSchedule::parse(&text).map_err(|e| format!("--cap-schedule {path}: {e}"))?;
+                spec.cap_schedules.push(schedule);
+            }
+            "--faults" => {
+                let plans: Result<Vec<Option<FaultPlan>>, String> = value("--faults")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|item| match item.trim() {
+                        "none" => Ok(None),
+                        spec => FaultPlan::parse(spec)
+                            .map(Some)
+                            .map_err(|e| format!("--faults: {e}")),
+                    })
+                    .collect();
+                let plans = plans?;
+                if plans.is_empty() {
+                    return Err("--faults needs a non-empty comma-separated list \
+                                (`none` or NxDUR@SEED)"
+                        .into());
+                }
+                spec.faults = plans;
             }
             "--load" => {
                 spec.load_factors = parse_list::<f64>("--load", value("--load")?)?;
@@ -466,11 +514,14 @@ fn summary_table(summaries: &[SummaryRow]) -> String {
     out
 }
 
-/// `campaign pareto DIR [--out FILE] [--quiet]`: summarize the store and
-/// report the non-dominated (energy, work, wait) front per workload group.
+/// `campaign pareto DIR [--out FILE] [--cells] [--quiet]`: summarize the
+/// store and report the non-dominated (energy, work, wait) front per
+/// workload group — or, with `--cells`, front the individual replications
+/// (dominance counted per seed).
 fn run_pareto(args: &[String]) -> Result<(), String> {
     let mut dir: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut cells = false;
     let mut quiet = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -482,6 +533,7 @@ fn run_pareto(args: &[String]) -> Result<(), String> {
                         .clone(),
                 )
             }
+            "--cells" => cells = true,
             "--quiet" => quiet = true,
             flag if flag.starts_with("--") => return Err(format!("unknown option: {flag}")),
             path if dir.is_none() => dir = Some(path.to_string()),
@@ -499,6 +551,21 @@ fn run_pareto(args: &[String]) -> Result<(), String> {
     })?;
     if rows.is_empty() {
         return Err(format!("store at {dir} records no completed cells yet"));
+    }
+    if cells {
+        let front = pareto_front_cells(&rows);
+        let csv = render_pareto_cells_csv(&front);
+        let out = out.unwrap_or_else(|| format!("{dir}/pareto-cells.csv"));
+        std::fs::write(&out, &csv).map_err(|e| format!("cannot write {out}: {e}"))?;
+        if !quiet {
+            print!("{csv}");
+        }
+        eprintln!(
+            "pareto cells front: {} of {} replication(s) non-dominated; wrote {out}",
+            front.len(),
+            rows.len(),
+        );
+        return Ok(());
     }
     let summaries = summarize(&rows);
     let front = pareto_front(&summaries);
@@ -561,6 +628,8 @@ fn run_query(args: &[String]) -> Result<(), String> {
                         .map_err(|_| "--racks needs an integer".to_string())?,
                 )
             }
+            "--schedule" => filter.schedule = Some(value("--schedule")?.clone()),
+            "--faults" => filter.faults = Some(value("--faults")?.clone()),
             "--columns" => {
                 columns = value("--columns")?
                     .split(',')
@@ -620,10 +689,15 @@ fn run_query(args: &[String]) -> Result<(), String> {
         };
         let mut aggregator =
             GroupAggregator::new(&group_by, &agg_columns, agg.unwrap_or_default())?;
+        // The fold only reads the group-by and aggregated columns, so v3
+        // blocks need not decode anything else.
+        let mut projected: Vec<String> = group_by.clone();
+        projected.extend(agg_columns.iter().cloned());
+        let projection = Projection::of(&projected)?;
         // Open (and thereby validate) the store before writing anything to
         // stdout — a bad directory must not leave a lone CSV header behind.
         let scanner = StoreScanner::open(&dir)?;
-        let stats = scanner.scan(&filter, |row| {
+        let stats = scanner.scan_projected(&filter, projection, |row| {
             aggregator.fold(row)?;
             Ok(ScanFlow::Continue)
         })?;
@@ -640,6 +714,9 @@ fn run_query(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
+    // Projection pushdown: v3 blocks decode only the requested columns —
+    // a narrow projection over a wide store skips most of the decode work.
+    let projection = Projection::of(&columns)?;
     // Open (and thereby validate) the store before writing anything to
     // stdout — a bad directory must not leave a lone CSV header behind.
     let scanner = StoreScanner::open(&dir)?;
@@ -649,7 +726,7 @@ fn run_query(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let mut printed = 0usize;
-    let stats = scanner.scan(&filter, |row| {
+    let stats = scanner.scan_projected(&filter, projection, |row| {
         let fields: Result<Vec<String>, String> = columns.iter().map(|c| project(row, c)).collect();
         println!("{}", fields?.join(","));
         printed += 1;

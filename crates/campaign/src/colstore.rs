@@ -11,18 +11,28 @@
 //! Block layout (all integers little-endian):
 //!
 //! ```text
-//! 0             magic "APC3"
+//! 0             magic "APC3" | "APC4"
 //! 4             block_len: u32     total block size, magic through checksum
 //! 8             row_count: u32
 //! 12            cols_offset: u32   where the column arrays start
-//! 16            dictionaries       6 string columns × [count: u32,
-//!                                  count × (len: u32, utf-8 bytes)]
+//! 16            dictionaries       6 ("APC3") or 8 ("APC4") string columns
+//!                                  × [count: u32, count × (len: u32,
+//!                                  utf-8 bytes)]
 //! cols_offset   column arrays      7 × u64 ints, 9 × u64 float bits,
-//!                                  6 × u32 dictionary codes, 1 × u8 flags
+//!                                  6|8 × u32 dictionary codes, 1 × u8 flags
 //! …             zone maps          (min, max) per numeric column
 //! block_len-8   checksum: u64      FNV-1a over the preceding block bytes
 //!                                  as LE u64 words (zero-padded tail)
 //! ```
+//!
+//! `"APC3"` is the original six-dictionary layout; `"APC4"` (the
+//! scenario-engine refactor) appends the `schedule` and `faults`
+//! dictionary columns. The writer only emits `"APC4"` for blocks that
+//! carry at least one labelled row, so a store of paper-shaped scenarios
+//! is byte-identical to one written before schedules and fault plans
+//! existed, and a reader decoding an `"APC3"` block fills both labels
+//! with `"-"` — the two magics are one schema with an optional column
+//! group, not two schemas.
 //!
 //! Floats are stored as raw `f64` bit patterns, so every value — including
 //! NaN — round-trips exactly and the rendered CSV/JSON exports are
@@ -43,6 +53,9 @@ use crate::query::RowFilter;
 pub const PART_EXT_V3: &str = "apc";
 
 const MAGIC: &[u8; 4] = b"APC3";
+/// Magic of a labelled block: the same layout with the `schedule` and
+/// `faults` dictionary columns appended after `decision_rule`.
+const MAGIC_LABELLED: &[u8; 4] = b"APC4";
 const HEADER_BYTES: usize = 16;
 /// Fixed-width integer columns: index, racks, seed, launched, completed,
 /// killed, pending.
@@ -56,19 +69,25 @@ const COL_SEED: usize = 2;
 /// peak_power_watts.
 const FLOAT_COLS: usize = 9;
 const FCOL_LOAD: usize = 0;
-/// Dictionary-encoded string columns: workload, scenario, window, policy,
-/// grouping, decision_rule.
+/// Dictionary-encoded string columns of an `"APC3"` block: workload,
+/// scenario, window, policy, grouping, decision_rule.
 const DICT_COLS: usize = 6;
+/// Dictionary columns of an `"APC4"` block: the six above plus schedule
+/// and faults.
+const DICT_COLS_LABELLED: usize = 8;
 const DCOL_WORKLOAD: usize = 0;
 const DCOL_SCENARIO: usize = 1;
 const DCOL_WINDOW: usize = 2;
 const DCOL_POLICY: usize = 3;
-/// Bytes per row across all column arrays.
-const ROW_BYTES: usize = INT_COLS * 8 + FLOAT_COLS * 8 + DICT_COLS * 4 + 1;
+const DCOL_SCHEDULE: usize = 6;
+const DCOL_FAULTS: usize = 7;
+/// Bytes per row across all column arrays of a block with `dict_cols`
+/// dictionary columns.
+const fn row_bytes(dict_cols: usize) -> usize {
+    INT_COLS * 8 + FLOAT_COLS * 8 + dict_cols * 4 + 1
+}
 /// Bytes of the zone-map section: (min, max) per numeric column.
 const ZONE_BYTES: usize = (INT_COLS + FLOAT_COLS) * 16;
-/// The smallest structurally possible block (empty dictionaries, no rows).
-const MIN_BLOCK_BYTES: usize = HEADER_BYTES + DICT_COLS * 4 + ZONE_BYTES + 8;
 /// Row flag bit: the seed column holds a value (vs. a fixed-trace row).
 const FLAG_SEED_PRESENT: u8 = 1;
 
@@ -124,7 +143,7 @@ fn float_fields(row: &CellRow) -> [f64; FLOAT_COLS] {
     ]
 }
 
-fn dict_fields(row: &CellRow) -> [&str; DICT_COLS] {
+fn dict_fields(row: &CellRow) -> [&str; DICT_COLS_LABELLED] {
     [
         &row.workload,
         &row.scenario,
@@ -132,6 +151,8 @@ fn dict_fields(row: &CellRow) -> [&str; DICT_COLS] {
         &row.policy,
         &row.grouping,
         &row.decision_rule,
+        &row.schedule,
+        &row.faults,
     ]
 }
 
@@ -147,12 +168,23 @@ pub fn encode_block(rows: &[CellRow]) -> Vec<u8> {
         "a block holds at most u32::MAX rows"
     );
     let n = rows.len();
+    // Label-free rows encode as classic "APC3" blocks — byte-identical to
+    // what the codec wrote before cap schedules and fault plans existed —
+    // and any labelled row switches the whole block to the "APC4" layout
+    // with the two extra dictionary columns.
+    let labelled = rows.iter().any(|r| r.schedule != "-" || r.faults != "-");
+    let dict_cols = if labelled {
+        DICT_COLS_LABELLED
+    } else {
+        DICT_COLS
+    };
     // Dictionaries in first-occurrence order. Labels per block are few
     // (policies, scenarios, …), so linear probing beats hashing here.
-    let mut dicts: [Vec<&str>; DICT_COLS] = Default::default();
-    let mut codes = vec![[0u32; DICT_COLS]; n];
+    let mut dicts: Vec<Vec<&str>> = vec![Vec::new(); dict_cols];
+    let mut codes = vec![[0u32; DICT_COLS_LABELLED]; n];
     for (r, row) in rows.iter().enumerate() {
-        for (c, value) in dict_fields(row).into_iter().enumerate() {
+        let fields = dict_fields(row);
+        for (c, value) in fields[..dict_cols].iter().copied().enumerate() {
             let code = match dicts[c].iter().position(|v| *v == value) {
                 Some(i) => i,
                 None => {
@@ -168,9 +200,9 @@ pub fn encode_block(rows: &[CellRow]) -> Vec<u8> {
         .map(|d| 4 + d.iter().map(|v| 4 + v.len()).sum::<usize>())
         .sum();
     let cols_offset = HEADER_BYTES + dict_bytes;
-    let block_len = cols_offset + n * ROW_BYTES + ZONE_BYTES + 8;
+    let block_len = cols_offset + n * row_bytes(dict_cols) + ZONE_BYTES + 8;
     let mut out = Vec::with_capacity(block_len);
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(if labelled { MAGIC_LABELLED } else { MAGIC });
     out.extend_from_slice(&(block_len as u32).to_le_bytes());
     out.extend_from_slice(&(n as u32).to_le_bytes());
     out.extend_from_slice(&(cols_offset as u32).to_le_bytes());
@@ -203,7 +235,7 @@ pub fn encode_block(rows: &[CellRow]) -> Vec<u8> {
             }
         }
     }
-    for c in 0..DICT_COLS {
+    for c in 0..dict_cols {
         for code in &codes {
             out.extend_from_slice(&code[c].to_le_bytes());
         }
@@ -238,11 +270,20 @@ struct BlockMeta {
     cols: usize,
     /// Absolute offset of the zone-map section.
     zone: usize,
-    /// Per dictionary column: the decoded entries. Materialised at parse
-    /// time (dictionaries are tiny — a handful of entries per block) so
+    /// Per dictionary column: the decoded entries — six for an `"APC3"`
+    /// block, eight for an `"APC4"` one (the length doubles as the
+    /// block's dictionary-column count). Materialised at parse time
+    /// (dictionaries are tiny — a handful of entries per block) so
     /// per-row string access is a plain indexed borrow with no repeated
     /// UTF-8 validation on the hot decode path.
-    dicts: [Vec<String>; DICT_COLS],
+    dicts: Vec<Vec<String>>,
+}
+
+impl BlockMeta {
+    /// Does the block carry the schedule/faults dictionary columns?
+    fn is_labelled(&self) -> bool {
+        self.dicts.len() == DICT_COLS_LABELLED
+    }
 }
 
 /// A fully-read v3 partition file, scanned in place.
@@ -270,6 +311,11 @@ pub(crate) struct ResolvedRowFilter {
     seed: Option<u64>,
     load_bits: Option<u64>,
     racks: Option<u64>,
+    /// `None` also for a `"-"` criterion on an `"APC3"` block, whose rows
+    /// all carry the implicit `"-"` label — the criterion is vacuously
+    /// true there, not absent from the dictionary.
+    schedule: Option<u32>,
+    faults: Option<u32>,
 }
 
 impl ResolvedRowFilter {
@@ -283,6 +329,8 @@ impl ResolvedRowFilter {
             && self.seed.is_none()
             && self.load_bits.is_none()
             && self.racks.is_none()
+            && self.schedule.is_none()
+            && self.faults.is_none()
     }
 }
 
@@ -298,21 +346,27 @@ fn u64_le(data: &[u8], off: usize) -> u64 {
 /// or corrupted (checksum mismatch).
 fn parse_block(data: &[u8], start: usize) -> Option<BlockMeta> {
     let header = data.get(start..start.checked_add(HEADER_BYTES)?)?;
-    if &header[0..4] != MAGIC {
+    let dict_cols = if &header[0..4] == MAGIC {
+        DICT_COLS
+    } else if &header[0..4] == MAGIC_LABELLED {
+        DICT_COLS_LABELLED
+    } else {
         return None;
-    }
+    };
     let block_len = u32_le(header, 4) as usize;
     let rows = u32_le(header, 8) as usize;
     let cols_rel = u32_le(header, 12) as usize;
     let end = start.checked_add(block_len)?;
-    if block_len < MIN_BLOCK_BYTES || end > data.len() {
+    // The smallest structurally possible block: empty dictionaries, no rows.
+    let min_block_bytes = HEADER_BYTES + dict_cols * 4 + ZONE_BYTES + 8;
+    if block_len < min_block_bytes || end > data.len() {
         return None;
     }
     // The column arrays, zone maps and checksum have fixed sizes, so the
     // whole layout is checkable from the header alone.
     if cols_rel < HEADER_BYTES
         || cols_rel
-            .checked_add(rows.checked_mul(ROW_BYTES)?)?
+            .checked_add(rows.checked_mul(row_bytes(dict_cols))?)?
             .checked_add(ZONE_BYTES + 8)?
             != block_len
     {
@@ -328,7 +382,7 @@ fn parse_block(data: &[u8], start: usize) -> Option<BlockMeta> {
     // infallible.
     let dict_end = start + cols_rel;
     let mut pos = start + HEADER_BYTES;
-    let mut dicts: [Vec<String>; DICT_COLS] = Default::default();
+    let mut dicts: Vec<Vec<String>> = vec![Vec::new(); dict_cols];
     for dict in dicts.iter_mut() {
         if pos + 4 > dict_end {
             return None;
@@ -433,7 +487,7 @@ impl PartitionBuf {
 
     fn flags(&self, b: usize, r: usize) -> u8 {
         let m = &self.blocks[b];
-        self.data[m.cols + (INT_COLS + FLOAT_COLS) * 8 * m.rows + DICT_COLS * 4 * m.rows + r]
+        self.data[m.cols + (INT_COLS + FLOAT_COLS) * 8 * m.rows + m.dicts.len() * 4 * m.rows + r]
     }
 
     fn dict_str(&self, b: usize, col: usize, code: u32) -> &str {
@@ -488,6 +542,35 @@ impl PartitionBuf {
             None => None,
             Some(p) => Some(find(DCOL_POLICY, p)?),
         };
+        // Schedule/faults criteria against an "APC3" block: every row of
+        // such a block implicitly carries the "-" label, so a "-" criterion
+        // is vacuously satisfied (unconstrained) and any other value proves
+        // the block match-free. "APC4" blocks resolve through their
+        // dictionaries like every other string column ("-" included — a
+        // labelled block lists it whenever it holds label-free rows).
+        let labelled = self.blocks[b].is_labelled();
+        let schedule = match &filter.schedule {
+            None => None,
+            Some(s) if !labelled => {
+                if s == "-" {
+                    None
+                } else {
+                    return None;
+                }
+            }
+            Some(s) => Some(find(DCOL_SCHEDULE, s)?),
+        };
+        let faults = match &filter.faults {
+            None => None,
+            Some(f) if !labelled => {
+                if f == "-" {
+                    None
+                } else {
+                    return None;
+                }
+            }
+            Some(f) => Some(find(DCOL_FAULTS, f)?),
+        };
         if let Some(r) = filter.racks {
             let (lo, hi) = self.int_zone(b, COL_RACKS);
             if lo > hi || (r as u64) < lo || (r as u64) > hi {
@@ -520,6 +603,8 @@ impl PartitionBuf {
             seed: filter.seed,
             load_bits: filter.load_factor.map(f64::to_bits),
             racks: filter.racks.map(|r| r as u64),
+            schedule,
+            faults,
         })
     }
 
@@ -546,27 +631,80 @@ impl PartitionBuf {
             && rf
                 .racks
                 .is_none_or(|k| self.int_value(b, COL_RACKS, r) == k)
+            && rf
+                .schedule
+                .is_none_or(|c| self.dict_code(b, DCOL_SCHEDULE, r) == c)
+            && rf
+                .faults
+                .is_none_or(|c| self.dict_code(b, DCOL_FAULTS, r) == c)
     }
 
     /// Decode row `r` of block `b` into `row`, reusing its string buffers.
     pub fn decode_into(&self, b: usize, r: usize, row: &mut CellRow) {
-        row.index = self.int_value(b, COL_INDEX, r) as usize;
-        row.racks = self.int_value(b, COL_RACKS, r) as usize;
-        row.seed =
-            (self.flags(b, r) & FLAG_SEED_PRESENT != 0).then(|| self.int_value(b, COL_SEED, r));
-        row.launched_jobs = self.int_value(b, 3, r) as usize;
-        row.completed_jobs = self.int_value(b, 4, r) as usize;
-        row.killed_jobs = self.int_value(b, 5, r) as usize;
-        row.pending_jobs = self.int_value(b, 6, r) as usize;
-        row.load_factor = self.float_value(b, 0, r);
-        row.cap_percent = self.float_value(b, 1, r);
-        row.work_core_seconds = self.float_value(b, 2, r);
-        row.energy_joules = self.float_value(b, 3, r);
-        row.energy_normalized = self.float_value(b, 4, r);
-        row.launched_jobs_normalized = self.float_value(b, 5, r);
-        row.work_normalized = self.float_value(b, 6, r);
-        row.mean_wait_seconds = self.float_value(b, 7, r);
-        row.peak_power_watts = self.float_value(b, 8, r);
+        self.decode_into_projected(b, r, row, crate::query::Projection::ALL);
+    }
+
+    /// Decode only the columns `proj` selects into `row` — the column
+    /// projection pushdown. Unprojected columns are never read from the
+    /// column arrays and the corresponding fields of `row` keep whatever
+    /// they held, so callers must only read projected fields.
+    pub fn decode_into_projected(
+        &self,
+        b: usize,
+        r: usize,
+        row: &mut CellRow,
+        proj: crate::query::Projection,
+    ) {
+        use crate::query as q;
+        if proj.bit(q::PC_INDEX) {
+            row.index = self.int_value(b, COL_INDEX, r) as usize;
+        }
+        if proj.bit(q::PC_RACKS) {
+            row.racks = self.int_value(b, COL_RACKS, r) as usize;
+        }
+        if proj.bit(q::PC_SEED) {
+            row.seed =
+                (self.flags(b, r) & FLAG_SEED_PRESENT != 0).then(|| self.int_value(b, COL_SEED, r));
+        }
+        if proj.bit(q::PC_LAUNCHED_JOBS) {
+            row.launched_jobs = self.int_value(b, 3, r) as usize;
+        }
+        if proj.bit(q::PC_COMPLETED_JOBS) {
+            row.completed_jobs = self.int_value(b, 4, r) as usize;
+        }
+        if proj.bit(q::PC_KILLED_JOBS) {
+            row.killed_jobs = self.int_value(b, 5, r) as usize;
+        }
+        if proj.bit(q::PC_PENDING_JOBS) {
+            row.pending_jobs = self.int_value(b, 6, r) as usize;
+        }
+        if proj.bit(q::PC_LOAD_FACTOR) {
+            row.load_factor = self.float_value(b, 0, r);
+        }
+        if proj.bit(q::PC_CAP_PERCENT) {
+            row.cap_percent = self.float_value(b, 1, r);
+        }
+        if proj.bit(q::PC_WORK_CORE_SECONDS) {
+            row.work_core_seconds = self.float_value(b, 2, r);
+        }
+        if proj.bit(q::PC_ENERGY_JOULES) {
+            row.energy_joules = self.float_value(b, 3, r);
+        }
+        if proj.bit(q::PC_ENERGY_NORMALIZED) {
+            row.energy_normalized = self.float_value(b, 4, r);
+        }
+        if proj.bit(q::PC_LAUNCHED_JOBS_NORMALIZED) {
+            row.launched_jobs_normalized = self.float_value(b, 5, r);
+        }
+        if proj.bit(q::PC_WORK_NORMALIZED) {
+            row.work_normalized = self.float_value(b, 6, r);
+        }
+        if proj.bit(q::PC_MEAN_WAIT_SECONDS) {
+            row.mean_wait_seconds = self.float_value(b, 7, r);
+        }
+        if proj.bit(q::PC_PEAK_POWER_WATTS) {
+            row.peak_power_watts = self.float_value(b, 8, r);
+        }
         // Skip the copy when the reused buffer already holds the value —
         // dictionary columns repeat heavily, so across a scan this is the
         // common case and the equality probe is cheaper than the write.
@@ -576,30 +714,65 @@ impl PartitionBuf {
                 dst.push_str(src);
             }
         };
-        set(
-            &mut row.workload,
-            self.dict_str(b, DCOL_WORKLOAD, self.dict_code(b, DCOL_WORKLOAD, r)),
-        );
-        set(
-            &mut row.scenario,
-            self.dict_str(b, DCOL_SCENARIO, self.dict_code(b, DCOL_SCENARIO, r)),
-        );
-        set(
-            &mut row.window,
-            self.dict_str(b, DCOL_WINDOW, self.dict_code(b, DCOL_WINDOW, r)),
-        );
-        set(
-            &mut row.policy,
-            self.dict_str(b, DCOL_POLICY, self.dict_code(b, DCOL_POLICY, r)),
-        );
-        set(
-            &mut row.grouping,
-            self.dict_str(b, 4, self.dict_code(b, 4, r)),
-        );
-        set(
-            &mut row.decision_rule,
-            self.dict_str(b, 5, self.dict_code(b, 5, r)),
-        );
+        if proj.bit(q::PC_WORKLOAD) {
+            set(
+                &mut row.workload,
+                self.dict_str(b, DCOL_WORKLOAD, self.dict_code(b, DCOL_WORKLOAD, r)),
+            );
+        }
+        if proj.bit(q::PC_SCENARIO) {
+            set(
+                &mut row.scenario,
+                self.dict_str(b, DCOL_SCENARIO, self.dict_code(b, DCOL_SCENARIO, r)),
+            );
+        }
+        if proj.bit(q::PC_WINDOW) {
+            set(
+                &mut row.window,
+                self.dict_str(b, DCOL_WINDOW, self.dict_code(b, DCOL_WINDOW, r)),
+            );
+        }
+        if proj.bit(q::PC_POLICY) {
+            set(
+                &mut row.policy,
+                self.dict_str(b, DCOL_POLICY, self.dict_code(b, DCOL_POLICY, r)),
+            );
+        }
+        if proj.bit(q::PC_GROUPING) {
+            set(
+                &mut row.grouping,
+                self.dict_str(b, 4, self.dict_code(b, 4, r)),
+            );
+        }
+        if proj.bit(q::PC_DECISION_RULE) {
+            set(
+                &mut row.decision_rule,
+                self.dict_str(b, 5, self.dict_code(b, 5, r)),
+            );
+        }
+        // An "APC3" block predates the label columns: every row carries
+        // the implicit "-" labels.
+        let labelled = self.blocks[b].is_labelled();
+        if proj.bit(q::PC_SCHEDULE) {
+            set(
+                &mut row.schedule,
+                if labelled {
+                    self.dict_str(b, DCOL_SCHEDULE, self.dict_code(b, DCOL_SCHEDULE, r))
+                } else {
+                    "-"
+                },
+            );
+        }
+        if proj.bit(q::PC_FAULTS) {
+            set(
+                &mut row.faults,
+                if labelled {
+                    self.dict_str(b, DCOL_FAULTS, self.dict_code(b, DCOL_FAULTS, r))
+                } else {
+                    "-"
+                },
+            );
+        }
     }
 
     /// Decode row `r` of block `b` as a fresh [`CellRow`].
@@ -637,6 +810,8 @@ pub(crate) fn blank_row() -> CellRow {
         cap_percent: 0.0,
         grouping: String::new(),
         decision_rule: String::new(),
+        schedule: String::new(),
+        faults: String::new(),
         launched_jobs: 0,
         completed_jobs: 0,
         killed_jobs: 0,
@@ -665,6 +840,8 @@ pub fn rows_bit_identical(a: &CellRow, b: &CellRow) -> bool {
         && a.cap_percent.to_bits() == b.cap_percent.to_bits()
         && a.grouping == b.grouping
         && a.decision_rule == b.decision_rule
+        && a.schedule == b.schedule
+        && a.faults == b.faults
         && a.launched_jobs == b.launched_jobs
         && a.completed_jobs == b.completed_jobs
         && a.killed_jobs == b.killed_jobs
@@ -704,6 +881,8 @@ mod tests {
             cap_percent: 60.0,
             grouping: "grouped".into(),
             decision_rule: "paper-rho".into(),
+            schedule: "-".into(),
+            faults: "-".into(),
             launched_jobs: 10 + index,
             completed_jobs: 9,
             killed_jobs: 0,
@@ -908,6 +1087,169 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn labelled_row(index: usize) -> CellRow {
+        let mut r = row(index);
+        r.scenario = "SCHED/SHUT".into();
+        r.schedule = if index.is_multiple_of(2) {
+            "0+7200@80|7200+10800@40"
+        } else {
+            "-"
+        }
+        .into();
+        r.faults = if index.is_multiple_of(3) {
+            "-"
+        } else {
+            "3x600@7"
+        }
+        .into();
+        r
+    }
+
+    #[test]
+    fn label_free_blocks_keep_the_apc3_magic_and_labelled_ones_switch() {
+        let legacy = encode_block(&[row(0), row(1)]);
+        assert_eq!(&legacy[0..4], b"APC3");
+        // The label columns contribute nothing to a label-free block: its
+        // length is exactly the pre-refactor layout equation.
+        let buf = PartitionBuf::parse(legacy.clone());
+        assert_eq!(buf.block_count(), 1);
+        assert_eq!(buf.blocks[0].dicts.len(), DICT_COLS);
+        let labelled = encode_block(&[labelled_row(0)]);
+        assert_eq!(&labelled[0..4], b"APC4");
+        let buf = PartitionBuf::parse(labelled);
+        assert_eq!(buf.blocks[0].dicts.len(), DICT_COLS_LABELLED);
+    }
+
+    #[test]
+    fn labelled_blocks_round_trip_and_coexist_with_legacy_ones() {
+        let mut data = encode_block(&[row(0), row(1)]);
+        let labelled: Vec<CellRow> = (2..12).map(labelled_row).collect();
+        data.extend_from_slice(&encode_block(&labelled));
+        let buf = PartitionBuf::parse(data);
+        assert_eq!(buf.block_count(), 2);
+        // Legacy rows decode with "-" labels filled in…
+        for r in 0..2 {
+            let decoded = buf.decode(0, r);
+            assert_eq!(decoded.schedule, "-");
+            assert_eq!(decoded.faults, "-");
+            assert!(rows_bit_identical(&row(r), &decoded));
+        }
+        // …and labelled rows round-trip bit-exactly, "-" entries included.
+        for (r, original) in labelled.iter().enumerate() {
+            let decoded = buf.decode(1, r);
+            assert!(
+                rows_bit_identical(original, &decoded),
+                "row {r}: {original:?} vs {decoded:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_labelled_blocks_drop_like_legacy_ones() {
+        let first = encode_block(&[labelled_row(0), labelled_row(1)]);
+        let second = encode_block(&[labelled_row(2)]);
+        let full: Vec<u8> = [first.clone(), second].concat();
+        for keep in (0..full.len()).step_by(3) {
+            let buf = PartitionBuf::parse(full[..keep].to_vec());
+            if keep < first.len() {
+                assert_eq!(buf.block_count(), 0, "torn first block at {keep}");
+            } else {
+                assert_eq!(buf.block_count(), 1, "torn second block at {keep}");
+                assert_eq!(buf.trusted_len(), first.len());
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_and_fault_filters_resolve_per_block_kind() {
+        // On an "APC3" block: "-" is vacuously true, anything else prunes.
+        let legacy = PartitionBuf::parse(encode_block(&[row(0), row(1)]));
+        let dash = RowFilter {
+            schedule: Some("-".into()),
+            faults: Some("-".into()),
+            ..RowFilter::default()
+        };
+        let rf = legacy.resolve_filter(0, &dash).expect("dash resolves");
+        assert!(rf.is_unconstrained());
+        assert!(legacy.matches(0, 0, &rf));
+        let sched = RowFilter {
+            schedule: Some("0+7200@80".into()),
+            ..RowFilter::default()
+        };
+        assert!(legacy.resolve_filter(0, &sched).is_none());
+        let fault = RowFilter {
+            faults: Some("3x600@7".into()),
+            ..RowFilter::default()
+        };
+        assert!(legacy.resolve_filter(0, &fault).is_none());
+        // On an "APC4" block the resolved matches agree with the decoded
+        // RowFilter::matches for every row.
+        let rows: Vec<CellRow> = (0..12).map(labelled_row).collect();
+        let buf = PartitionBuf::parse(encode_block(&rows));
+        for filter in [
+            dash,
+            RowFilter {
+                schedule: Some("0+7200@80|7200+10800@40".into()),
+                ..RowFilter::default()
+            },
+            RowFilter {
+                faults: Some("3x600@7".into()),
+                ..RowFilter::default()
+            },
+            RowFilter {
+                schedule: Some("absent".into()),
+                ..RowFilter::default()
+            },
+        ] {
+            match buf.resolve_filter(0, &filter) {
+                Some(rf) => {
+                    for (r, original) in rows.iter().enumerate() {
+                        assert_eq!(
+                            buf.matches(0, r, &rf),
+                            filter.matches(original),
+                            "row {r} under {filter:?}"
+                        );
+                    }
+                }
+                None => assert!(
+                    rows.iter().all(|r| !filter.matches(r)),
+                    "pruned block contains a match for {filter:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn projected_decode_touches_only_the_selected_columns() {
+        let rows: Vec<CellRow> = (0..4).map(labelled_row).collect();
+        let buf = PartitionBuf::parse(encode_block(&rows));
+        let proj = crate::query::Projection::of(&[
+            "index".to_string(),
+            "energy_joules".to_string(),
+            "schedule".to_string(),
+        ])
+        .unwrap();
+        let mut scratch = blank_row();
+        scratch.workload = "sentinel".into();
+        scratch.launched_jobs = usize::MAX;
+        for (r, original) in rows.iter().enumerate() {
+            buf.decode_into_projected(0, r, &mut scratch, proj);
+            assert_eq!(scratch.index, original.index);
+            assert_eq!(
+                scratch.energy_joules.to_bits(),
+                original.energy_joules.to_bits()
+            );
+            assert_eq!(scratch.schedule, original.schedule);
+            // Unprojected fields are untouched.
+            assert_eq!(scratch.workload, "sentinel");
+            assert_eq!(scratch.launched_jobs, usize::MAX);
+        }
+        // Projection::ALL is exactly decode_into.
+        let mut full = blank_row();
+        buf.decode_into_projected(0, 2, &mut full, crate::query::Projection::ALL);
+        assert!(rows_bit_identical(&rows[2], &full));
     }
 
     #[test]

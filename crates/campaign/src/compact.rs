@@ -250,6 +250,13 @@ mod tests {
             cap_percent: 60.0,
             grouping: "grouped".into(),
             decision_rule: "paper-rho".into(),
+            schedule: if index.is_multiple_of(5) {
+                "0+43200@80|43200+43200@40"
+            } else {
+                "-"
+            }
+            .into(),
+            faults: "-".into(),
             launched_jobs: 10 + index,
             completed_jobs: 9,
             killed_jobs: 0,

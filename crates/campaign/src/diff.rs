@@ -30,6 +30,14 @@ const KEY_COLUMNS: [&str; 8] = [
     "decision_rule",
 ];
 
+/// Label columns that extend the row identity **when present**. Legacy
+/// summaries don't render them at all, and labelled summaries mark
+/// label-free rows with `-`; a `-` contributes nothing to the key, so a
+/// legacy row and its label-free rendering under the new schema produce the
+/// same identity — no silent relabeling when diffing an old store against a
+/// new one. Non-`-` labels join the key (they are identity, not metrics).
+const OPTIONAL_KEY_COLUMNS: [&str; 2] = ["schedule", "faults"];
+
 /// One metric of one grid row whose value differs between the two files.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricDelta {
@@ -211,6 +219,10 @@ fn parse_summary_csv(which: &str, text: &str) -> Result<ParsedSummary, String> {
         for (column, field) in columns.iter().zip(&fields) {
             if KEY_COLUMNS.contains(column) {
                 key_parts.push(format!("{column}={field}"));
+            } else if OPTIONAL_KEY_COLUMNS.contains(column) {
+                if field != "-" {
+                    key_parts.push(format!("{column}={field}"));
+                }
             } else {
                 // An empty field is a rendered NaN (e.g. the mean wait of
                 // an interval that launched nothing).
@@ -296,6 +308,8 @@ mod tests {
             cap_percent: 60.0,
             grouping: "grouped".into(),
             decision_rule: "paper-rho".into(),
+            schedule: "-".into(),
+            faults: "-".into(),
             launched_jobs: launched,
             completed_jobs: launched,
             killed_jobs: 0,
@@ -417,6 +431,51 @@ mod tests {
         let report = diff_summary_csv(&b, &a).unwrap();
         assert!(report.deltas.iter().any(|d| d.metric == "new_metric_mean"));
         assert!(!report.breaches(1e12).is_empty());
+    }
+
+    #[test]
+    fn label_columns_are_identity_not_metrics_and_dashes_match_legacy() {
+        // A labelled summary: one scheduled row, one legacy row marked "-".
+        let mut scheduled = row(0, "SCHED/SHUT", 10, 5.0);
+        scheduled.schedule = "0+43200@80|43200+43200@40".into();
+        let legacy_row = row(1, "60%/SHUT", 8, 7.0);
+        let labelled = csv(&[scheduled.clone(), legacy_row.clone()]);
+        assert!(labelled
+            .lines()
+            .next()
+            .unwrap()
+            .contains(",schedule,faults,"));
+
+        // Labels are identity: the same grid diffs clean against itself, and
+        // the schedule string never tries to parse as a metric.
+        let report = diff_summary_csv(&labelled, &labelled).unwrap();
+        assert!(report.grid_matches());
+        assert!(report.deltas.is_empty());
+        assert!(report
+            .only_in_a
+            .iter()
+            .chain(&report.only_in_b)
+            .all(|k| !k.contains("schedule=-")));
+
+        // Changing only the schedule label is a grid mismatch, not a
+        // tolerated metric delta.
+        let mut relabelled = scheduled.clone();
+        relabelled.schedule = "0+86400@80".into();
+        let other = csv(&[relabelled, legacy_row.clone()]);
+        let report = diff_summary_csv(&labelled, &other).unwrap();
+        assert!(!report.grid_matches());
+        assert_eq!(report.compared_rows, 1);
+
+        // The "-" rows of a labelled file match the same rows of a legacy
+        // (label-free) file: only the scheduled row is unmatched.
+        let legacy = csv(&[legacy_row]);
+        assert!(!legacy.lines().next().unwrap().contains("schedule"));
+        let report = diff_summary_csv(&labelled, &legacy).unwrap();
+        assert_eq!(report.compared_rows, 1);
+        assert!(report.deltas.is_empty());
+        assert_eq!(report.only_in_a.len(), 1);
+        assert!(report.only_in_a[0].contains("SCHED/SHUT"));
+        assert!(report.only_in_b.is_empty());
     }
 
     #[test]

@@ -73,11 +73,14 @@ pub mod prelude {
         platform_for, CampaignOutcome, CampaignRunner, ExecStrategy, RunStats, WorkerStats,
     };
     pub use crate::obs::CampaignObs;
-    pub use crate::pareto::{pareto_front, render_pareto_csv, Objectives, ParetoRow};
+    pub use crate::pareto::{
+        pareto_front, pareto_front_cells, render_pareto_cells_csv, render_pareto_csv, Objectives,
+        ParetoCellRow, ParetoRow,
+    };
     pub use crate::progress::{render_progress, ProgressMonitor};
     pub use crate::query::{
-        numeric, project, scan_store, AggKind, GroupAggregator, RowFilter, ScanFlow, ScanStats,
-        StoreScanner, DEFAULT_AGG_COLUMNS, NUMERIC_COLUMNS, QUERY_COLUMNS,
+        numeric, project, scan_store, AggKind, GroupAggregator, Projection, RowFilter, ScanFlow,
+        ScanStats, StoreScanner, DEFAULT_AGG_COLUMNS, NUMERIC_COLUMNS, QUERY_COLUMNS,
     };
     pub use crate::sink::{
         render_cells_csv, render_cells_json, render_summary_csv, render_summary_json, CampaignSink,

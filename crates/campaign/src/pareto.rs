@@ -15,12 +15,23 @@
 //! * `mean_wait_seconds` — minimise.
 //!
 //! Fronts are computed per **workload group** (rack scale × workload label ×
-//! load factor): comparing a 24 h interval against a 5 h one, or a 1.0-load
-//! run against an overloaded 1.8 one, would mix incomparable baselines.
+//! load factor × fault plan): comparing a 24 h interval against a 5 h one,
+//! or a 1.0-load run against an overloaded 1.8 one, would mix incomparable
+//! baselines — and so would comparing a clean run against one whose nodes
+//! were being failed under it. Cap *schedules*, by contrast, are competing
+//! policies and share a front with the static-window scenarios: "flat 80 %"
+//! versus "day/night tariff" is exactly the trade-off the front is for.
 //! Rows with an undefined (`NaN`) objective are excluded — they can neither
 //! dominate nor sit on the front.
+//!
+//! [`pareto_front_cells`] is the per-replication variant: it fronts the raw
+//! cell rows instead of across-seed means, with the seed joining the group
+//! key so dominance is counted per seed. A scenario whose *mean* sits on
+//! the summary front can still lose every individual seed to a rival with
+//! higher variance; the cells front makes those variance-driven trade-offs
+//! visible.
 
-use crate::agg::SummaryRow;
+use crate::agg::{CellRow, SummaryRow};
 use crate::sink::csv_field;
 
 /// The objective triple of one summary row.
@@ -41,6 +52,15 @@ impl Objectives {
             energy_normalized: row.energy_normalized.mean,
             work_normalized: row.work_normalized.mean,
             mean_wait_seconds: row.mean_wait_seconds.mean,
+        }
+    }
+
+    /// Extract the objectives of one replication (cell row).
+    pub fn of_cell(row: &CellRow) -> Self {
+        Objectives {
+            energy_normalized: row.energy_normalized,
+            work_normalized: row.work_normalized,
+            mean_wait_seconds: row.mean_wait_seconds,
         }
     }
 
@@ -79,34 +99,66 @@ pub struct ParetoRow {
     pub dominated: usize,
 }
 
-/// Workload-group key: rows are only comparable within one of these.
-fn group_key(row: &SummaryRow) -> (usize, &str, u64) {
-    (row.racks, row.workload.as_str(), row.load_factor.to_bits())
+/// One row of the per-replication Pareto report: a non-dominated cell row
+/// plus how many same-group (same-seed) cells it dominates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoCellRow {
+    /// The non-dominated replication.
+    pub cell: CellRow,
+    /// Its objective triple.
+    pub objectives: Objectives,
+    /// Number of same-group cells this cell dominates.
+    pub dominated: usize,
 }
 
-/// Extract the non-dominated front of every workload group, preserving the
-/// input (first-occurrence) order of groups and of rows within a group.
-///
-/// The front is *exactly* the set of rows no other same-group row
-/// dominates; rows with a `NaN` objective are skipped. Rows are bucketed
-/// by group first, so the dominance scan is quadratic in the **group**
-/// size (a scenario grid: tens to a few thousand rows), not in the total
-/// row count of a big multi-workload sweep.
-pub fn pareto_front(summaries: &[SummaryRow]) -> Vec<ParetoRow> {
-    let objectives: Vec<Objectives> = summaries.iter().map(Objectives::of).collect();
-    let mut groups: std::collections::HashMap<(usize, &str, u64), Vec<usize>> =
-        std::collections::HashMap::new();
-    for (i, row) in summaries.iter().enumerate() {
-        groups.entry(group_key(row)).or_default().push(i);
+/// Workload-group key: rows are only comparable within one of these. The
+/// fault plan is part of the key: an injected outage perturbs the workload
+/// that actually ran, so a faulted row and a clean row have incomparable
+/// baselines. Cap schedules are deliberately *not* in the key — they are
+/// competing policies and belong on the same front as static windows.
+fn group_key(row: &SummaryRow) -> (usize, &str, u64, &str) {
+    (
+        row.racks,
+        row.workload.as_str(),
+        row.load_factor.to_bits(),
+        row.faults.as_str(),
+    )
+}
+
+/// Per-replication group key: the summary key plus the seed, so dominance
+/// is counted between scenarios that replayed the *same* perturbed trace.
+fn cell_group_key(row: &CellRow) -> (usize, &str, u64, &str, Option<u64>) {
+    (
+        row.racks,
+        row.workload.as_str(),
+        row.load_factor.to_bits(),
+        row.faults.as_str(),
+        row.seed,
+    )
+}
+
+/// Dominance scan shared by both fronts: for each row, `Some(dominated)`
+/// when it is on the front of its group, `None` when it is dominated or has
+/// an undefined objective. Rows are bucketed by group first, so the scan is
+/// quadratic in the **group** size (a scenario grid: tens to a few thousand
+/// rows), not in the total row count of a big multi-workload sweep.
+fn front_mask<K: std::hash::Hash + Eq>(
+    objectives: &[Objectives],
+    keys: &[K],
+) -> Vec<Option<usize>> {
+    let mut groups: std::collections::HashMap<&K, Vec<usize>> = std::collections::HashMap::new();
+    for (i, key) in keys.iter().enumerate() {
+        groups.entry(key).or_default().push(i);
     }
-    let mut front = Vec::new();
-    for (i, candidate) in summaries.iter().enumerate() {
+    let mut mask = Vec::with_capacity(objectives.len());
+    for i in 0..objectives.len() {
         if objectives[i].has_nan() {
+            mask.push(None);
             continue;
         }
         let mut dominated = 0usize;
         let mut is_dominated = false;
-        for &j in &groups[&group_key(candidate)] {
+        for &j in &groups[&keys[i]] {
             if i == j {
                 continue;
             }
@@ -118,15 +170,52 @@ pub fn pareto_front(summaries: &[SummaryRow]) -> Vec<ParetoRow> {
                 dominated += 1;
             }
         }
-        if !is_dominated {
-            front.push(ParetoRow {
-                summary: candidate.clone(),
+        mask.push(if is_dominated { None } else { Some(dominated) });
+    }
+    mask
+}
+
+/// Extract the non-dominated front of every workload group, preserving the
+/// input (first-occurrence) order of groups and of rows within a group.
+///
+/// The front is *exactly* the set of rows no other same-group row
+/// dominates; rows with a `NaN` objective are skipped.
+pub fn pareto_front(summaries: &[SummaryRow]) -> Vec<ParetoRow> {
+    let objectives: Vec<Objectives> = summaries.iter().map(Objectives::of).collect();
+    let keys: Vec<_> = summaries.iter().map(group_key).collect();
+    front_mask(&objectives, &keys)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, dominated)| {
+            dominated.map(|dominated| ParetoRow {
+                summary: summaries[i].clone(),
                 objectives: objectives[i],
                 dominated,
-            });
-        }
-    }
-    front
+            })
+        })
+        .collect()
+}
+
+/// Extract the per-replication front: every cell row no other cell of the
+/// same workload group **and seed** dominates (`campaign pareto --cells`).
+///
+/// Fronting individual replications instead of across-seed means exposes
+/// variance-driven trade-offs: a scenario whose mean is non-dominated may
+/// still lose every individual seed to a noisier rival, and vice versa.
+pub fn pareto_front_cells(cells: &[CellRow]) -> Vec<ParetoCellRow> {
+    let objectives: Vec<Objectives> = cells.iter().map(Objectives::of_cell).collect();
+    let keys: Vec<_> = cells.iter().map(cell_group_key).collect();
+    front_mask(&objectives, &keys)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, dominated)| {
+            dominated.map(|dominated| ParetoCellRow {
+                cell: cells[i].clone(),
+                objectives: objectives[i],
+                dominated,
+            })
+        })
+        .collect()
 }
 
 /// Header of the rendered `pareto.csv`.
@@ -134,22 +223,55 @@ pub const PARETO_CSV_HEADER: &str = "racks,workload,load_factor,scenario,window,
 grouping,decision_rule,replications,energy_normalized_mean,work_normalized_mean,\
 mean_wait_seconds_mean,dominated";
 
-/// Render a Pareto front as CSV (with header and trailing newline), using
-/// the same float formatting as `summary.csv`.
-pub fn render_pareto_csv(front: &[ParetoRow]) -> String {
-    fn float_field(v: f64) -> String {
-        if v.is_finite() {
-            format!("{v:.6}")
-        } else {
-            String::new()
-        }
+/// Header of `pareto.csv` when any front row carries a schedule or fault
+/// label. Label-free fronts keep the legacy header byte-for-byte.
+pub const PARETO_CSV_HEADER_LABELLED: &str =
+    "racks,workload,load_factor,scenario,window,cap_percent,\
+grouping,decision_rule,schedule,faults,replications,energy_normalized_mean,\
+work_normalized_mean,mean_wait_seconds_mean,dominated";
+
+/// Header of the per-replication `pareto --cells` CSV.
+pub const PARETO_CELLS_CSV_HEADER: &str = "racks,workload,load_factor,seed,scenario,window,\
+cap_percent,grouping,decision_rule,energy_normalized,work_normalized,\
+mean_wait_seconds,dominated";
+
+/// Labelled variant of the `pareto --cells` header.
+pub const PARETO_CELLS_CSV_HEADER_LABELLED: &str =
+    "racks,workload,load_factor,seed,scenario,window,\
+cap_percent,grouping,decision_rule,schedule,faults,energy_normalized,work_normalized,\
+mean_wait_seconds,dominated";
+
+fn float_field(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        String::new()
     }
-    let mut out = String::from(PARETO_CSV_HEADER);
+}
+
+/// Render a Pareto front as CSV (with header and trailing newline), using
+/// the same float formatting as `summary.csv`. The `schedule`/`faults`
+/// columns appear only when some front row actually carries a label, so
+/// legacy (static-window) campaigns render byte-identically.
+pub fn render_pareto_csv(front: &[ParetoRow]) -> String {
+    let labelled = front
+        .iter()
+        .any(|r| r.summary.schedule != "-" || r.summary.faults != "-");
+    let mut out = String::from(if labelled {
+        PARETO_CSV_HEADER_LABELLED
+    } else {
+        PARETO_CSV_HEADER
+    });
     out.push('\n');
     for row in front {
         let s = &row.summary;
+        let labels = if labelled {
+            format!("{},{},", csv_field(&s.schedule), csv_field(&s.faults))
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{labels}{},{},{},{},{}\n",
             s.racks,
             csv_field(&s.workload),
             float_field(s.load_factor),
@@ -159,6 +281,45 @@ pub fn render_pareto_csv(front: &[ParetoRow]) -> String {
             csv_field(&s.grouping),
             csv_field(&s.decision_rule),
             s.replications,
+            float_field(row.objectives.energy_normalized),
+            float_field(row.objectives.work_normalized),
+            float_field(row.objectives.mean_wait_seconds),
+            row.dominated,
+        ));
+    }
+    out
+}
+
+/// Render a per-replication front as CSV (`campaign pareto --cells`), with
+/// the same conditional label columns as the summary front.
+pub fn render_pareto_cells_csv(front: &[ParetoCellRow]) -> String {
+    let labelled = front
+        .iter()
+        .any(|r| r.cell.schedule != "-" || r.cell.faults != "-");
+    let mut out = String::from(if labelled {
+        PARETO_CELLS_CSV_HEADER_LABELLED
+    } else {
+        PARETO_CELLS_CSV_HEADER
+    });
+    out.push('\n');
+    for row in front {
+        let c = &row.cell;
+        let labels = if labelled {
+            format!("{},{},", csv_field(&c.schedule), csv_field(&c.faults))
+        } else {
+            String::new()
+        };
+        let seed = c.seed.map(|s| s.to_string()).unwrap_or_default();
+        out.push_str(&format!(
+            "{},{},{},{seed},{},{},{},{},{},{labels}{},{},{},{}\n",
+            c.racks,
+            csv_field(&c.workload),
+            float_field(c.load_factor),
+            csv_field(&c.scenario),
+            csv_field(&c.window),
+            float_field(c.cap_percent),
+            csv_field(&c.grouping),
+            csv_field(&c.decision_rule),
             float_field(row.objectives.energy_normalized),
             float_field(row.objectives.work_normalized),
             float_field(row.objectives.mean_wait_seconds),
@@ -189,6 +350,8 @@ mod tests {
             cap_percent: 60.0,
             grouping: "grouped".into(),
             decision_rule: "paper-rho".into(),
+            schedule: "-".into(),
+            faults: "-".into(),
             replications: 2,
             launched_jobs: metric(10.0),
             energy_normalized: metric(energy),
@@ -255,6 +418,105 @@ mod tests {
             summary("medianjob", "B", 0.5, 0.8, 100.0),
         ];
         assert_eq!(pareto_front(&rows).len(), 2);
+    }
+
+    fn cell(seed: u64, scenario: &str, energy: f64, work: f64, wait: f64) -> CellRow {
+        CellRow {
+            index: seed as usize,
+            racks: 1,
+            workload: "medianjob".into(),
+            seed: Some(seed),
+            load_factor: 1.8,
+            scenario: scenario.into(),
+            window: "7200+3600".into(),
+            policy: "shut".into(),
+            cap_percent: 60.0,
+            grouping: "grouped".into(),
+            decision_rule: "paper-rho".into(),
+            schedule: "-".into(),
+            faults: "-".into(),
+            launched_jobs: 10,
+            completed_jobs: 10,
+            killed_jobs: 0,
+            pending_jobs: 0,
+            work_core_seconds: 100.0,
+            energy_joules: 1.0,
+            energy_normalized: energy,
+            launched_jobs_normalized: 0.5,
+            work_normalized: work,
+            mean_wait_seconds: wait,
+            peak_power_watts: 900.0,
+        }
+    }
+
+    #[test]
+    fn fault_plans_split_groups_but_schedules_compete() {
+        // B is strictly better than A but ran under injected outages: the
+        // fault plan is part of the group key, so both stay on their own
+        // fronts.
+        let mut faulted = summary("medianjob", "B", 0.4, 0.9, 50.0);
+        faulted.faults = "3x600@7".into();
+        let rows = vec![summary("medianjob", "A", 0.5, 0.8, 100.0), faulted];
+        assert_eq!(pareto_front(&rows).len(), 2);
+
+        // A cap schedule, by contrast, competes on the same front as the
+        // static window it beats.
+        let mut scheduled = summary("medianjob", "B", 0.4, 0.9, 50.0);
+        scheduled.schedule = "0+43200@80|43200+43200@40".into();
+        let rows = vec![summary("medianjob", "A", 0.5, 0.8, 100.0), scheduled];
+        let front = pareto_front(&rows);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].summary.scenario, "B");
+        assert_eq!(front[0].dominated, 1);
+    }
+
+    #[test]
+    fn labelled_fronts_add_schedule_and_fault_columns() {
+        let mut scheduled = summary("medianjob", "B", 0.4, 0.9, 50.0);
+        scheduled.schedule = "0+43200@80|43200+43200@40".into();
+        scheduled.faults = "3x600@7".into();
+        let csv = render_pareto_csv(&pareto_front(&[scheduled]));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], PARETO_CSV_HEADER_LABELLED);
+        assert!(lines[1].contains(",0+43200@80|43200+43200@40,3x600@7,"));
+        assert_eq!(
+            lines[1].split(',').count(),
+            PARETO_CSV_HEADER_LABELLED.split(',').count()
+        );
+    }
+
+    #[test]
+    fn cells_front_counts_dominance_per_seed() {
+        let rows = vec![
+            // Seed 1: A dominates B.
+            cell(1, "A", 0.5, 0.8, 100.0),
+            cell(1, "B", 0.6, 0.7, 100.0),
+            // Seed 2: the ranking flips — B dominates A. Neither cell of
+            // seed 1 may dominate (or save) a cell of seed 2.
+            cell(2, "A", 0.6, 0.7, 100.0),
+            cell(2, "B", 0.5, 0.8, 100.0),
+        ];
+        let front = pareto_front_cells(&rows);
+        let ids: Vec<(u64, &str)> = front
+            .iter()
+            .map(|r| (r.cell.seed.unwrap(), r.cell.scenario.as_str()))
+            .collect();
+        assert_eq!(ids, [(1, "A"), (2, "B")]);
+        assert_eq!(front[0].dominated, 1);
+        assert_eq!(front[1].dominated, 1);
+    }
+
+    #[test]
+    fn cells_csv_renders_seed_column() {
+        let front = pareto_front_cells(&[cell(7, "A", 0.5, 0.8, 100.0)]);
+        let csv = render_pareto_cells_csv(&front);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], PARETO_CELLS_CSV_HEADER);
+        assert!(lines[1].starts_with("1,medianjob,1.800000,7,A,7200+3600,60.000000"));
+        assert_eq!(
+            lines[1].split(',').count(),
+            PARETO_CELLS_CSV_HEADER.split(',').count()
+        );
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub struct RowFilter {
     pub load_factor: Option<f64>,
     /// Keep rows of this rack scale.
     pub racks: Option<usize>,
+    /// Keep rows of this cap-schedule label (`"-"` keeps the rows without
+    /// a time-varying schedule, including every row of a pre-schedule
+    /// store).
+    pub schedule: Option<String>,
+    /// Keep rows of this fault-plan label (`"-"` keeps the fault-free
+    /// rows, including every row of a pre-fault store).
+    pub faults: Option<String>,
 }
 
 impl RowFilter {
@@ -68,11 +75,13 @@ impl RowFilter {
                 .load_factor
                 .is_none_or(|l| l.to_bits() == row.load_factor.to_bits())
             && self.racks.is_none_or(|r| r == row.racks)
+            && self.schedule.as_ref().is_none_or(|s| *s == row.schedule)
+            && self.faults.as_ref().is_none_or(|f| *f == row.faults)
     }
 }
 
 /// The column names [`project`] accepts, in canonical `cells.csv` order.
-pub const QUERY_COLUMNS: [&str; 22] = [
+pub const QUERY_COLUMNS: [&str; 24] = [
     "index",
     "racks",
     "workload",
@@ -84,6 +93,8 @@ pub const QUERY_COLUMNS: [&str; 22] = [
     "cap_percent",
     "grouping",
     "decision_rule",
+    "schedule",
+    "faults",
     "launched_jobs",
     "completed_jobs",
     "killed_jobs",
@@ -96,6 +107,90 @@ pub const QUERY_COLUMNS: [&str; 22] = [
     "mean_wait_seconds",
     "peak_power_watts",
 ];
+
+// Bit positions of every column in [`QUERY_COLUMNS`] order, used by the
+// v3 decoder to test a [`Projection`] without string compares on the
+// per-row path. `projection_bits_match_query_columns` pins the mapping.
+pub(crate) const PC_INDEX: usize = 0;
+pub(crate) const PC_RACKS: usize = 1;
+pub(crate) const PC_WORKLOAD: usize = 2;
+pub(crate) const PC_SEED: usize = 3;
+pub(crate) const PC_LOAD_FACTOR: usize = 4;
+pub(crate) const PC_SCENARIO: usize = 5;
+pub(crate) const PC_WINDOW: usize = 6;
+pub(crate) const PC_POLICY: usize = 7;
+pub(crate) const PC_CAP_PERCENT: usize = 8;
+pub(crate) const PC_GROUPING: usize = 9;
+pub(crate) const PC_DECISION_RULE: usize = 10;
+pub(crate) const PC_SCHEDULE: usize = 11;
+pub(crate) const PC_FAULTS: usize = 12;
+pub(crate) const PC_LAUNCHED_JOBS: usize = 13;
+pub(crate) const PC_COMPLETED_JOBS: usize = 14;
+pub(crate) const PC_KILLED_JOBS: usize = 15;
+pub(crate) const PC_PENDING_JOBS: usize = 16;
+pub(crate) const PC_WORK_CORE_SECONDS: usize = 17;
+pub(crate) const PC_ENERGY_JOULES: usize = 18;
+pub(crate) const PC_ENERGY_NORMALIZED: usize = 19;
+pub(crate) const PC_LAUNCHED_JOBS_NORMALIZED: usize = 20;
+pub(crate) const PC_WORK_NORMALIZED: usize = 21;
+pub(crate) const PC_MEAN_WAIT_SECONDS: usize = 22;
+pub(crate) const PC_PEAK_POWER_WATTS: usize = 23;
+
+/// The set of [`QUERY_COLUMNS`] a scan needs decoded — the column
+/// projection the v3 codec pushes down into each block (satellite of the
+/// scenario-engine refactor): unprojected columns are never read from the
+/// column arrays, so `query --columns index,energy_joules` skips every
+/// dictionary-string copy per row.
+///
+/// Projection is an *optimisation hint*: rows delivered from a v2 (CSV)
+/// partition are always fully decoded, so callers must treat unprojected
+/// fields as unspecified, never as guaranteed-blank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Projection(u32);
+
+impl Projection {
+    /// Every column.
+    pub const ALL: Projection = Projection((1 << QUERY_COLUMNS.len()) - 1);
+
+    /// The projection selecting exactly `columns`. Unknown names are an
+    /// error listing the valid columns.
+    pub fn of(columns: &[String]) -> Result<Projection, String> {
+        let mut bits = 0u32;
+        for column in columns {
+            let i = QUERY_COLUMNS
+                .iter()
+                .position(|c| c == column)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown column {column:?} (valid: {})",
+                        QUERY_COLUMNS.join(", ")
+                    )
+                })?;
+            bits |= 1 << i;
+        }
+        Ok(Projection(bits))
+    }
+
+    /// Is column bit `i` (a `PC_*` constant) selected?
+    pub(crate) fn bit(self, i: usize) -> bool {
+        self.0 >> i & 1 != 0
+    }
+
+    /// Does the projection select every column?
+    pub fn is_all(self) -> bool {
+        self == Self::ALL
+    }
+
+    /// Number of selected columns.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is the projection empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
 
 /// Render one named column of a row as a CSV-safe field (full precision,
 /// NaN/None as empty, labels quoted through the crate's `csv_field`
@@ -122,6 +217,8 @@ pub fn project(row: &CellRow, column: &str) -> Result<String, String> {
         "cap_percent" => float(row.cap_percent),
         "grouping" => csv_field(&row.grouping),
         "decision_rule" => csv_field(&row.decision_rule),
+        "schedule" => csv_field(&row.schedule),
+        "faults" => csv_field(&row.faults),
         "launched_jobs" => row.launched_jobs.to_string(),
         "completed_jobs" => row.completed_jobs.to_string(),
         "killed_jobs" => row.killed_jobs.to_string(),
@@ -527,6 +624,22 @@ impl StoreScanner {
     pub fn scan(
         &self,
         filter: &RowFilter,
+        on_row: impl FnMut(&CellRow) -> Result<ScanFlow, String>,
+    ) -> Result<ScanStats, String> {
+        self.scan_projected(filter, Projection::ALL, on_row)
+    }
+
+    /// [`scan`](Self::scan) with a column projection pushed down into the
+    /// v3 block decoder: only the projected columns of matching rows are
+    /// read from the column arrays (filtering and duplicate resolution
+    /// still run on the raw columns, so the match set is identical to an
+    /// unprojected scan). Unprojected fields of the delivered row are
+    /// unspecified — the callback must only read projected columns. On v2
+    /// CSV partitions rows are fully parsed regardless.
+    pub fn scan_projected(
+        &self,
+        filter: &RowFilter,
+        projection: Projection,
         mut on_row: impl FnMut(&CellRow) -> Result<ScanFlow, String>,
     ) -> Result<ScanStats, String> {
         let mut stats = ScanStats::default();
@@ -597,7 +710,7 @@ impl StoreScanner {
                         let check = !rf.is_unconstrained();
                         for r in 0..buf.block_rows(b) {
                             if is_done(buf.cell_index(b, r)) && (!check || buf.matches(b, r, rf)) {
-                                buf.decode_into(b, r, &mut scratch);
+                                buf.decode_into_projected(b, r, &mut scratch, projection);
                                 stats.matched += 1;
                                 if on_row(&scratch)? == ScanFlow::Stop {
                                     stats.stopped_early = true;
@@ -620,7 +733,7 @@ impl StoreScanner {
                 for &(b, r) in last.values() {
                     let Some(rf) = &resolved[b] else { continue };
                     if buf.matches(b, r, rf) {
-                        buf.decode_into(b, r, &mut scratch);
+                        buf.decode_into_projected(b, r, &mut scratch, projection);
                         stats.matched += 1;
                         if on_row(&scratch)? == ScanFlow::Stop {
                             stats.stopped_early = true;
@@ -688,6 +801,8 @@ mod tests {
             cap_percent: 60.0,
             grouping: "grouped".into(),
             decision_rule: "paper-rho".into(),
+            schedule: "-".into(),
+            faults: "-".into(),
             launched_jobs: index,
             completed_jobs: index,
             killed_jobs: 0,
@@ -1061,6 +1176,123 @@ mod tests {
         for column in NUMERIC_COLUMNS {
             assert!(numeric(&r, column).is_ok());
         }
+    }
+
+    #[test]
+    fn projection_bits_match_query_columns() {
+        // The PC_* constants must track QUERY_COLUMNS positions exactly —
+        // the v3 decoder trusts them.
+        for (i, name) in [
+            (PC_INDEX, "index"),
+            (PC_RACKS, "racks"),
+            (PC_WORKLOAD, "workload"),
+            (PC_SEED, "seed"),
+            (PC_LOAD_FACTOR, "load_factor"),
+            (PC_SCENARIO, "scenario"),
+            (PC_WINDOW, "window"),
+            (PC_POLICY, "policy"),
+            (PC_CAP_PERCENT, "cap_percent"),
+            (PC_GROUPING, "grouping"),
+            (PC_DECISION_RULE, "decision_rule"),
+            (PC_SCHEDULE, "schedule"),
+            (PC_FAULTS, "faults"),
+            (PC_LAUNCHED_JOBS, "launched_jobs"),
+            (PC_COMPLETED_JOBS, "completed_jobs"),
+            (PC_KILLED_JOBS, "killed_jobs"),
+            (PC_PENDING_JOBS, "pending_jobs"),
+            (PC_WORK_CORE_SECONDS, "work_core_seconds"),
+            (PC_ENERGY_JOULES, "energy_joules"),
+            (PC_ENERGY_NORMALIZED, "energy_normalized"),
+            (PC_LAUNCHED_JOBS_NORMALIZED, "launched_jobs_normalized"),
+            (PC_WORK_NORMALIZED, "work_normalized"),
+            (PC_MEAN_WAIT_SECONDS, "mean_wait_seconds"),
+            (PC_PEAK_POWER_WATTS, "peak_power_watts"),
+        ] {
+            assert_eq!(QUERY_COLUMNS[i], name, "bit {i}");
+        }
+        let all = Projection::ALL;
+        assert!(all.is_all());
+        assert_eq!(all.len(), QUERY_COLUMNS.len());
+        let narrow = Projection::of(&["index".to_string(), "faults".to_string()]).unwrap();
+        assert!(narrow.bit(PC_INDEX) && narrow.bit(PC_FAULTS));
+        assert!(!narrow.bit(PC_WORKLOAD) && !narrow.is_all());
+        assert_eq!(narrow.len(), 2);
+        assert!(Projection::of(&[]).unwrap().is_empty());
+        assert!(Projection::of(&["nope".to_string()])
+            .unwrap_err()
+            .contains("unknown column"));
+    }
+
+    #[test]
+    fn schedule_and_fault_filters_compose_like_the_others() {
+        let mut r = row(4, "medianjob", "SCHED/SHUT");
+        r.schedule = "0+7200@80|7200+10800@40".into();
+        r.faults = "3x600@7".into();
+        let hit = RowFilter {
+            schedule: Some("0+7200@80|7200+10800@40".into()),
+            faults: Some("3x600@7".into()),
+            ..RowFilter::default()
+        };
+        assert!(hit.matches(&r));
+        for miss in [
+            RowFilter {
+                schedule: Some("-".into()),
+                ..RowFilter::default()
+            },
+            RowFilter {
+                faults: Some("2x600@7".into()),
+                ..RowFilter::default()
+            },
+        ] {
+            assert!(!miss.matches(&r));
+        }
+        // A legacy row matches the "-" filters.
+        let legacy = row(5, "medianjob", "60%/SHUT");
+        let dashes = RowFilter {
+            schedule: Some("-".into()),
+            faults: Some("-".into()),
+            ..RowFilter::default()
+        };
+        assert!(dashes.matches(&legacy));
+    }
+
+    #[test]
+    fn projected_scans_match_full_scans_on_the_projected_columns() {
+        let dir = temp_dir("projected");
+        build_store(&dir);
+        let projection =
+            Projection::of(&["index".to_string(), "energy_joules".to_string()]).unwrap();
+        let mut narrow = Vec::new();
+        let scanner = StoreScanner::open(&dir).unwrap();
+        let stats = scanner
+            .scan_projected(&RowFilter::default(), projection, |r| {
+                narrow.push((r.index, r.energy_joules.to_bits()));
+                Ok(ScanFlow::Continue)
+            })
+            .unwrap();
+        assert_eq!(stats.matched, 200);
+        let mut full = Vec::new();
+        scan_store(&dir, &RowFilter::default(), |r| {
+            full.push((r.index, r.energy_joules.to_bits()));
+            Ok(ScanFlow::Continue)
+        })
+        .unwrap();
+        assert_eq!(narrow, full);
+        // Projection never changes the match set under a filter either.
+        let filter = RowFilter {
+            scenario: Some("60%/SHUT".into()),
+            ..RowFilter::default()
+        };
+        let mut filtered = Vec::new();
+        scanner
+            .scan_projected(&filter, projection, |r| {
+                filtered.push(r.index);
+                Ok(ScanFlow::Continue)
+            })
+            .unwrap();
+        assert!(filtered.iter().all(|i| i % 4 == 0));
+        assert_eq!(filtered.len(), 50);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -106,13 +106,37 @@ policy,cap_percent,grouping,decision_rule,launched_jobs,completed_jobs,killed_jo
 work_core_seconds,energy_joules,energy_normalized,launched_jobs_normalized,\
 work_normalized,mean_wait_seconds,peak_power_watts";
 
+/// [`CELLS_CSV_HEADER`] with the `schedule`/`faults` columns, used when any
+/// rendered row carries a cap-schedule or fault-plan label.
+pub const CELLS_CSV_HEADER_LABELLED: &str = "index,racks,workload,seed,load_factor,scenario,\
+window,policy,cap_percent,grouping,decision_rule,schedule,faults,launched_jobs,completed_jobs,\
+killed_jobs,pending_jobs,work_core_seconds,energy_joules,energy_normalized,\
+launched_jobs_normalized,work_normalized,mean_wait_seconds,peak_power_watts";
+
+/// Do any of these rows carry a schedule or fault label? Decides whether
+/// the renderers emit the two label columns — campaigns without the new
+/// axes keep their pre-refactor output bytes exactly.
+fn cells_labelled(rows: &[CellRow]) -> bool {
+    rows.iter().any(|r| r.schedule != "-" || r.faults != "-")
+}
+
 /// Render the per-cell rows as CSV (with header and trailing newline).
 pub fn render_cells_csv(rows: &[CellRow]) -> String {
-    let mut out = String::from(CELLS_CSV_HEADER);
+    let labelled = cells_labelled(rows);
+    let mut out = String::from(if labelled {
+        CELLS_CSV_HEADER_LABELLED
+    } else {
+        CELLS_CSV_HEADER
+    });
     out.push('\n');
     for r in rows {
+        let labels = if labelled {
+            format!("{},{},", csv_field(&r.schedule), csv_field(&r.faults))
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{labels}{},{},{},{},{},{},{},{},{},{},{}\n",
             r.index,
             r.racks,
             csv_field(&r.workload),
@@ -159,14 +183,42 @@ work_normalized_mean,work_normalized_min,work_normalized_max,work_normalized_std
 mean_wait_seconds_mean,mean_wait_seconds_min,mean_wait_seconds_max,mean_wait_seconds_stddev,\
 peak_power_watts_mean,peak_power_watts_min,peak_power_watts_max,peak_power_watts_stddev";
 
+/// [`SUMMARY_CSV_HEADER`] with the `schedule`/`faults` columns, used when
+/// any summary group carries a cap-schedule or fault-plan label.
+pub const SUMMARY_CSV_HEADER_LABELLED: &str =
+    "racks,workload,load_factor,scenario,window,cap_percent,grouping,decision_rule,\
+schedule,faults,replications,\
+launched_jobs_mean,launched_jobs_min,launched_jobs_max,launched_jobs_stddev,\
+energy_normalized_mean,energy_normalized_min,energy_normalized_max,energy_normalized_stddev,\
+work_normalized_mean,work_normalized_min,work_normalized_max,work_normalized_stddev,\
+mean_wait_seconds_mean,mean_wait_seconds_min,mean_wait_seconds_max,mean_wait_seconds_stddev,\
+peak_power_watts_mean,peak_power_watts_min,peak_power_watts_max,peak_power_watts_stddev";
+
+/// Do any of these summary groups carry a schedule or fault label?
+fn summaries_labelled(summaries: &[SummaryRow]) -> bool {
+    summaries
+        .iter()
+        .any(|s| s.schedule != "-" || s.faults != "-")
+}
+
 /// Render the across-seed summaries as CSV (with header and trailing
 /// newline).
 pub fn render_summary_csv(summaries: &[SummaryRow]) -> String {
-    let mut out = String::from(SUMMARY_CSV_HEADER);
+    let labelled = summaries_labelled(summaries);
+    let mut out = String::from(if labelled {
+        SUMMARY_CSV_HEADER_LABELLED
+    } else {
+        SUMMARY_CSV_HEADER
+    });
     out.push('\n');
     for s in summaries {
+        let labels = if labelled {
+            format!("{},{},", csv_field(&s.schedule), csv_field(&s.faults))
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{labels}{},{},{},{},{},{}\n",
             s.racks,
             csv_field(&s.workload),
             float_field(s.load_factor, false),
@@ -188,6 +240,7 @@ pub fn render_summary_csv(summaries: &[SummaryRow]) -> String {
 
 /// Render the per-cell rows as a JSON array (pretty, two-space indent).
 pub fn render_cells_json(rows: &[CellRow]) -> String {
+    let labelled = cells_labelled(rows);
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str("  {");
@@ -214,6 +267,10 @@ pub fn render_cells_json(rows: &[CellRow]) -> String {
             "\"decision_rule\": {}, ",
             json_string(&r.decision_rule)
         ));
+        if labelled {
+            out.push_str(&format!("\"schedule\": {}, ", json_string(&r.schedule)));
+            out.push_str(&format!("\"faults\": {}, ", json_string(&r.faults)));
+        }
         out.push_str(&format!("\"launched_jobs\": {}, ", r.launched_jobs));
         out.push_str(&format!("\"completed_jobs\": {}, ", r.completed_jobs));
         out.push_str(&format!("\"killed_jobs\": {}, ", r.killed_jobs));
@@ -264,6 +321,7 @@ fn summary_metric_json(name: &str, m: &MetricSummary) -> String {
 
 /// Render the across-seed summaries as a JSON array.
 pub fn render_summary_json(summaries: &[SummaryRow]) -> String {
+    let labelled = summaries_labelled(summaries);
     let mut out = String::from("[\n");
     for (i, s) in summaries.iter().enumerate() {
         out.push_str("  {");
@@ -284,6 +342,10 @@ pub fn render_summary_json(summaries: &[SummaryRow]) -> String {
             "\"decision_rule\": {}, ",
             json_string(&s.decision_rule)
         ));
+        if labelled {
+            out.push_str(&format!("\"schedule\": {}, ", json_string(&s.schedule)));
+            out.push_str(&format!("\"faults\": {}, ", json_string(&s.faults)));
+        }
         out.push_str(&format!("\"replications\": {}, ", s.replications));
         out.push_str(&summary_metric_json("launched_jobs", &s.launched_jobs));
         out.push_str(", ");
@@ -404,6 +466,8 @@ mod tests {
             cap_percent: 60.0,
             grouping: "grouped".into(),
             decision_rule: "paper-rho".into(),
+            schedule: "-".into(),
+            faults: "-".into(),
             launched_jobs: 12,
             completed_jobs: 10,
             killed_jobs: 0,
@@ -513,6 +577,8 @@ mod tests {
             cap_percent: 60.0,
             grouping: "grouped".into(),
             decision_rule: "paper-rho".into(),
+            schedule: "-".into(),
+            faults: "-".into(),
             replications: 3,
             launched_jobs: MetricSummary {
                 mean: 10.0,
@@ -534,6 +600,45 @@ mod tests {
         let json = render_summary_json(&summaries);
         assert!(json.contains("\"launched_jobs\": {\"mean\": 10.000000"));
         assert!(json.contains("\"replications\": 3"));
+    }
+
+    #[test]
+    fn label_columns_appear_only_for_labelled_rows() {
+        // A label-free render keeps the pre-refactor header and column
+        // count exactly.
+        let legacy = render_cells_csv(&rows());
+        assert!(legacy.starts_with(CELLS_CSV_HEADER));
+        assert!(!legacy.contains("schedule"));
+        // One labelled row switches both header and rows to the extended
+        // layout, with "-" filled for label-free rows.
+        let mut labelled = rows();
+        labelled.push({
+            let mut r = labelled[0].clone();
+            r.index = 1;
+            r.scenario = "SCHED/SHUT".into();
+            r.schedule = "0+7200@80".into();
+            r.faults = "3x600@7".into();
+            r
+        });
+        let csv = render_cells_csv(&labelled);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with(CELLS_CSV_HEADER_LABELLED));
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), lines[0].split(',').count());
+        }
+        assert!(lines[1].contains(",paper-rho,-,-,"));
+        assert!(lines[2].contains(",paper-rho,0+7200@80,3x600@7,"));
+        // JSON mirrors the conditional keys.
+        let json = render_cells_json(&labelled);
+        assert!(json.contains("\"schedule\": \"0+7200@80\""));
+        assert!(json.contains("\"faults\": \"-\""));
+        assert!(!render_cells_json(&rows()).contains("\"schedule\""));
+        // Summaries follow the same rule.
+        let summaries = crate::agg::summarize(&labelled);
+        let sum_csv = render_summary_csv(&summaries);
+        assert!(sum_csv.starts_with(SUMMARY_CSV_HEADER_LABELLED));
+        assert!(sum_csv.contains(",0+7200@80,3x600@7,"));
+        assert!(render_summary_json(&summaries).contains("\"schedule\": \"0+7200@80\""));
     }
 
     #[test]

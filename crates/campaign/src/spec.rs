@@ -12,7 +12,7 @@
 use apc_core::PowercapPolicy;
 use apc_power::bonus::GroupingStrategy;
 use apc_power::tradeoff::DecisionRule;
-use apc_replay::scenario::CapWindow;
+use apc_replay::scenario::{CapSchedule, CapWindow, FaultPlan};
 use apc_replay::Scenario;
 use apc_rjms::time::HOUR;
 use apc_workload::IntervalKind;
@@ -162,6 +162,16 @@ pub struct CampaignSpec {
     /// replays — `[(0.5, 3600)]` is the paper's centred hour; a value with
     /// several placements produces a multi-window scenario.
     pub cap_windows: Vec<WindowSet>,
+    /// Time-varying cap-schedule axis: each value is one [`CapSchedule`]
+    /// (per-segment fractions, absolute placement), replayed under every
+    /// policy × grouping × decision rule. Empty (the default) leaves the
+    /// legacy grid — and its fingerprint — untouched.
+    pub cap_schedules: Vec<CapSchedule>,
+    /// Fault-injection axis: each value is one fault plan crossed with every
+    /// scenario of the grid (`None` = the fault-free variant). Empty (the
+    /// default) behaves exactly like `[None]` without touching legacy
+    /// fingerprints.
+    pub faults: Vec<Option<FaultPlan>>,
     /// Switch-off grouping strategies (ablation axis).
     pub groupings: Vec<GroupingStrategy>,
     /// DVFS-vs-shutdown decision rules (ablation axis).
@@ -193,6 +203,8 @@ impl Default for CampaignSpec {
             cap_fractions: vec![0.80, 0.60, 0.40],
             include_baseline: true,
             cap_windows: vec![vec![SINGLE_PAPER_WINDOW]],
+            cap_schedules: Vec::new(),
+            faults: Vec::new(),
             groupings: vec![GroupingStrategy::Grouped],
             decision_rules: vec![DecisionRule::PaperRho],
             load_factors: vec![1.8],
@@ -268,6 +280,30 @@ impl CampaignSpec {
                 .collect();
             put("windows", &value.join("|"));
         }
+        // The schedule and fault axes are hashed only when present, so every
+        // legacy (static-window) spec keeps its pre-refactor fingerprint and
+        // existing stores resume cleanly.
+        for s in &self.cap_schedules {
+            let value: Vec<String> = s
+                .segments()
+                .iter()
+                .map(|seg| {
+                    format!(
+                        "{}+{}@{:016x}",
+                        seg.start,
+                        seg.duration,
+                        seg.fraction.to_bits()
+                    )
+                })
+                .collect();
+            put("schedule", &value.join("|"));
+        }
+        for f in &self.faults {
+            match f {
+                None => put("fault", "-"),
+                Some(plan) => put("fault", &plan.label()),
+            }
+        }
         for &g in &self.groupings {
             put("grouping", g.name());
         }
@@ -319,7 +355,10 @@ impl CampaignSpec {
         if self.seeds.is_empty() {
             return Err("spec has no seeds".into());
         }
-        if !self.include_baseline && (self.policies.is_empty() || self.cap_fractions.is_empty()) {
+        if !self.include_baseline
+            && self.cap_schedules.is_empty()
+            && (self.policies.is_empty() || self.cap_fractions.is_empty())
+        {
             return Err(
                 "spec expands to zero cells: no baseline and an empty policy/cap grid".into(),
             );
@@ -395,6 +434,19 @@ impl CampaignSpec {
                 place_windows(set, duration)?;
             }
         }
+        // Schedules are placed absolutely: a segment past the replayed
+        // horizon would silently never activate, so reject it up front.
+        for schedule in &self.cap_schedules {
+            for &duration in &durations {
+                if schedule.end() > duration {
+                    return Err(format!(
+                        "cap schedule ends at {} s but the replayed interval lasts only \
+                         {duration} s — later segments would silently never activate",
+                        schedule.end()
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -431,6 +483,8 @@ impl CampaignSpec {
         check_floats(&self.cap_fractions, "cap-fraction")?;
         check_floats(&self.load_factors, "load-factor")?;
         check(&self.cap_windows, "cap-window")?;
+        check(&self.cap_schedules, "cap-schedule")?;
+        check(&self.faults, "fault")?;
         check(&self.groupings, "grouping")?;
         check(&self.decision_rules, "decision-rule")?;
         Ok(())
@@ -438,8 +492,11 @@ impl CampaignSpec {
 
     /// The scenarios of one workload cell, in stable order: the baseline
     /// first (once, with the default knobs), then windows × caps × policies
-    /// for every grouping × decision-rule combination. Errors when a window
-    /// set overlaps once placed in an interval of `duration` seconds.
+    /// for every grouping × decision-rule combination, then the schedule
+    /// axis (schedules × policies per grouping × rule), the whole grid
+    /// finally crossed with the fault axis (fault-major, the fault-free
+    /// legacy order inside). Errors when a window set overlaps once placed
+    /// in an interval of `duration` seconds.
     fn scenarios(&self, duration: u64) -> Result<Vec<Scenario>, String> {
         let mut scenarios = Vec::new();
         if self.include_baseline {
@@ -460,7 +517,28 @@ impl CampaignSpec {
                         }
                     }
                 }
+                for schedule in &self.cap_schedules {
+                    for &policy in &self.policies {
+                        scenarios.push(
+                            Scenario::scheduled(policy, schedule.clone())
+                                .with_grouping(grouping)
+                                .with_decision_rule(rule),
+                        );
+                    }
+                }
             }
+        }
+        if !self.faults.is_empty() {
+            scenarios = self
+                .faults
+                .iter()
+                .flat_map(|fault| {
+                    scenarios.iter().map(move |s| match fault {
+                        Some(plan) => s.clone().with_faults(*plan),
+                        None => s.clone(),
+                    })
+                })
+                .collect();
         }
         Ok(scenarios)
     }
@@ -520,9 +598,10 @@ impl CampaignSpec {
     }
 
     /// Scenarios per workload cell: the optional baseline plus the capped
-    /// grid, with overflow and zero-sized-axis checks.
+    /// grid and the schedule axis, all crossed with the fault axis, with
+    /// overflow and zero-sized-axis checks.
     fn per_workload_count(&self) -> Result<usize, String> {
-        if !self.include_baseline {
+        if !self.include_baseline && self.cap_schedules.is_empty() {
             for (len, axis) in [
                 (self.policies.len(), "policies"),
                 (self.cap_fractions.len(), "cap fractions"),
@@ -538,13 +617,14 @@ impl CampaignSpec {
                 }
             }
         }
+        let ablations = checked_mul(
+            self.groupings.len(),
+            self.decision_rules.len(),
+            "groupings × rules",
+        )?;
         let capped = checked_mul(
             checked_mul(
-                checked_mul(
-                    self.groupings.len(),
-                    self.decision_rules.len(),
-                    "groupings × rules",
-                )?,
+                ablations,
                 self.cap_windows.len(),
                 "groupings × rules × windows",
             )?,
@@ -555,9 +635,20 @@ impl CampaignSpec {
             )?,
             "groupings × rules × windows × caps × policies",
         )?;
-        capped
-            .checked_add(usize::from(self.include_baseline))
-            .ok_or_else(|| "campaign grid overflows usize adding the baseline".to_string())
+        let scheduled = checked_mul(
+            checked_mul(
+                ablations,
+                self.cap_schedules.len(),
+                "groupings × rules × schedules",
+            )?,
+            self.policies.len(),
+            "groupings × rules × schedules × policies",
+        )?;
+        let base = capped
+            .checked_add(scheduled)
+            .and_then(|n| n.checked_add(usize::from(self.include_baseline)))
+            .ok_or_else(|| "campaign grid overflows usize adding the baseline".to_string())?;
+        checked_mul(base, self.faults.len().max(1), "scenarios × faults")
     }
 
     /// Number of cells [`expand`](Self::expand) would produce for a
@@ -898,6 +989,146 @@ mod tests {
         let ws = multi.scenario.windows();
         assert_eq!((ws[0].start, ws[0].end), (0, 10_800));
         assert_eq!((ws[1].start, ws[1].end), (75_600, 86_400));
+    }
+
+    fn day_night_schedule() -> CapSchedule {
+        use apc_replay::scenario::CapSegment;
+        CapSchedule::new(vec![
+            CapSegment::new(0, 2 * 3600, 0.8),
+            CapSegment::new(2 * 3600, 3 * 3600, 0.4),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schedule_and_fault_axes_multiply_the_grid() {
+        let spec = CampaignSpec {
+            intervals: vec![IntervalKind::MedianJob],
+            cap_schedules: vec![day_night_schedule()],
+            faults: vec![None, Some(FaultPlan::new(3, 600, 7))],
+            ..CampaignSpec::default()
+        };
+        spec.validate_for(&TraceSource::Synthetic).unwrap();
+        // (1 baseline + 1 window set × 3 caps × 3 policies + 1 schedule ×
+        // 3 policies) × 2 fault values.
+        assert_eq!(spec.cell_count().unwrap(), (1 + 9 + 3) * 2);
+        let cells = spec.expand(&TraceSource::Synthetic).unwrap();
+        assert_eq!(cells.len(), spec.cell_count().unwrap());
+        // Fault-free cells come first (fault-major order) and replicate the
+        // legacy grid exactly.
+        let fault_free: Vec<_> = cells
+            .iter()
+            .filter(|c| c.scenario.faults.is_none())
+            .collect();
+        assert_eq!(fault_free.len(), 13);
+        let legacy = CampaignSpec {
+            intervals: vec![IntervalKind::MedianJob],
+            ..CampaignSpec::default()
+        };
+        let legacy_cells = legacy.expand(&TraceSource::Synthetic).unwrap();
+        for (a, b) in legacy_cells.iter().zip(fault_free.iter()) {
+            assert_eq!(a.scenario, b.scenario);
+        }
+        // Scheduled cells expose segment windows and the schedule label.
+        let scheduled = cells
+            .iter()
+            .find(|c| c.scenario.cap_schedule.is_some())
+            .unwrap();
+        assert_eq!(scheduled.scenario.windows().len(), 2);
+        assert_eq!(
+            scheduled.scenario.schedule_label(),
+            "0+7200@80|7200+10800@40"
+        );
+        // Faulty cells carry the plan's label.
+        let faulty = cells.iter().find(|c| c.scenario.faults.is_some()).unwrap();
+        assert_eq!(faulty.scenario.fault_label(), "3x600@7");
+    }
+
+    #[test]
+    fn new_axes_leave_legacy_fingerprints_unchanged() {
+        let spec = CampaignSpec::paper(2012, 2);
+        let base = spec.fingerprint(&TraceSource::Synthetic);
+        // Adding either axis changes the fingerprint; explicitly-empty axes
+        // (the legacy shape) do not.
+        let with_schedule = CampaignSpec {
+            cap_schedules: vec![day_night_schedule()],
+            ..spec.clone()
+        };
+        assert_ne!(with_schedule.fingerprint(&TraceSource::Synthetic), base);
+        let with_faults = CampaignSpec {
+            faults: vec![Some(FaultPlan::new(1, 600, 3))],
+            ..spec.clone()
+        };
+        assert_ne!(with_faults.fingerprint(&TraceSource::Synthetic), base);
+        let nofault_axis = CampaignSpec {
+            faults: vec![None],
+            ..spec.clone()
+        };
+        assert_ne!(
+            nofault_axis.fingerprint(&TraceSource::Synthetic),
+            base,
+            "an explicit [None] fault axis is a different spec than no axis"
+        );
+        let empty_axes = CampaignSpec {
+            cap_schedules: Vec::new(),
+            faults: Vec::new(),
+            ..spec.clone()
+        };
+        assert_eq!(empty_axes.fingerprint(&TraceSource::Synthetic), base);
+    }
+
+    #[test]
+    fn schedules_past_the_horizon_are_rejected() {
+        use apc_replay::scenario::CapSegment;
+        let spec = CampaignSpec {
+            intervals: vec![IntervalKind::MedianJob], // 5 h
+            cap_schedules: vec![CapSchedule::new(vec![CapSegment::new(0, 24 * 3600, 0.5)]).unwrap()],
+            ..CampaignSpec::default()
+        };
+        spec.validate().unwrap();
+        let err = spec.validate_for(&TraceSource::Synthetic).unwrap_err();
+        assert!(err.contains("never activate"), "got: {err}");
+        // The same schedule fits a 24 h fixed trace.
+        let platform = apc_rjms::cluster::Platform::curie_scaled(1);
+        let trace = apc_workload::CurieTraceGenerator::new(1)
+            .interval(IntervalKind::Day24h)
+            .load_factor(0.3)
+            .backlog_factor(0.0)
+            .generate_for(&platform);
+        spec.validate_for(&TraceSource::Fixed(std::sync::Arc::new(trace)))
+            .unwrap();
+    }
+
+    #[test]
+    fn duplicate_schedule_and_fault_values_are_rejected() {
+        let dup_schedule = CampaignSpec {
+            cap_schedules: vec![day_night_schedule(), day_night_schedule()],
+            ..CampaignSpec::default()
+        };
+        let err = dup_schedule.validate().unwrap_err();
+        assert!(err.contains("cap-schedule") && err.contains("repeats"));
+        let dup_fault = CampaignSpec {
+            faults: vec![None, None],
+            ..CampaignSpec::default()
+        };
+        let err = dup_fault.validate().unwrap_err();
+        assert!(err.contains("fault") && err.contains("repeats"));
+    }
+
+    #[test]
+    fn schedule_only_grid_needs_no_baseline_or_windows() {
+        let spec = CampaignSpec {
+            include_baseline: false,
+            cap_fractions: vec![],
+            cap_windows: vec![],
+            cap_schedules: vec![day_night_schedule()],
+            intervals: vec![IntervalKind::MedianJob],
+            ..CampaignSpec::default()
+        };
+        spec.validate().unwrap();
+        assert_eq!(spec.cell_count().unwrap(), 3, "3 policies × 1 schedule");
+        let cells = spec.expand(&TraceSource::Synthetic).unwrap();
+        assert!(cells.iter().all(|c| c.scenario.cap_schedule.is_some()));
     }
 
     #[test]

@@ -50,7 +50,13 @@ const MANIFEST_MAGIC: &str = "apc-campaign-store";
 /// columns (and an optional `seed`) for the cap-window / load-factor sweep
 /// axes; v3 (PR 8) keeps the 22-column row but stores partitions as binary
 /// columnar blocks with dictionaries, zone maps and checksums
-/// ([`crate::colstore`]). v2 stores stay readable and resumable — readers
+/// ([`crate::colstore`]). The scenario-engine refactor adds the optional
+/// `schedule`/`faults` label columns *within* v3: label-free rows keep the
+/// exact pre-refactor bytes in both codecs (22-field CSV lines, `"APC3"`
+/// blocks), labelled rows extend them (24 fields, `"APC4"` blocks), and
+/// readers fill `"-"` for the missing columns — so no schema bump, and
+/// stores written before the refactor open unchanged. v2 stores stay
+/// readable and resumable — readers
 /// dispatch on the partition file extension — but a v1 store cannot be
 /// opened: the row codec and the spec fingerprint both changed, so
 /// [`ResultStore::open`] rejects it with a versioned error instead of
@@ -510,6 +516,8 @@ mod tests {
             cap_percent: 60.0,
             grouping: "grouped".into(),
             decision_rule: "paper-rho".into(),
+            schedule: "-".into(),
+            faults: "-".into(),
             launched_jobs: 10 + index,
             completed_jobs: 9,
             killed_jobs: 0,
@@ -610,6 +618,28 @@ mod tests {
         assert!(!dir.join(PARTS_DIR).join("part-0000.apc").exists());
         assert_eq!(ResultStore::open(&dir).unwrap().completed_count(), 4);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn labelled_rows_round_trip_through_both_schemas() {
+        for schema in [STORE_SCHEMA_V2, STORE_SCHEMA_VERSION] {
+            let dir = temp_dir(&format!("labels-v{schema}"));
+            let mut store = ResultStore::create_with_schema(&dir, 0xfeed, 10, schema).unwrap();
+            let mut labelled = row(0);
+            labelled.scenario = "SCHED/SHUT".into();
+            labelled.schedule = "0+7200@80|7200+10800@40".into();
+            labelled.faults = "3x600@7".into();
+            store.append(&labelled).unwrap();
+            store.append(&row(1)).unwrap();
+            drop(store);
+            let rows = ResultStore::open(&dir).unwrap().rows();
+            assert_eq!(rows.len(), 2, "schema v{schema}");
+            assert_eq!(rows[0].schedule, "0+7200@80|7200+10800@40");
+            assert_eq!(rows[0].faults, "3x600@7");
+            assert_eq!(rows[1].schedule, "-");
+            assert_eq!(rows[1].faults, "-");
+            fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

@@ -154,6 +154,101 @@ fn window_and_load_sweep_output_is_byte_identical_across_threads_and_strategies(
     }
 }
 
+/// A grid exercising the scenario-engine axes: a day/night cap schedule on
+/// top of the static grid, crossed with a fault plan (3 seeded node
+/// outages) and a clean run.
+fn scenario_grid() -> CampaignSpec {
+    use apc_replay::{CapSchedule, CapSegment, FaultPlan};
+    CampaignSpec {
+        cap_schedules: vec![CapSchedule::new(vec![
+            CapSegment::new(0, 2 * 3600, 0.8),
+            CapSegment::new(2 * 3600, 3 * 3600, 0.4),
+        ])
+        .unwrap()],
+        faults: vec![None, Some(FaultPlan::new(3, 600, 7))],
+        ..small_grid()
+    }
+}
+
+fn scenario_outputs(threads: usize, strategy: ExecStrategy) -> [String; 4] {
+    let outcome = CampaignRunner::new(scenario_grid())
+        .with_threads(threads)
+        .with_strategy(strategy)
+        .run()
+        .unwrap();
+    [
+        render_cells_csv(&outcome.rows),
+        render_summary_csv(&outcome.summaries),
+        render_cells_json(&outcome.rows),
+        render_summary_json(&outcome.summaries),
+    ]
+}
+
+#[test]
+fn schedule_and_fault_grid_is_byte_identical_across_threads_and_strategies() {
+    let reference = scenario_outputs(1, ExecStrategy::WorkStealing);
+    // 2 seeds × (1 baseline + 2 capped + 1 schedule × 2 policies) × 2 fault
+    // axis values = 20 cells; seeds collapse to 10 summary groups.
+    assert_eq!(reference[0].lines().count(), 1 + 20);
+    assert_eq!(reference[1].lines().count(), 1 + 10);
+    // The labelled columns are rendered (the grid carries real labels)…
+    assert!(reference[0]
+        .lines()
+        .next()
+        .unwrap()
+        .contains(",schedule,faults,"));
+    assert!(reference[0].contains("0+7200@80|7200+10800@40"));
+    assert!(reference[0].contains("3x600@7"));
+    // …and fault injection actually perturbed the runs: some faulted cell
+    // differs from its clean twin (same scenario and seed) in its outcome.
+    let outcome = CampaignRunner::new(scenario_grid())
+        .with_threads(1)
+        .run()
+        .unwrap();
+    let clean: std::collections::HashMap<(String, Option<u64>), &CellRow> = outcome
+        .rows
+        .iter()
+        .filter(|r| r.faults == "-")
+        .map(|r| ((r.scenario.clone(), r.seed), r))
+        .collect();
+    let mut perturbed = false;
+    let mut faulted_cells = 0usize;
+    for row in outcome.rows.iter().filter(|r| r.faults != "-") {
+        faulted_cells += 1;
+        let twin = clean[&(row.scenario.clone(), row.seed)];
+        perturbed |= row.energy_joules.to_bits() != twin.energy_joules.to_bits()
+            || row.launched_jobs != twin.launched_jobs
+            || row.killed_jobs != twin.killed_jobs;
+    }
+    assert_eq!(faulted_cells, 10);
+    assert!(perturbed, "fault injection must perturb at least one cell");
+    for (label, outputs) in [
+        (
+            "steal --threads 2",
+            scenario_outputs(2, ExecStrategy::WorkStealing),
+        ),
+        (
+            "steal --threads 8",
+            scenario_outputs(8, ExecStrategy::WorkStealing),
+        ),
+        (
+            "static --threads 2",
+            scenario_outputs(2, ExecStrategy::StaticShard),
+        ),
+        (
+            "static --threads 8",
+            scenario_outputs(8, ExecStrategy::StaticShard),
+        ),
+    ] {
+        for (name, (a, b)) in ["cells.csv", "summary.csv", "cells.json", "summary.json"]
+            .iter()
+            .zip(reference.iter().zip(outputs.iter()))
+        {
+            assert_eq!(a, b, "{name} differs between --threads 1 and {label}");
+        }
+    }
+}
+
 #[test]
 fn store_backed_output_is_byte_identical_across_threads_and_strategies() {
     let reference = store_outputs(1, ExecStrategy::WorkStealing);

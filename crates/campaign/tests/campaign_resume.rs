@@ -234,6 +234,73 @@ fn sweep_campaign_resumes_byte_identically() {
 }
 
 #[test]
+fn fault_axis_campaign_resumes_byte_identically_over_a_torn_record() {
+    // Crash-resume on a grid that uses the scenario-engine axes: a
+    // day/night cap schedule plus a fault-injection axis, with the last
+    // recorded row torn mid-write (its `done` entry never landed).
+    use apc_replay::{CapSchedule, CapSegment, FaultPlan};
+    let grid = || CampaignSpec {
+        cap_schedules: vec![CapSchedule::new(vec![
+            CapSegment::new(0, 2 * 3600, 0.8),
+            CapSegment::new(2 * 3600, 3 * 3600, 0.4),
+        ])
+        .unwrap()],
+        faults: vec![None, Some(FaultPlan::new(3, 600, 7))],
+        ..small_grid()
+    };
+    let full_dir = temp_dir("fault-full");
+    let runner = CampaignRunner::new(grid()).with_threads(1);
+    let mut store = ResultStore::create(
+        &full_dir,
+        runner.fingerprint(),
+        runner.cells().unwrap().len(),
+    )
+    .unwrap();
+    runner.run_with_store(&mut store).unwrap();
+    render(&full_dir, &store);
+    let expected = read_outputs(&full_dir);
+    // The grid really is labelled: the rendered cells carry the new columns.
+    let header = String::from_utf8(expected[0].clone()).unwrap();
+    assert!(header.lines().next().unwrap().contains(",schedule,faults,"));
+
+    let crash_dir = temp_dir("fault-crashed");
+    let runner = CampaignRunner::new(grid()).with_threads(1);
+    let mut store = ResultStore::create(
+        &crash_dir,
+        runner.fingerprint(),
+        runner.cells().unwrap().len(),
+    )
+    .unwrap();
+    runner.run_with_store(&mut store).unwrap();
+    drop(store);
+    truncate_manifest(&crash_dir, 5);
+    // Tear the next (labelled, APC4) block in half on disk too.
+    let part = crash_dir.join("cells").join("part-0000.apc");
+    let bytes = fs::read(&part).unwrap();
+    fs::write(&part, &bytes[..bytes.len() - 31]).unwrap();
+
+    let mut store = ResultStore::open(&crash_dir).unwrap();
+    assert!(store.completed_count() <= 5);
+    let resumed = CampaignRunner::new(grid())
+        .with_threads(2)
+        .run_with_store(&mut store)
+        .unwrap();
+    assert!(resumed.stats.skipped <= 5);
+    render(&crash_dir, &store);
+    for (name, (a, b)) in OUTPUTS
+        .iter()
+        .zip(expected.iter().zip(read_outputs(&crash_dir).iter()))
+    {
+        assert_eq!(
+            a, b,
+            "{name} differs after resuming a fault-axis campaign over a torn record"
+        );
+    }
+    fs::remove_dir_all(&full_dir).unwrap();
+    fs::remove_dir_all(&crash_dir).unwrap();
+}
+
+#[test]
 fn resume_with_a_mismatched_spec_is_rejected() {
     let dir = temp_dir("mismatch");
     run_full(&dir, 1);

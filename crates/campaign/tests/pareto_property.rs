@@ -6,12 +6,33 @@
 //! dominated by some front member of its group (domination is a strict
 //! partial order, so every dominated row sits under some maximal element),
 //! and re-running the extraction on the front must be a fixpoint.
+//!
+//! The same three properties are checked for the per-replication front
+//! (`campaign pareto --cells`), whose group key additionally contains the
+//! seed — dominance is only ever counted between cells that replayed the
+//! same perturbed trace. Both fronts sample fault labels as part of the
+//! group, pinning that a faulted run never dominates (or shields) a clean
+//! one.
 
-use apc_campaign::agg::{MetricSummary, SummaryRow};
-use apc_campaign::pareto::{pareto_front, Objectives};
+use apc_campaign::agg::{CellRow, MetricSummary, SummaryRow};
+use apc_campaign::pareto::{pareto_front, pareto_front_cells, Objectives};
 use proptest::prelude::*;
 
+fn workload(group: u8) -> String {
+    match group % 3 {
+        0 => "smalljob".to_string(),
+        1 => "medianjob".to_string(),
+        _ => "24h".to_string(),
+    }
+}
+
+fn faults(group: u8) -> String {
+    if group < 3 { "-" } else { "3x600@7" }.to_string()
+}
+
 /// Build a summary row from one sampled (group, energy, work, wait) tuple.
+/// Groups 0–2 are clean workloads, 3–5 the same workloads under a fault
+/// plan — six dominance groups in total.
 fn summary(index: usize, group: u8, energy: f64, work: f64, wait: f64) -> SummaryRow {
     let metric = |mean: f64| MetricSummary {
         mean,
@@ -21,23 +42,52 @@ fn summary(index: usize, group: u8, energy: f64, work: f64, wait: f64) -> Summar
     };
     SummaryRow {
         racks: 1,
-        workload: match group {
-            0 => "smalljob".to_string(),
-            1 => "medianjob".to_string(),
-            _ => "24h".to_string(),
-        },
+        workload: workload(group),
         load_factor: 1.8,
         scenario: format!("s{index}"),
         window: "7200+3600".to_string(),
         cap_percent: 60.0,
         grouping: "grouped".to_string(),
         decision_rule: "paper-rho".to_string(),
+        schedule: "-".to_string(),
+        faults: faults(group),
         replications: 1,
         launched_jobs: metric(1.0),
         energy_normalized: metric(energy),
         work_normalized: metric(work),
         mean_wait_seconds: metric(wait),
         peak_power_watts: metric(1.0),
+    }
+}
+
+/// Build one replication (cell row) from a sampled (group, seed,
+/// objectives) tuple.
+fn cell(index: usize, group: u8, seed: u64, energy: f64, work: f64, wait: f64) -> CellRow {
+    CellRow {
+        index,
+        racks: 1,
+        workload: workload(group),
+        seed: Some(seed),
+        load_factor: 1.8,
+        scenario: format!("s{index}"),
+        window: "7200+3600".to_string(),
+        policy: "shut".to_string(),
+        cap_percent: 60.0,
+        grouping: "grouped".to_string(),
+        decision_rule: "paper-rho".to_string(),
+        schedule: "-".to_string(),
+        faults: faults(group),
+        launched_jobs: 1,
+        completed_jobs: 1,
+        killed_jobs: 0,
+        pending_jobs: 0,
+        work_core_seconds: 1.0,
+        energy_joules: 1.0,
+        energy_normalized: energy,
+        launched_jobs_normalized: 1.0,
+        work_normalized: work,
+        mean_wait_seconds: wait,
+        peak_power_watts: 1.0,
     }
 }
 
@@ -52,7 +102,7 @@ proptest! {
 
     #[test]
     fn front_is_exactly_the_non_dominated_set(
-        rows in proptest::collection::vec((0u8..3, objective(), objective(), objective()), 1..40)
+        rows in proptest::collection::vec((0u8..6, objective(), objective(), objective()), 1..40)
     ) {
         let summaries: Vec<SummaryRow> = rows
             .into_iter()
@@ -61,7 +111,14 @@ proptest! {
             .collect();
         let front = pareto_front(&summaries);
 
-        let key = |s: &SummaryRow| (s.racks, s.workload.clone(), s.load_factor.to_bits());
+        let key = |s: &SummaryRow| {
+            (
+                s.racks,
+                s.workload.clone(),
+                s.load_factor.to_bits(),
+                s.faults.clone(),
+            )
+        };
 
         // 1. Nothing on the front is dominated by anything in the input
         //    (in particular, no front member dominates another).
@@ -111,6 +168,84 @@ proptest! {
         prop_assert_eq!(refront.len(), front.len());
         for (a, b) in refront.iter().zip(front.iter()) {
             prop_assert_eq!(&a.summary.scenario, &b.summary.scenario);
+        }
+    }
+
+    #[test]
+    fn cells_front_is_exactly_the_non_dominated_set_per_seed(
+        // The first element packs (group, seed): group = v % 6, seed = v / 6
+        // (the vendored proptest implements Strategy for tuples up to 4).
+        rows in proptest::collection::vec(
+            (0u8..18, objective(), objective(), objective()),
+            1..40,
+        )
+    ) {
+        let cells: Vec<CellRow> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (packed, energy, work, wait))| {
+                cell(i, packed % 6, (packed / 6) as u64, energy, work, wait)
+            })
+            .collect();
+        let front = pareto_front_cells(&cells);
+
+        let key = |c: &CellRow| {
+            (
+                c.racks,
+                c.workload.clone(),
+                c.load_factor.to_bits(),
+                c.faults.clone(),
+                c.seed,
+            )
+        };
+
+        // 1. Nothing on the front is dominated by any same-seed cell.
+        for member in &front {
+            for other in &cells {
+                if key(&member.cell) != key(other) {
+                    continue;
+                }
+                prop_assert!(
+                    !Objectives::of_cell(other).dominates(&member.objectives),
+                    "front cell {} is dominated by {}",
+                    member.cell.scenario,
+                    other.scenario
+                );
+            }
+        }
+
+        // 2. Every excluded well-defined cell is dominated by a front
+        //    member of its group — and only members that replayed the same
+        //    seed count.
+        for row in &cells {
+            let objectives = Objectives::of_cell(row);
+            if objectives.has_nan() {
+                prop_assert!(
+                    front.iter().all(|m| m.cell.scenario != row.scenario),
+                    "NaN cell {} must not be on the front",
+                    row.scenario
+                );
+                continue;
+            }
+            let on_front = front.iter().any(|m| m.cell.scenario == row.scenario);
+            if !on_front {
+                prop_assert!(
+                    front
+                        .iter()
+                        .filter(|m| key(&m.cell) == key(row))
+                        .any(|m| m.objectives.dominates(&objectives)),
+                    "excluded cell {} is not dominated by any same-seed front member",
+                    row.scenario
+                );
+            }
+        }
+
+        // 3. Fixpoint.
+        let front_rows: Vec<CellRow> = front.iter().map(|m| m.cell.clone()).collect();
+        let refront = pareto_front_cells(&front_rows);
+        prop_assert_eq!(refront.len(), front.len());
+        for (a, b) in refront.iter().zip(front.iter()) {
+            prop_assert_eq!(&a.cell.scenario, &b.cell.scenario);
         }
     }
 }

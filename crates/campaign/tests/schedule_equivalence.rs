@@ -1,0 +1,96 @@
+//! Property: a [`CapSchedule`] built from a legacy window list replays
+//! **bit-identically** to the old static-window path.
+//!
+//! This is the scenario engine's backward-compatibility contract: the
+//! legacy `cap_windows` grid is a strict special case of the schedule
+//! model, so golden fingerprints and paper-grid campaign bytes cannot move.
+//! Random non-overlapping window layouts × cap levels × policies are
+//! replayed both ways — `Scenario::with_windows(ws)` against
+//! `Scenario::scheduled(CapSchedule::from_windows(&ws, f))` — and the full
+//! simulation reports and power series must agree exactly, not just within
+//! a tolerance.
+
+use std::sync::OnceLock;
+
+use apc_core::PowercapPolicy;
+use apc_replay::scenario::CapWindow;
+use apc_replay::{CapSchedule, ReplayHarness, Scenario};
+use apc_rjms::cluster::Platform;
+use apc_workload::{CurieTraceGenerator, IntervalKind};
+use proptest::prelude::*;
+
+/// One shared harness: the trace generation dominates the cost of a case,
+/// and every case replays the same workload under different scenarios.
+fn harness() -> &'static ReplayHarness {
+    static HARNESS: OnceLock<ReplayHarness> = OnceLock::new();
+    HARNESS.get_or_init(|| {
+        let platform = Platform::curie_scaled(1);
+        let trace = CurieTraceGenerator::new(17)
+            .interval(IntervalKind::MedianJob)
+            .load_factor(1.0)
+            .backlog_factor(0.5)
+            .generate_for(&platform);
+        ReplayHarness::new(platform, trace)
+    })
+}
+
+/// Turn sampled (gap, duration) pairs into a sorted, non-overlapping window
+/// list inside the trace horizon. Pairs that would spill past the horizon
+/// are dropped; at least one window always survives (the first gap/duration
+/// are clamped to fit).
+fn layout_windows(pairs: &[(u64, u64)], horizon: u64) -> Vec<CapWindow> {
+    let mut windows = Vec::new();
+    let mut cursor = 0u64;
+    for &(gap, duration) in pairs {
+        let start = cursor + gap;
+        if start + duration > horizon {
+            break;
+        }
+        windows.push(CapWindow::new(start, duration));
+        cursor = start + duration;
+    }
+    if windows.is_empty() {
+        windows.push(CapWindow::new(0, horizon.min(3600)));
+    }
+    windows
+}
+
+proptest! {
+    // Each case replays the trace twice; keep the sample count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn schedule_from_windows_replays_bit_identically(
+        pairs in proptest::collection::vec((300u64..4000, 600u64..5000), 1..4),
+        fraction_sel in 0usize..4,
+        policy_sel in 0usize..3,
+    ) {
+        let h = harness();
+        let horizon = h.trace().duration;
+        let windows = layout_windows(&pairs, horizon);
+        let fraction = [0.4, 0.5, 0.6, 0.8][fraction_sel];
+        let policy = [PowercapPolicy::Shut, PowercapPolicy::Dvfs, PowercapPolicy::Mix]
+            [policy_sel];
+
+        let legacy = Scenario::paper(policy, fraction, horizon).with_windows(windows.clone());
+        let scheduled = Scenario::scheduled(
+            policy,
+            CapSchedule::from_windows(&windows, fraction).unwrap(),
+        )
+        .with_grouping(legacy.grouping)
+        .with_decision_rule(legacy.decision_rule);
+
+        let a = h.run(&legacy);
+        let b = h.run(&scheduled);
+        prop_assert_eq!(
+            &a.report, &b.report,
+            "simulation reports diverge for windows {:?} at {}",
+            windows, fraction
+        );
+        prop_assert_eq!(&a.power, &b.power, "power series diverge");
+        prop_assert_eq!(a.log.len(), b.log.len(), "event logs diverge in length");
+        // The labels agree too — same window string under either
+        // construction path (no silent relabeling in campaign-diff).
+        prop_assert_eq!(legacy.window_label(), scheduled.window_label());
+    }
+}

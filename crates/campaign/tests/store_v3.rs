@@ -34,8 +34,11 @@ const SCENARIOS: [&str; 4] = ["100%/None", "80%/SHUT", "60%/DVFS", "40%/MIX"];
 const WINDOWS: [&str; 2] = ["7200+3600", "-"];
 const POLICIES: [&str; 4] = ["none", "shut", "dvfs", "mix"];
 
+const SCHEDULES: [&str; 3] = ["-", "0+43200@80|43200+43200@40", "0+3600@60"];
+const FAULTS: [&str; 3] = ["-", "3x600@7", "1x1800@2012"];
+
 /// splitmix64: expand one sampled u64 into a stream of derived values so a
-/// 4-tuple strategy can populate all 22 row fields.
+/// 4-tuple strategy can populate every row field.
 fn mix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
@@ -77,6 +80,11 @@ fn build_row(index: usize, a: u64, b: u64, sel: u8) -> CellRow {
             "oracle"
         }
         .to_string(),
+        // Mixing "-" with real labels makes the partitions interleave
+        // label-free (APC3) and labelled (APC4) blocks, so the round-trip,
+        // truncation and corruption properties cover both codecs.
+        schedule: SCHEDULES[(sel as usize / 7) % SCHEDULES.len()].to_string(),
+        faults: FAULTS[(sel as usize / 11) % FAULTS.len()].to_string(),
         launched_jobs: (mix(&mut s) % 10_000) as usize,
         completed_jobs: (mix(&mut s) % 10_000) as usize,
         killed_jobs: (mix(&mut s) % 100) as usize,
@@ -216,6 +224,8 @@ proptest! {
             scenario: fsel.is_multiple_of(5).then(|| SCENARIOS[(fsel as usize) % 4].to_string()),
             policy: fsel.is_multiple_of(7).then(|| POLICIES[(fsel as usize) % 4].to_string()),
             seed: fsel.is_multiple_of(3).then_some(fseed),
+            schedule: fsel.is_multiple_of(4).then(|| SCHEDULES[(fsel as usize) % 3].to_string()),
+            faults: fsel.is_multiple_of(6).then(|| FAULTS[(fsel as usize) % 3].to_string()),
             ..RowFilter::default()
         };
         let expected: Vec<usize> = rows

@@ -173,9 +173,26 @@ impl ReplayHarness {
         // multi-window scenario registers one reservation per cap window;
         // the controller's reservation book already resolves overlapping
         // caps to the tightest one, so disjoint windows simply alternate.
-        if let Some(cap) = scenario.cap(&self.platform) {
+        // A time-varying schedule registers one reservation per segment at
+        // the segment's own level — a uniform schedule built from legacy
+        // windows therefore replays bit-identically to the window path.
+        if let Some(schedule) = &scenario.cap_schedule {
+            for segment in schedule.segments() {
+                controller.add_powercap_reservation(
+                    segment.time_window(),
+                    self.platform.power_fraction(segment.fraction),
+                );
+            }
+        } else if let Some(cap) = scenario.cap(&self.platform) {
             for window in scenario.windows() {
                 controller.add_powercap_reservation(window, cap);
+            }
+        }
+        // Fault plan: seeded node outages become ordinary events in the
+        // controller's queue, so the replay stays fully deterministic.
+        if let Some(plan) = &scenario.faults {
+            for (node, down, up) in plan.events(self.platform.total_nodes(), self.trace.duration) {
+                controller.inject_node_outage(node, down, up);
             }
         }
         controller.submit_all(self.trace.to_submissions());
@@ -312,6 +329,74 @@ mod tests {
                 .with_windows(vec![CapWindow::new(1800, 3600)]),
         );
         assert!(outcome.report.work_core_seconds <= single.report.work_core_seconds + 1e-6);
+    }
+
+    #[test]
+    fn scheduled_replay_respects_each_segment_level() {
+        use crate::scenario::{CapSchedule, CapSegment};
+        let h = harness();
+        let duration = h.trace().duration; // 5 h
+        let schedule = CapSchedule::new(vec![
+            CapSegment::new(1800, 3600, 0.8),
+            CapSegment::new(duration - 5400, 3600, 0.5),
+        ])
+        .unwrap();
+        let scenario = Scenario::scheduled(PowercapPolicy::Mix, schedule.clone());
+        let outcome = h.run(&scenario);
+        for segment in schedule.segments() {
+            let cap = h.platform().power_fraction(segment.fraction);
+            let w = segment.time_window();
+            let peak = outcome.power.peak_within(w.start, w.end);
+            assert!(
+                peak.as_watts() <= cap.as_watts() + 1e-6,
+                "peak {peak} exceeds cap {cap} in segment [{}, {})",
+                w.start,
+                w.end
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_from_windows_replays_identically_to_the_window_path() {
+        use crate::scenario::{CapSchedule, CapWindow};
+        let h = harness();
+        let duration = h.trace().duration;
+        let windows = vec![
+            CapWindow::new(1800, 3600),
+            CapWindow::new(duration - 5400, 3600),
+        ];
+        let legacy =
+            Scenario::paper(PowercapPolicy::Mix, 0.6, duration).with_windows(windows.clone());
+        let scheduled = Scenario::scheduled(
+            PowercapPolicy::Mix,
+            CapSchedule::from_windows(&windows, 0.6).unwrap(),
+        )
+        .with_grouping(legacy.grouping)
+        .with_decision_rule(legacy.decision_rule);
+        let a = h.run(&legacy);
+        let b = h.run(&scheduled);
+        assert_eq!(a.report, b.report, "bit-identical replays");
+        assert_eq!(a.power, b.power);
+        assert_eq!(a.log.len(), b.log.len());
+    }
+
+    #[test]
+    fn fault_plan_kills_jobs_and_stays_deterministic() {
+        use crate::scenario::FaultPlan;
+        let h = harness();
+        let scenario = Scenario::baseline().with_faults(FaultPlan::new(4, 1800, 5));
+        let a = h.run(&scenario);
+        let b = h.run(&scenario);
+        assert_eq!(a.report, b.report, "faulty replays are deterministic");
+        assert_eq!(a.log.len(), b.log.len());
+        // The fault-free baseline differs (outages cost capacity) and never
+        // kills anything.
+        let clean = h.run(&Scenario::baseline());
+        assert_eq!(clean.report.killed_jobs, 0);
+        assert!(
+            a.report.killed_jobs > 0 || a.report.work_core_seconds < clean.report.work_core_seconds,
+            "outages must leave a trace in the metrics"
+        );
     }
 
     #[test]

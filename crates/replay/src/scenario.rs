@@ -43,6 +43,241 @@ impl CapWindow {
     }
 }
 
+/// One segment of a time-varying cap schedule: a window plus its own cap
+/// fraction. Unlike [`CapWindow`] (which shares the scenario-wide fraction),
+/// each segment carries its own level, so tariff-shaped day/night caps or
+/// trace-driven (carbon-intensity / spot-price style) profiles are
+/// expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapSegment {
+    /// Start of the segment, seconds into the interval.
+    pub start: SimTime,
+    /// Duration of the segment, in seconds.
+    pub duration: SimTime,
+    /// Cap level during the segment, as a fraction of maximum cluster
+    /// power, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+impl CapSegment {
+    /// A segment capping `[start, start + duration)` at `fraction`.
+    pub fn new(start: SimTime, duration: SimTime, fraction: f64) -> Self {
+        CapSegment {
+            start,
+            duration,
+            fraction,
+        }
+    }
+
+    /// The segment's window as a half-open [`TimeWindow`].
+    pub fn time_window(&self) -> TimeWindow {
+        TimeWindow::with_duration(self.start, self.duration)
+    }
+
+    /// End of the segment (exclusive).
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+/// An ordered, non-overlapping sequence of [`CapSegment`]s: the general
+/// time-varying cap model. The legacy window list is the uniform-fraction
+/// special case ([`CapSchedule::from_windows`]); richer schedules come from
+/// per-segment fractions or a time-series file ([`CapSchedule::parse`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapSchedule {
+    segments: Vec<CapSegment>,
+}
+
+impl CapSchedule {
+    /// Build a schedule from explicit segments. Segments must be non-empty,
+    /// sorted by start, pairwise non-overlapping, with positive durations
+    /// and fractions in `(0, 1]`.
+    pub fn new(segments: Vec<CapSegment>) -> Result<Self, String> {
+        if segments.is_empty() {
+            return Err("cap schedule needs at least one segment".to_string());
+        }
+        for (i, s) in segments.iter().enumerate() {
+            if s.duration == 0 {
+                return Err(format!("segment {i} has zero duration"));
+            }
+            if !(s.fraction > 0.0 && s.fraction <= 1.0) {
+                return Err(format!(
+                    "segment {i} fraction {} outside (0, 1]",
+                    s.fraction
+                ));
+            }
+            if i > 0 && s.start < segments[i - 1].end() {
+                return Err(format!(
+                    "segment {i} starting at {} overlaps the previous one ending at {}",
+                    s.start,
+                    segments[i - 1].end()
+                ));
+            }
+        }
+        Ok(CapSchedule { segments })
+    }
+
+    /// The legacy special case: every window capped at the same `fraction`.
+    /// A scenario carrying this schedule replays bit-identically to the
+    /// same windows expressed through `cap_fraction` + `cap_windows`.
+    pub fn from_windows(windows: &[CapWindow], fraction: f64) -> Result<Self, String> {
+        let mut segments: Vec<CapSegment> = windows
+            .iter()
+            .map(|w| CapSegment::new(w.start, w.duration, fraction))
+            .collect();
+        segments.sort_by_key(|s| s.start);
+        CapSchedule::new(segments)
+    }
+
+    /// Parse the schedule-file format: one segment per line as
+    /// `START DURATION FRACTION` (whitespace-separated, seconds and a
+    /// fraction in `(0, 1]`), with `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut segments = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 3 {
+                return Err(format!(
+                    "line {}: expected `START DURATION FRACTION`, got {:?}",
+                    lineno + 1,
+                    line
+                ));
+            }
+            let start: SimTime = fields[0]
+                .parse()
+                .map_err(|_| format!("line {}: bad start {:?}", lineno + 1, fields[0]))?;
+            let duration: SimTime = fields[1]
+                .parse()
+                .map_err(|_| format!("line {}: bad duration {:?}", lineno + 1, fields[1]))?;
+            let fraction: f64 = fields[2]
+                .parse()
+                .map_err(|_| format!("line {}: bad fraction {:?}", lineno + 1, fields[2]))?;
+            segments.push(CapSegment::new(start, duration, fraction));
+        }
+        CapSchedule::new(segments)
+    }
+
+    /// The segments, in chronological order.
+    pub fn segments(&self) -> &[CapSegment] {
+        &self.segments
+    }
+
+    /// End of the last segment.
+    pub fn end(&self) -> SimTime {
+        self.segments.last().map(CapSegment::end).unwrap_or(0)
+    }
+
+    /// `true` if every segment carries the same fraction (the legacy shape).
+    pub fn is_uniform(&self) -> bool {
+        self.segments
+            .iter()
+            .all(|s| s.fraction == self.segments[0].fraction)
+    }
+
+    /// The time part of the label: `start+duration` pairs joined with `|` —
+    /// exactly the [`Scenario::window_label`] rendering of the same windows,
+    /// so legacy windows label identically under either construction path.
+    pub fn window_label(&self) -> String {
+        self.segments
+            .iter()
+            .map(|s| format!("{}+{}", s.start, s.duration))
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+
+    /// A compact, CSV-safe label carrying the fractions too:
+    /// `start+duration@percent` pairs joined with `|`
+    /// (e.g. `"0+28800@80|28800+57600@40"`).
+    pub fn label(&self) -> String {
+        self.segments
+            .iter()
+            .map(|s| format!("{}+{}@{}", s.start, s.duration, s.fraction * 100.0))
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+}
+
+/// A seeded node fault plan: `count` node outages of `outage_duration`
+/// seconds each, with failure nodes and instants drawn deterministically
+/// from `seed`. Injected into the controller's event stream, a failure
+/// powers the node off and kills whatever job occupies it (exercising the
+/// existing kill/requeue semantics); the recovery powers it back on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Number of injected outages.
+    pub count: usize,
+    /// Length of each outage, in seconds (at least 1).
+    pub outage_duration: SimTime,
+    /// Seed for the deterministic draw of nodes and failure instants.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan of `count` outages of `outage_duration` seconds from `seed`.
+    pub fn new(count: usize, outage_duration: SimTime, seed: u64) -> Self {
+        FaultPlan {
+            count,
+            outage_duration: outage_duration.max(1),
+            seed,
+        }
+    }
+
+    /// Parse the CLI syntax `COUNTxDURATION@SEED` (e.g. `3x600@7`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let err = || format!("fault plan {spec:?} is not COUNTxDURATION@SEED (e.g. 3x600@7)");
+        let (head, seed) = spec.split_once('@').ok_or_else(err)?;
+        let (count, duration) = head.split_once('x').ok_or_else(err)?;
+        let count: usize = count.parse().map_err(|_| err())?;
+        let duration: SimTime = duration.parse().map_err(|_| err())?;
+        let seed: u64 = seed.parse().map_err(|_| err())?;
+        if count == 0 || duration == 0 {
+            return Err(err());
+        }
+        Ok(FaultPlan::new(count, duration, seed))
+    }
+
+    /// The CSV-safe label, round-tripping [`parse`](Self::parse):
+    /// `"3x600@7"`.
+    pub fn label(&self) -> String {
+        format!("{}x{}@{}", self.count, self.outage_duration, self.seed)
+    }
+
+    /// The concrete `(node, down, up)` outages for a platform of
+    /// `total_nodes` nodes over `[0, horizon)`, sorted by failure time.
+    /// Purely a function of the plan, the node count and the horizon —
+    /// replays with the same plan are bit-identical. Outages may
+    /// occasionally hit the same node; the controller treats the overlap as
+    /// one longer outage ending at the first recovery.
+    pub fn events(&self, total_nodes: usize, horizon: SimTime) -> Vec<(usize, SimTime, SimTime)> {
+        if total_nodes == 0 || horizon == 0 {
+            return Vec::new();
+        }
+        let mut state = self.seed ^ 0x5851_f42d_4c95_7f2d;
+        let mut draw = move || {
+            // SplitMix64: the standard avalanche of a Weyl sequence.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut outages: Vec<(usize, SimTime, SimTime)> = (0..self.count)
+            .map(|_| {
+                let node = (draw() % total_nodes as u64) as usize;
+                let down = draw() % horizon;
+                (node, down, down + self.outage_duration)
+            })
+            .collect();
+        outages.sort_unstable();
+        outages
+    }
+}
+
 /// One experimental scenario: a policy plus optional powercap windows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -56,6 +291,14 @@ pub struct Scenario {
     /// disjoint cap slots in one interval. Ignored when `cap_fraction` is
     /// `None`.
     pub cap_windows: Vec<CapWindow>,
+    /// A time-varying cap schedule. When set it supersedes
+    /// `cap_fraction`/`cap_windows`: the harness registers one powercap
+    /// reservation per segment at the segment's own fraction. `None` keeps
+    /// the legacy static-window path bit-identical.
+    pub cap_schedule: Option<CapSchedule>,
+    /// A seeded node fault plan injected into the replay. `None` (the
+    /// default everywhere) keeps the fault-free path bit-identical.
+    pub faults: Option<FaultPlan>,
     /// Switch-off grouping strategy (ablation knob).
     pub grouping: GroupingStrategy,
     /// DVFS-vs-shutdown decision rule (ablation knob).
@@ -80,6 +323,8 @@ impl Scenario {
             policy,
             cap_fraction: Some(cap_fraction),
             cap_windows: vec![CapWindow::new(window_start, window_duration)],
+            cap_schedule: None,
+            faults: None,
             grouping: GroupingStrategy::Grouped,
             decision_rule: DecisionRule::PaperRho,
             kill_on_violation: false,
@@ -93,6 +338,23 @@ impl Scenario {
             policy: PowercapPolicy::None,
             cap_fraction: None,
             cap_windows: Vec::new(),
+            cap_schedule: None,
+            faults: None,
+            grouping: GroupingStrategy::Grouped,
+            decision_rule: DecisionRule::PaperRho,
+            kill_on_violation: false,
+            per_application_degradation: false,
+        }
+    }
+
+    /// A scenario capped by a time-varying schedule under `policy`.
+    pub fn scheduled(policy: PowercapPolicy, schedule: CapSchedule) -> Self {
+        Scenario {
+            policy,
+            cap_fraction: None,
+            cap_windows: Vec::new(),
+            cap_schedule: Some(schedule),
+            faults: None,
             grouping: GroupingStrategy::Grouped,
             decision_rule: DecisionRule::PaperRho,
             kill_on_violation: false,
@@ -111,6 +373,19 @@ impl Scenario {
     /// pairwise disjoint; the campaign spec validates that before expansion.
     pub fn with_windows(mut self, windows: Vec<CapWindow>) -> Self {
         self.cap_windows = windows;
+        self
+    }
+
+    /// Replace the cap schedule (builder style). The schedule supersedes
+    /// `cap_fraction`/`cap_windows` in the harness.
+    pub fn with_schedule(mut self, schedule: CapSchedule) -> Self {
+        self.cap_schedule = Some(schedule);
+        self
+    }
+
+    /// Attach a fault plan (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -141,12 +416,19 @@ impl Scenario {
     /// The first powercap window, if the scenario has any — the common case
     /// for paper-style single-window scenarios.
     pub fn window(&self) -> Option<TimeWindow> {
-        self.cap_fraction?;
-        self.cap_windows.first().map(CapWindow::time_window)
+        self.windows().first().copied()
     }
 
-    /// Every powercap window of the scenario (empty for the baseline).
+    /// Every powercap window of the scenario (empty for the baseline). A
+    /// schedule-carrying scenario exposes its segment windows.
     pub fn windows(&self) -> Vec<TimeWindow> {
+        if let Some(schedule) = &self.cap_schedule {
+            return schedule
+                .segments()
+                .iter()
+                .map(CapSegment::time_window)
+                .collect();
+        }
         if self.cap_fraction.is_none() {
             return Vec::new();
         }
@@ -160,8 +442,14 @@ impl Scenario {
     /// joined with `|` (e.g. `"7200+3600"`, `"0+1800|16200+1800"`), or `"-"`
     /// for the uncapped baseline. Used as the `window` result column and as
     /// part of the across-seed summary grouping key, so window sweeps never
-    /// collapse into one group.
+    /// collapse into one group. A schedule built from legacy windows labels
+    /// identically to the windows themselves (the fractions live in
+    /// [`schedule_label`](Self::schedule_label)), so neither construction
+    /// path relabels existing stores.
     pub fn window_label(&self) -> String {
+        if let Some(schedule) = &self.cap_schedule {
+            return schedule.window_label();
+        }
         if self.cap_fraction.is_none() || self.cap_windows.is_empty() {
             return "-".to_string();
         }
@@ -172,13 +460,37 @@ impl Scenario {
             .join("|")
     }
 
+    /// The cap-schedule label (`start+duration@percent` pairs joined with
+    /// `|`), or `"-"` for scenarios without a schedule — the value of the
+    /// `schedule` result column.
+    pub fn schedule_label(&self) -> String {
+        match &self.cap_schedule {
+            Some(schedule) => schedule.label(),
+            None => "-".to_string(),
+        }
+    }
+
+    /// The fault-plan label (`COUNTxDURATION@SEED`), or `"-"` for fault-free
+    /// scenarios — the value of the `faults` result column.
+    pub fn fault_label(&self) -> String {
+        match &self.faults {
+            Some(plan) => plan.label(),
+            None => "-".to_string(),
+        }
+    }
+
     /// The absolute cap for a given platform, if the scenario has one.
     pub fn cap(&self, platform: &Platform) -> Option<Watts> {
         self.cap_fraction.map(|f| platform.power_fraction(f))
     }
 
-    /// A short label like "40%/MIX" (the row labels of Fig. 8).
+    /// A short label like "40%/MIX" (the row labels of Fig. 8). Scenarios
+    /// capped by a time-varying schedule render as "SCHED/MIX" — the
+    /// per-segment levels live in [`schedule_label`](Self::schedule_label).
     pub fn label(&self) -> String {
+        if self.cap_schedule.is_some() {
+            return format!("SCHED/{}", self.policy);
+        }
         match self.cap_fraction {
             Some(f) => format!("{:.0}%/{}", f * 100.0, self.policy),
             None => "100%/None".to_string(),
@@ -278,6 +590,96 @@ mod tests {
         assert!(labels.contains(&"40%/MIX".to_string()));
         assert!(labels.contains(&"80%/DVFS".to_string()));
         assert!(labels.contains(&"60%/SHUT".to_string()));
+    }
+
+    #[test]
+    fn schedule_validation_and_labels() {
+        let schedule = CapSchedule::new(vec![
+            CapSegment::new(0, 28_800, 0.8),
+            CapSegment::new(28_800, 57_600, 0.4),
+        ])
+        .unwrap();
+        assert_eq!(schedule.segments().len(), 2);
+        assert_eq!(schedule.end(), 86_400);
+        assert!(!schedule.is_uniform());
+        assert_eq!(schedule.window_label(), "0+28800|28800+57600");
+        assert_eq!(schedule.label(), "0+28800@80|28800+57600@40");
+        // Invalid shapes are rejected.
+        assert!(CapSchedule::new(vec![]).is_err());
+        assert!(CapSchedule::new(vec![CapSegment::new(0, 0, 0.5)]).is_err());
+        assert!(CapSchedule::new(vec![CapSegment::new(0, 10, 1.5)]).is_err());
+        assert!(CapSchedule::new(vec![CapSegment::new(0, 10, 0.0)]).is_err());
+        assert!(CapSchedule::new(vec![
+            CapSegment::new(0, 100, 0.5),
+            CapSegment::new(50, 100, 0.5),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn schedule_from_windows_matches_the_legacy_label() {
+        let windows = vec![CapWindow::new(0, 1800), CapWindow::new(16_200, 1800)];
+        let schedule = CapSchedule::from_windows(&windows, 0.6).unwrap();
+        assert!(schedule.is_uniform());
+        let legacy = Scenario::paper(PowercapPolicy::Mix, 0.6, 5 * HOUR).with_windows(windows);
+        let scheduled = Scenario::scheduled(PowercapPolicy::Mix, schedule);
+        // Either construction path labels the windows identically: no
+        // silent relabeling of existing stores.
+        assert_eq!(legacy.window_label(), "0+1800|16200+1800");
+        assert_eq!(scheduled.window_label(), legacy.window_label());
+        assert_eq!(scheduled.windows(), legacy.windows());
+        assert_eq!(scheduled.label(), "SCHED/MIX");
+        assert_eq!(scheduled.schedule_label(), "0+1800@60|16200+1800@60");
+        assert_eq!(legacy.schedule_label(), "-");
+    }
+
+    #[test]
+    fn schedule_file_parsing() {
+        let text = "\
+# tariff-style day/night profile
+0     28800 0.8   # night: generous
+28800 57600 0.4   # day: tight
+
+";
+        let schedule = CapSchedule::parse(text).unwrap();
+        assert_eq!(schedule.segments().len(), 2);
+        assert_eq!(schedule.segments()[1].fraction, 0.4);
+        assert!(CapSchedule::parse("not a schedule").is_err());
+        assert!(CapSchedule::parse("0 10").is_err());
+        assert!(CapSchedule::parse("0 10 2.0").is_err());
+        assert!(CapSchedule::parse("").is_err());
+    }
+
+    #[test]
+    fn fault_plan_parse_label_and_events() {
+        let plan = FaultPlan::parse("3x600@7").unwrap();
+        assert_eq!(plan, FaultPlan::new(3, 600, 7));
+        assert_eq!(plan.label(), "3x600@7");
+        assert!(FaultPlan::parse("3x600").is_err());
+        assert!(FaultPlan::parse("0x600@7").is_err());
+        assert!(FaultPlan::parse("3x0@7").is_err());
+        assert!(FaultPlan::parse("axb@c").is_err());
+        let events = plan.events(180, 18_000);
+        assert_eq!(events.len(), 3);
+        for &(node, down, up) in &events {
+            assert!(node < 180);
+            assert!(down < 18_000);
+            assert_eq!(up, down + 600);
+        }
+        // Deterministic: same plan, same events; different seed, different.
+        assert_eq!(events, plan.events(180, 18_000));
+        assert_ne!(events, FaultPlan::new(3, 600, 8).events(180, 18_000));
+        assert!(events.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        // Degenerate platforms produce no events.
+        assert!(plan.events(0, 18_000).is_empty());
+        assert!(plan.events(180, 0).is_empty());
+    }
+
+    #[test]
+    fn scenario_fault_labels() {
+        let s = Scenario::baseline().with_faults(FaultPlan::new(2, 300, 11));
+        assert_eq!(s.fault_label(), "2x300@11");
+        assert_eq!(Scenario::baseline().fault_label(), "-");
     }
 
     #[test]

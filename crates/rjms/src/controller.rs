@@ -342,6 +342,20 @@ impl Controller {
         id
     }
 
+    /// Inject a node outage (fault injection): the node fails at `down` —
+    /// powering off immediately and killing whatever job occupies it — and
+    /// recovers at `up`, rejoining the idle pool. Outages are ordinary
+    /// events, so replays with the same plan are fully deterministic.
+    pub fn inject_node_outage(&mut self, node: usize, down: SimTime, up: SimTime) {
+        assert!(
+            node < self.cluster.total_nodes(),
+            "outage on node {node} outside the platform"
+        );
+        assert!(down < up, "outage must recover after it fails");
+        self.events.push(down, Event::NodeDown(node));
+        self.events.push(up, Event::NodeUp(node));
+    }
+
     /// Define the end of the simulated interval. Events after the horizon are
     /// not processed and the final report covers `[0, horizon)`.
     pub fn set_horizon(&mut self, horizon: SimTime) {
@@ -405,9 +419,43 @@ impl Controller {
             Event::ReservationStart(id) => self.handle_reservation_start(id),
             Event::ReservationEnd(id) => self.handle_reservation_end(id),
             Event::ScheduleTick => {}
+            Event::NodeDown(node) => self.handle_node_down(node),
+            Event::NodeUp(node) => self.handle_node_up(node),
             Event::EndOfSimulation => {
                 self.finished = true;
             }
+        }
+    }
+
+    /// A node fails: power it off (free nodes switch immediately; an
+    /// allocated node is drained and powers off when its job releases it)
+    /// and kill the occupying job, if any. The kill exercises the same
+    /// release path as the powercap "extreme actions".
+    fn handle_node_down(&mut self, node: usize) {
+        let victim = match self.cluster.node(node).alloc {
+            crate::node::AllocationState::Allocated(job) => Some(job),
+            _ => None,
+        };
+        let switched = self.cluster.power_off(&[node], self.now);
+        if !switched.is_empty() {
+            self.log
+                .push(self.now, SimEventKind::NodesPoweredOff { nodes: switched });
+        }
+        if let Some(job) = victim {
+            // The kill releases the drained node, which powers off there;
+            // `kill_job` logs both the kill and the power-off.
+            self.kill_job(job);
+        }
+    }
+
+    /// A failed node recovers: power it back on and clear its drain mark so
+    /// it rejoins the idle pool at the next scheduling pass.
+    fn handle_node_up(&mut self, node: usize) {
+        let was_off = self.cluster.node(node).is_off();
+        self.cluster.power_on(&[node], self.now);
+        if was_off {
+            self.log
+                .push(self.now, SimEventKind::NodesPoweredOn { nodes: vec![node] });
         }
     }
 
@@ -1102,6 +1150,76 @@ mod tests {
                 .count_matching(|e| matches!(e.kind, SimEventKind::JobKilled { .. })),
             1
         );
+    }
+
+    #[test]
+    fn node_outage_kills_the_occupying_job_and_recovers() {
+        let mut c = controller();
+        // One job on 2 nodes (32 cores), running [0, 3000).
+        c.submit(job(0, 0, 32, 3600, 3000));
+        // The job lands on nodes 0-1; fail node 0 mid-run.
+        c.inject_node_outage(0, 500, 1500);
+        c.set_horizon(HOUR);
+        let report = c.run();
+        assert_eq!(report.killed_jobs, 1, "the occupying job is killed");
+        assert_eq!(c.job(0).state, JobState::Killed);
+        assert_eq!(c.job(0).end_time, Some(500));
+        // After recovery the whole cluster is schedulable again.
+        assert_eq!(c.cluster().powered_off_count(), 0);
+        assert_eq!(c.cluster().free_count(), 90);
+        assert_eq!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::JobKilled { .. })),
+            1
+        );
+        assert_eq!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::NodesPoweredOn { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn node_outage_on_a_free_node_just_removes_capacity() {
+        let mut c = controller();
+        c.inject_node_outage(5, 100, 900);
+        // A 90-node job submitted during the outage must wait for recovery.
+        c.submit(job(0, 200, 1440, 3600, 600));
+        c.set_horizon(HOUR);
+        let report = c.run();
+        assert_eq!(report.killed_jobs, 0);
+        assert_eq!(c.job(0).start_time, Some(900));
+        assert_eq!(c.cluster().free_count(), 90);
+        assert_eq!(
+            c.log()
+                .count_matching(|e| matches!(e.kind, SimEventKind::NodesPoweredOff { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn outages_are_deterministic_events() {
+        let build = || {
+            let mut c = controller();
+            for i in 0..30 {
+                c.submit(job(
+                    i % 4,
+                    (i as SimTime * 17) % 600,
+                    32 + (i as u32 % 5) * 96,
+                    3600,
+                    400 + (i as SimTime % 7) * 100,
+                ));
+            }
+            c.inject_node_outage(3, 300, 2000);
+            c.inject_node_outage(40, 700, 1500);
+            c.set_horizon(2 * HOUR);
+            c.run();
+            c.jobs()
+                .iter()
+                .map(|j| (j.id, j.start_time, j.end_time, j.state))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub enum Event {
     /// Periodic scheduling tick (used when no other event would trigger a
     /// scheduling pass, mirroring `slurmctld`'s periodic main loop).
     ScheduleTick,
+    /// A node fails (fault injection): it powers off immediately and any job
+    /// running on it is killed.
+    NodeDown(usize),
+    /// A failed node recovers: it powers back on and rejoins the idle pool.
+    NodeUp(usize),
     /// End of the replayed interval: stop the simulation.
     EndOfSimulation,
 }

@@ -166,6 +166,43 @@ impl ReservationBook {
         }
     }
 
+    /// The piecewise cap profile over `[start, end)`: maximal sub-windows in
+    /// chronological order, each with the tightest cap active throughout it.
+    /// Uncapped gaps are omitted; adjacent sub-windows with the same cap are
+    /// merged. This resolves a time-varying schedule (one powercap
+    /// reservation per segment) segment-wise instead of collapsing the whole
+    /// range to a single min as [`cap_within`](Self::cap_within) does.
+    pub fn cap_profile_within(&self, start: SimTime, end: SimTime) -> Vec<(TimeWindow, Watts)> {
+        if start >= end {
+            return Vec::new();
+        }
+        // Breakpoints: every powercap window edge clamped into [start, end).
+        let mut cuts: Vec<SimTime> = vec![start, end];
+        for r in &self.reservations {
+            if r.cap().is_none() || !r.overlaps(start, end) {
+                continue;
+            }
+            cuts.push(r.window.start.clamp(start, end));
+            cuts.push(r.window.end.clamp(start, end));
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        // Between adjacent breakpoints the active set is constant, so the
+        // cap at the left edge holds over the whole piece.
+        let mut profile: Vec<(TimeWindow, Watts)> = Vec::new();
+        for pair in cuts.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let Some(cap) = self.cap_at(a) else {
+                continue;
+            };
+            match profile.last_mut() {
+                Some((w, c)) if w.end == a && *c == cap => w.end = b,
+                _ => profile.push((TimeWindow::new(a, b), cap)),
+            }
+        }
+        profile
+    }
+
     /// Powercap reservations overlapping `[start, end)`.
     pub fn powercaps_within(&self, start: SimTime, end: SimTime) -> Vec<&Reservation> {
         self.reservations
@@ -245,6 +282,74 @@ mod tests {
         assert!(book.blocked_nodes_within(0, 100).is_empty());
         assert_eq!(book.powercaps_within(0, 10_000).len(), 1);
         assert_eq!(book.powercaps_within(0, 3600).len(), 0);
+    }
+
+    #[test]
+    fn cap_profile_resolves_segment_wise() {
+        let mut book = ReservationBook::new();
+        // A day/night-style schedule: two disjoint segments with different
+        // caps, registered as independent powercap reservations.
+        book.add(
+            TimeWindow::new(0, 1000),
+            ReservationKind::PowerCap { cap: Watts(800.0) },
+        );
+        book.add(
+            TimeWindow::new(2000, 3000),
+            ReservationKind::PowerCap { cap: Watts(400.0) },
+        );
+        let profile = book.cap_profile_within(0, 4000);
+        assert_eq!(
+            profile,
+            vec![
+                (TimeWindow::new(0, 1000), Watts(800.0)),
+                (TimeWindow::new(2000, 3000), Watts(400.0)),
+            ]
+        );
+        // Clamping: a query inside one segment sees only that slice.
+        assert_eq!(
+            book.cap_profile_within(500, 2500),
+            vec![
+                (TimeWindow::new(500, 1000), Watts(800.0)),
+                (TimeWindow::new(2000, 2500), Watts(400.0)),
+            ]
+        );
+        // Empty and uncapped ranges produce empty profiles.
+        assert!(book.cap_profile_within(1000, 2000).is_empty());
+        assert!(book.cap_profile_within(3000, 3000).is_empty());
+    }
+
+    #[test]
+    fn cap_profile_overlaps_take_the_min_and_merge_equal_neighbours() {
+        let mut book = book_with_cap(); // 500 kW over [3600, 7200)
+        book.add(
+            TimeWindow::new(5000, 6000),
+            ReservationKind::PowerCap {
+                cap: Watts(300_000.0),
+            },
+        );
+        let profile = book.cap_profile_within(0, 10_000);
+        assert_eq!(
+            profile,
+            vec![
+                (TimeWindow::new(3600, 5000), Watts(500_000.0)),
+                (TimeWindow::new(5000, 6000), Watts(300_000.0)),
+                (TimeWindow::new(6000, 7200), Watts(500_000.0)),
+            ]
+        );
+        // Two abutting reservations with the same cap merge into one piece.
+        let mut book = ReservationBook::new();
+        book.add(
+            TimeWindow::new(0, 100),
+            ReservationKind::PowerCap { cap: Watts(9.0) },
+        );
+        book.add(
+            TimeWindow::new(100, 200),
+            ReservationKind::PowerCap { cap: Watts(9.0) },
+        );
+        assert_eq!(
+            book.cap_profile_within(0, 300),
+            vec![(TimeWindow::new(0, 200), Watts(9.0))]
+        );
     }
 
     #[test]
