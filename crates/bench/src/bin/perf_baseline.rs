@@ -325,6 +325,7 @@ fn measure_store(budget: Duration, rows: usize) -> StoreNumbers {
     let v3_dir = base.join("v3");
     let mut store = ResultStore::create_with_schema(&v2_dir, 0xbe9c, rows, STORE_SCHEMA_V2)
         .expect("create v2 store");
+    store.set_sync(false); // measuring scan throughput, not durability
     for i in 0..rows {
         store.append(&synthetic_row(i, rows)).expect("append row");
     }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p apc-campaign --bin campaign -- [options]
+//! cargo run --release -p apc-campaign --bin campaign -- worker DIR --worker-id N [options]
 //! cargo run --release -p apc-campaign --bin campaign -- pareto DIR [options]
 //! cargo run --release -p apc-campaign --bin campaign -- query DIR [options]
 //! cargo run --release -p apc-campaign --bin campaign -- report DIR
@@ -42,6 +43,18 @@
 //!                      --resume keeps the store's existing schema
 //!   --resume DIR       resume the interrupted campaign stored in DIR
 //!                      (grid flags must match; validated by spec hash)
+//!   --distributed DIR  run the campaign as N independent worker *processes*
+//!                      coordinating through DIR/leases.log (see README
+//!                      "Distributed execution"); excludes --out/--resume
+//!   --workers N        worker processes to launch (default 2; 0 = only
+//!                      initialise the store and lease log, then exit — for
+//!                      launching `campaign worker` processes by hand)
+//!   --lease-cells N    cells per lease batch (default 4096)
+//!   --lease-ttl SECS   lease time-to-live; a worker silent this long is
+//!                      presumed dead and its batch stolen (default 30)
+//!   --no-sync          skip the per-append fsyncs of the store and lease
+//!                      log (tests/benches only: a crash may then lose or
+//!                      reorder trailing records)
 //!   --strategy WHICH   work-steal | static (default work-steal)
 //!   --format WHICH     csv | json | both (default both)
 //!   --quiet            suppress the per-group stdout table
@@ -51,6 +64,11 @@
 //!                      the end of the run
 //!   --trace-out FILE   record one span per cell and write them to FILE in
 //!                      Chrome Trace Event JSON (load at chrome://tracing)
+//!
+//! worker DIR --worker-id N: one distributed worker process over the store
+//!   and lease log in DIR (normally spawned by --distributed; run by hand
+//!   with the exact grid flags the coordinator used — the spec fingerprint
+//!   is checked against both the manifest and the lease-log header)
 //!
 //! pareto DIR: non-dominated (energy, work, wait) front per workload group
 //!   --out FILE         where to write the CSV (default DIR/pareto.csv)
@@ -111,8 +129,10 @@ const USAGE: &str = "usage: campaign [--threads N] [--seeds K] [--seed-base S] [
 [--intervals LIST] [--policies LIST] [--caps LIST] [--no-baseline] [--groupings LIST] \
 [--rules LIST] [--windows LIST] [--cap-schedule PATH]... [--faults LIST] [--load LIST] \
 [--backlog F] [--swf PATH] [--out DIR] [--store-schema 2|3] [--resume DIR] \
+[--distributed DIR [--workers N] [--lease-cells N] [--lease-ttl SECS]] [--no-sync] \
 [--strategy work-steal|static] [--format csv|json|both] [--quiet] [--progress] [--metrics] \
 [--trace-out FILE]
+       campaign worker DIR --worker-id N [grid flags as the coordinator]
        campaign pareto DIR [--out FILE] [--cells] [--quiet]
        campaign query DIR [--workload L] [--scenario L] [--window L] [--policy P] [--seed N] \
 [--load F] [--racks R] [--schedule L] [--faults L] [--columns LIST] [--limit N] \
@@ -166,6 +186,12 @@ struct Options {
     out_dir: String,
     store_schema: u32,
     resume: bool,
+    /// `--distributed DIR`: multi-process mode over this store directory.
+    distributed: Option<String>,
+    workers: usize,
+    lease_cells: usize,
+    lease_ttl_ms: u64,
+    no_sync: bool,
     format: Format,
     quiet: bool,
     progress: bool,
@@ -190,6 +216,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut out_dir: Option<String> = None;
     let mut store_schema = STORE_SCHEMA_VERSION;
     let mut resume_dir: Option<String> = None;
+    let mut distributed: Option<String> = None;
+    let mut workers = 2usize;
+    let mut lease_cells = DEFAULT_LEASE_CELLS;
+    let mut lease_ttl_ms = DEFAULT_LEASE_TTL_MS;
+    let mut no_sync = false;
     let mut format = Format::Both;
     let mut quiet = false;
     let mut progress = false;
@@ -313,6 +344,30 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 };
             }
             "--resume" => resume_dir = Some(value("--resume")?.clone()),
+            "--distributed" => distributed = Some(value("--distributed")?.clone()),
+            "--workers" => {
+                workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+            }
+            "--lease-cells" => {
+                lease_cells = value("--lease-cells")?
+                    .parse()
+                    .map_err(|_| "--lease-cells needs an integer".to_string())?;
+                if lease_cells == 0 {
+                    return Err("--lease-cells must be >= 1".into());
+                }
+            }
+            "--lease-ttl" => {
+                let secs: f64 = value("--lease-ttl")?
+                    .parse()
+                    .map_err(|_| "--lease-ttl needs a number of seconds".to_string())?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err("--lease-ttl must be > 0 seconds".into());
+                }
+                lease_ttl_ms = (secs * 1_000.0).round().max(1.0) as u64;
+            }
+            "--no-sync" => no_sync = true,
             "--strategy" => {
                 strategy = match value("--strategy")?.as_str() {
                     "work-steal" | "steal" => ExecStrategy::WorkStealing,
@@ -343,7 +398,15 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     }
     spec.seeds = (0..seeds as u64).map(|i| seed_base + i).collect();
     // Resuming means "continue the campaign stored in DIR" — the store is
-    // both input and output, so a separate --out makes no sense.
+    // both input and output, so a separate --out makes no sense. And a
+    // distributed run names its directory through --distributed alone.
+    if distributed.is_some() && (out_dir.is_some() || resume_dir.is_some()) {
+        return Err(
+            "--distributed DIR names the store directory itself and always starts \
+             fresh — it excludes --out and --resume"
+                .into(),
+        );
+    }
     let (out_dir, resume) = match (out_dir, resume_dir) {
         (Some(_), Some(_)) => {
             return Err("--out and --resume are mutually exclusive (results are \
@@ -379,6 +442,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         out_dir,
         store_schema,
         resume,
+        distributed,
+        workers,
+        lease_cells,
+        lease_ttl_ms,
+        no_sync,
         format,
         quiet,
         progress,
@@ -428,6 +496,9 @@ fn run(options: Options) -> Result<(), String> {
         )
         .map_err(|e| format!("cannot create result store in {}: {e}", options.out_dir))?
     };
+    if options.no_sync {
+        store.set_sync(false);
+    }
     let pending = cells - store.completed_count().min(cells);
     eprintln!(
         "campaign: {cells} cells ({pending} to run) on {} thread(s)",
@@ -450,21 +521,12 @@ fn run(options: Options) -> Result<(), String> {
     // including resumed ones — back out of the store, so this is the
     // render-from-store path without re-cloning and re-folding per sink;
     // `write_store_renders_the_same_bytes_as_write` pins the equivalence).
-    let mut written = Vec::new();
-    if options.format != Format::Json {
-        written.extend(
-            CsvSink::new(&options.out_dir)
-                .write(&outcome.rows, &outcome.summaries)
-                .map_err(|e| format!("cannot write CSV results to {}: {e}", options.out_dir))?,
-        );
-    }
-    if options.format != Format::Csv {
-        written.extend(
-            JsonSink::new(&options.out_dir)
-                .write(&outcome.rows, &outcome.summaries)
-                .map_err(|e| format!("cannot write JSON results to {}: {e}", options.out_dir))?,
-        );
-    }
+    let written = render_outputs(
+        &options.out_dir,
+        options.format,
+        &outcome.rows,
+        &outcome.summaries,
+    )?;
 
     eprint!("{}", outcome.stats.render(outcome.wall));
     if options.metrics {
@@ -480,6 +542,250 @@ fn run(options: Options) -> Result<(), String> {
         eprintln!("wrote {}", path.display());
     }
     Ok(())
+}
+
+/// The flags a spawned worker inherits from the coordinator's own argv:
+/// the grid flags (the spec fingerprint must match), `--threads`,
+/// `--strategy` and `--no-sync`. Coordinator-only flags are stripped —
+/// mode/directory selection, lease geometry (recorded once in the
+/// lease-log header, so workers cannot disagree) and render/monitor
+/// options.
+fn worker_passthrough_args(args: &[String]) -> Vec<String> {
+    const DROP_WITH_VALUE: &[&str] = &[
+        "--distributed",
+        "--workers",
+        "--lease-cells",
+        "--lease-ttl",
+        "--out",
+        "--resume",
+        "--store-schema",
+        "--format",
+        "--trace-out",
+    ];
+    const DROP_BARE: &[&str] = &["--quiet", "--progress", "--metrics"];
+    let mut out = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if DROP_WITH_VALUE.contains(&arg.as_str()) {
+            iter.next();
+            continue;
+        }
+        if DROP_BARE.contains(&arg.as_str()) {
+            continue;
+        }
+        out.push(arg.clone());
+    }
+    out
+}
+
+/// `campaign --distributed DIR`: create the store and lease log, spawn
+/// `--workers` worker processes of this same binary, supervise them, and
+/// render the final outputs from the merged store. A worker that dies
+/// (even `kill -9`) does not fail the campaign: the survivors steal its
+/// expired lease, and the run only errors if the store ends incomplete.
+fn run_distributed(options: Options, raw_args: &[String]) -> Result<(), String> {
+    let dir = options
+        .distributed
+        .clone()
+        .expect("caller dispatches on --distributed");
+    let dir_path = std::path::Path::new(&dir).to_path_buf();
+    let runner = CampaignRunner::new(options.spec.clone())
+        .with_threads(options.threads)
+        .with_strategy(options.strategy)
+        .with_source(options.source.clone());
+    let cells = runner.cells()?.len();
+    let fingerprint = runner.fingerprint();
+    ResultStore::create_with_schema(&dir, fingerprint, cells, options.store_schema)
+        .map_err(|e| format!("cannot create result store in {dir}: {e}"))?;
+    LeaseLog::create(
+        &dir_path,
+        fingerprint,
+        cells,
+        options.lease_cells,
+        options.lease_ttl_ms,
+    )?;
+    let batches = cells.div_ceil(options.lease_cells);
+    eprintln!(
+        "distributed campaign: {cells} cells in {batches} lease batch(es) of {} \
+         (ttl {:.1} s) in {dir}",
+        options.lease_cells,
+        options.lease_ttl_ms as f64 / 1e3,
+    );
+    if options.workers == 0 {
+        eprintln!(
+            "initialised store and lease log only (--workers 0): launch \
+             `campaign worker {dir} --worker-id N <grid flags>` processes to execute it, \
+             then render with `campaign --resume {dir} <grid flags>`"
+        );
+        return Ok(());
+    }
+
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own executable: {e}"))?;
+    let pass = worker_passthrough_args(raw_args);
+    let mut children = Vec::new();
+    for w in 0..options.workers {
+        let child = std::process::Command::new(&exe)
+            .arg("worker")
+            .arg(&dir)
+            .arg("--worker-id")
+            .arg(w.to_string())
+            .args(&pass)
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {w}: {e}"))?;
+        children.push((w, child));
+    }
+    let started = std::time::Instant::now();
+    let mut failed: Vec<String> = Vec::new();
+    let mut exited = vec![false; children.len()];
+    loop {
+        let mut running = false;
+        for (i, (w, child)) in children.iter_mut().enumerate() {
+            if exited[i] {
+                continue;
+            }
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    exited[i] = true;
+                    if !status.success() {
+                        eprintln!("worker {w} exited abnormally ({status})");
+                        failed.push(format!("worker {w}: {status}"));
+                    }
+                }
+                Ok(None) => running = true,
+                Err(e) => return Err(format!("cannot wait for worker {w}: {e}")),
+            }
+        }
+        if !running {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        if options.progress {
+            // The coordinator monitors through the same shared files the
+            // workers coordinate through — no channel to the children.
+            if let Ok(log) = LeaseLog::open(&dir_path) {
+                eprint!(
+                    "{}",
+                    render_lease_progress(log.state(), log.header(), now_ms(), started.elapsed())
+                );
+            }
+        }
+    }
+
+    let log = LeaseLog::open(&dir_path)?;
+    eprint!(
+        "{}",
+        log.state()
+            .render(log.header().lease_cells, log.header().total_cells, now_ms())
+    );
+    let store = ResultStore::open(&dir)?;
+    if !store.is_complete() {
+        let why = if failed.is_empty() {
+            "no worker reported failure".to_string()
+        } else {
+            failed.join(", ")
+        };
+        return Err(format!(
+            "distributed campaign incomplete: {}/{} cells recorded ({why}) — \
+             relaunch workers against {dir} or finish with --resume {dir}",
+            store.completed_count(),
+            store.total_cells(),
+        ));
+    }
+    let rows = store.rows();
+    let summaries = summarize(&rows);
+    if !options.quiet {
+        print!("{}", summary_table(&summaries));
+    }
+    let written = render_outputs(&dir, options.format, &rows, &summaries)?;
+    eprintln!(
+        "distributed campaign complete: {cells} cell(s) via {} worker process(es) in {:.2} s\
+         {}",
+        options.workers,
+        started.elapsed().as_secs_f64(),
+        if failed.is_empty() {
+            String::new()
+        } else {
+            format!(" (survived: {})", failed.join(", "))
+        },
+    );
+    for path in written {
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+/// `campaign worker DIR --worker-id N [grid flags]`: one distributed
+/// worker process. Normally spawned by `--distributed`; running it by hand
+/// requires the coordinator's exact grid flags (fingerprint-checked).
+fn run_worker_cli(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut worker_id: Option<usize> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--worker-id" => {
+                worker_id = Some(
+                    iter.next()
+                        .ok_or_else(|| "--worker-id needs a value".to_string())?
+                        .parse()
+                        .map_err(|_| "--worker-id needs an integer".to_string())?,
+                );
+            }
+            path if !path.starts_with("--") && dir.is_none() && rest.is_empty() => {
+                dir = Some(path.to_string());
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let dir = dir.ok_or("worker needs a store directory (before any grid flags)")?;
+    let worker = worker_id.ok_or("worker needs --worker-id N")?;
+    let Some(options) = parse_args(&rest)? else {
+        return Ok(());
+    };
+    let obs = if options.metrics {
+        CampaignObs::metrics()
+    } else {
+        CampaignObs::disabled()
+    };
+    let runner = CampaignRunner::new(options.spec.clone())
+        .with_threads(options.threads)
+        .with_strategy(options.strategy)
+        .with_source(options.source)
+        .with_obs(obs.clone());
+    let outcome = runner.run_worker(std::path::Path::new(&dir), worker, !options.no_sync)?;
+    eprint!("{}", outcome.render());
+    if options.metrics {
+        eprint!("{}", obs.registry.snapshot());
+    }
+    Ok(())
+}
+
+/// Write the requested `cells.*`/`summary.*` render files. One render
+/// path for every mode — local, resumed, and distributed runs produce
+/// byte-identical files from the same rows.
+fn render_outputs(
+    out_dir: &str,
+    format: Format,
+    rows: &[CellRow],
+    summaries: &[SummaryRow],
+) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut written = Vec::new();
+    if format != Format::Json {
+        written.extend(
+            CsvSink::new(out_dir)
+                .write(rows, summaries)
+                .map_err(|e| format!("cannot write CSV results to {out_dir}: {e}"))?,
+        );
+    }
+    if format != Format::Csv {
+        written.extend(
+            JsonSink::new(out_dir)
+                .write(rows, summaries)
+                .map_err(|e| format!("cannot write JSON results to {out_dir}: {e}"))?,
+        );
+    }
+    Ok(written)
 }
 
 /// Aligned stdout table of the across-seed summaries. The `load` and
@@ -813,6 +1119,17 @@ fn run_report(args: &[String]) -> Result<(), String> {
         scanner.total_cells(),
         scanner.spec_hash(),
     );
+    let dir_path = std::path::Path::new(&dir);
+    if dir_path.join(LEASES_NAME).exists() {
+        match LeaseLog::open(dir_path) {
+            Ok(log) => print!(
+                "{}",
+                log.state()
+                    .render(log.header().lease_cells, log.header().total_cells, now_ms())
+            ),
+            Err(e) => println!("lease log unreadable: {e}"),
+        }
+    }
     if rows.is_empty() {
         println!("no completed cells yet — nothing to summarize");
         return Ok(());
@@ -835,11 +1152,15 @@ fn run_report(args: &[String]) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(subcommand) = args.first().map(String::as_str) {
-        if matches!(subcommand, "pareto" | "query" | "report" | "compact") {
+        if matches!(
+            subcommand,
+            "pareto" | "query" | "report" | "compact" | "worker"
+        ) {
             let run = match subcommand {
                 "pareto" => run_pareto(&args[1..]),
                 "query" => run_query(&args[1..]),
                 "compact" => run_compact(&args[1..]),
+                "worker" => run_worker_cli(&args[1..]),
                 _ => run_report(&args[1..]),
             };
             return match run {
@@ -853,7 +1174,11 @@ fn main() -> ExitCode {
         }
     }
     match parse_args(&args) {
-        Ok(Some(options)) => match run(options) {
+        Ok(Some(options)) => match if options.distributed.is_some() {
+            run_distributed(options, &args)
+        } else {
+            run(options)
+        } {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("error: {message}");

@@ -25,6 +25,7 @@
 //! cell is scheduling-dependent under stealing.
 
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -35,6 +36,7 @@ use apc_rjms::cluster::Platform;
 use apc_workload::{CurieTraceGenerator, TraceCache};
 
 use crate::agg::{summarize, CellRow, SummaryRow};
+use crate::lease::{now_ms, Backoff, LeaseAction, LeaseLog};
 use crate::obs::{CampaignObs, ExecObs};
 use crate::spec::{CampaignCell, CampaignSpec, CellWorkload, TraceSource};
 use crate::store::ResultStore;
@@ -302,6 +304,131 @@ impl CampaignRunner {
         })
     }
 
+    /// Run one distributed worker process's lease loop against the store
+    /// and lease log in `dir` (both created by `campaign --distributed`).
+    ///
+    /// The loop pulls whole **batches** instead of cells: refresh the lease
+    /// log, take the [`LeaseAction`] it prescribes — claim a free batch,
+    /// steal an expired one (after the jittered [`Backoff`] when a claim
+    /// race was lost), wait, or finish — then execute the batch's
+    /// unrecorded cells through the same in-process work-stealing pool as a
+    /// local run, appending rows to this worker's own partition files and
+    /// heartbeat-renewing the lease at half its TTL as rows stream in. The
+    /// manifest `done` set is re-read at claim time, so a stolen batch
+    /// re-executes only what its dead holder had not recorded.
+    ///
+    /// Exactly-once, in effect: a batch retires exactly once (lease-log
+    /// replay is deterministic), and though an alive-but-slow holder can
+    /// race its stealer into executing a cell twice, both append
+    /// byte-identical rows — replay is a pure function of the cell — which
+    /// last-wins duplicate resolution collapses. With `sync` off the
+    /// store's and lease log's fsyncs are skipped (tests only).
+    ///
+    /// The fingerprint check gates every worker: both the manifest and the
+    /// lease-log header must record this runner's exact grid.
+    pub fn run_worker(
+        &self,
+        dir: &Path,
+        worker: usize,
+        sync: bool,
+    ) -> Result<WorkerOutcome, String> {
+        self.spec.validate_for(&self.source)?;
+        let cells = self.cells()?;
+        let fingerprint = self.fingerprint();
+        let mut store = ResultStore::open_worker(dir, worker)?;
+        store.set_sync(sync);
+        store.validate_spec(fingerprint, cells.len())?;
+        let mut lease = LeaseLog::open(dir)?;
+        lease.set_sync(sync);
+        lease.validate_spec(fingerprint, cells.len())?;
+        let ttl_ms = lease.header().ttl_ms;
+        // Per-worker lease counters, published like the executor's worker
+        // counters (on the caller's registry when one is attached).
+        let registry = if self.obs.registry.is_live() {
+            self.obs.registry.clone()
+        } else {
+            Registry::new()
+        };
+        let claims_c = registry.counter(&format!("campaign.worker.{worker}.lease.claims"));
+        let steals_c = registry.counter(&format!("campaign.worker.{worker}.lease.steals"));
+        let renews_c = registry.counter(&format!("campaign.worker.{worker}.lease.renews"));
+        let conflicts_c = registry.counter(&format!("campaign.worker.{worker}.lease.conflicts"));
+        let batches_c = registry.counter(&format!("campaign.worker.{worker}.lease.batches_done"));
+        let mut backoff = Backoff::new(worker as u64, 50, (ttl_ms / 2).clamp(200, 5_000));
+        let mut out = WorkerOutcome {
+            worker,
+            ..WorkerOutcome::default()
+        };
+        loop {
+            lease.refresh()?;
+            match lease.state().next_action(worker, now_ms()) {
+                LeaseAction::Finished => break,
+                LeaseAction::Wait { ms } => {
+                    // Bounded naps so an expiry (or completion) is noticed
+                    // promptly even when the suggested wait is a whole TTL.
+                    std::thread::sleep(Duration::from_millis(ms.min(1_000)));
+                }
+                LeaseAction::Claim { batch, steal } => {
+                    if lease.state().owner(batch) != Some(worker) {
+                        // Append-then-verify: the claim only took effect if
+                        // the re-read log replays us as the owner. Losing
+                        // the race is answered with jittered backoff, not
+                        // retried immediately (the winner is running).
+                        lease.append_claim(batch, worker, now_ms())?;
+                        lease.refresh()?;
+                        if lease.state().owner(batch) != Some(worker) {
+                            out.conflicts += 1;
+                            conflicts_c.inc();
+                            std::thread::sleep(backoff.next_delay());
+                            continue;
+                        }
+                        out.claims += 1;
+                        claims_c.inc();
+                        if steal {
+                            out.steals += 1;
+                            steals_c.inc();
+                        }
+                    }
+                    backoff.reset();
+                    // The manifest, not the lease log, is the ground truth
+                    // for completed cells: skip everything recorded — by us,
+                    // by the batch's dead previous holder, by anyone.
+                    store.refresh_done()?;
+                    let pending: Vec<usize> = lease
+                        .header()
+                        .batch_range(batch)
+                        .filter(|i| !store.contains(*i))
+                        .collect();
+                    let mut last_beat = now_ms();
+                    let mut renews = 0usize;
+                    {
+                        let store = &mut store;
+                        let lease = &mut lease;
+                        self.execute(&cells, &pending, |row| {
+                            store.append(&row).map_err(|e| {
+                                format!("cannot append cell {} to result store: {e}", row.index)
+                            })?;
+                            let t = now_ms();
+                            if t.saturating_sub(last_beat) >= ttl_ms / 2 {
+                                lease.append_renew(batch, worker, t)?;
+                                last_beat = t;
+                                renews += 1;
+                            }
+                            Ok(())
+                        })?;
+                    }
+                    out.renews += renews;
+                    renews_c.add(renews as u64);
+                    lease.append_done(batch, worker, now_ms())?;
+                    out.batches += 1;
+                    batches_c.inc();
+                    out.cells += pending.len();
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Run the `pending` cell indices through the worker pool, handing each
     /// finished row to `on_row` on the coordinator thread (in completion
     /// order, *not* index order). An `on_row` error stops the run early.
@@ -387,6 +514,43 @@ impl CampaignRunner {
             hits: cache.hits(),
             misses: cache.misses(),
         })
+    }
+}
+
+/// What one distributed worker process did
+/// ([`CampaignRunner::run_worker`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerOutcome {
+    /// This worker's id.
+    pub worker: usize,
+    /// Cells this worker executed (not counting skipped recorded ones).
+    pub cells: usize,
+    /// Batches this worker retired.
+    pub batches: usize,
+    /// Accepted claims (fresh batches plus steals).
+    pub claims: usize,
+    /// Of those, claims over an expired lease (steals).
+    pub steals: usize,
+    /// Heartbeat renews appended.
+    pub renews: usize,
+    /// Claim races lost (answered with backoff).
+    pub conflicts: usize,
+}
+
+impl WorkerOutcome {
+    /// The one-line summary the `campaign worker` CLI prints to stderr.
+    pub fn render(&self) -> String {
+        format!(
+            "worker {}: {} cell(s) over {} batch(es) ({} claim(s), {} steal(s), \
+             {} renew(s), {} lost race(s))\n",
+            self.worker,
+            self.cells,
+            self.batches,
+            self.claims,
+            self.steals,
+            self.renews,
+            self.conflicts,
+        )
     }
 }
 

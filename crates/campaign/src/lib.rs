@@ -55,6 +55,7 @@ pub mod colstore;
 pub mod compact;
 pub mod diff;
 pub mod exec;
+pub mod lease;
 pub mod obs;
 pub mod pareto;
 pub mod progress;
@@ -70,14 +71,19 @@ pub mod prelude {
     pub use crate::compact::{compact_store, CompactStats};
     pub use crate::diff::{diff_summary_csv, DiffReport, MetricDelta};
     pub use crate::exec::{
-        platform_for, CampaignOutcome, CampaignRunner, ExecStrategy, RunStats, WorkerStats,
+        platform_for, CampaignOutcome, CampaignRunner, ExecStrategy, RunStats, WorkerOutcome,
+        WorkerStats,
+    };
+    pub use crate::lease::{
+        now_ms, Backoff, BatchLease, LeaseAction, LeaseHeader, LeaseLog, LeaseState,
+        WorkerLeaseStats, DEFAULT_LEASE_CELLS, DEFAULT_LEASE_TTL_MS, LEASES_NAME,
     };
     pub use crate::obs::CampaignObs;
     pub use crate::pareto::{
         pareto_front, pareto_front_cells, render_pareto_cells_csv, render_pareto_csv, Objectives,
         ParetoCellRow, ParetoRow,
     };
-    pub use crate::progress::{render_progress, ProgressMonitor};
+    pub use crate::progress::{render_lease_progress, render_progress, ProgressMonitor};
     pub use crate::query::{
         numeric, project, scan_store, AggKind, GroupAggregator, Projection, RowFilter, ScanFlow,
         ScanStats, StoreScanner, DEFAULT_AGG_COLUMNS, NUMERIC_COLUMNS, QUERY_COLUMNS,

@@ -19,6 +19,8 @@ use std::time::{Duration, Instant};
 
 use apc_obs::{Registry, Snapshot};
 
+use crate::lease::{BatchLease, LeaseHeader, LeaseState};
+
 /// How often the interactive view redraws.
 const INTERACTIVE_TICK: Duration = Duration::from_millis(200);
 /// How often the piped (non-terminal) fallback prints a line.
@@ -82,6 +84,53 @@ pub fn render_progress(snapshot: &Snapshot, total: usize, elapsed: Duration) -> 
         out.push_str(&format!(
             "  w{w}: {:>4} done  {:>3} stolen  queue {}\n",
             p.completed, p.stolen, p.queue_depth
+        ));
+    }
+    out
+}
+
+/// Render the distributed coordinator's progress view from a lease-log
+/// replay: batch completion, active/expired lease counts, steals, and one
+/// heartbeat-age line per worker. Pure — the `--distributed` monitor loop
+/// and the tests share it. (The coordinator has no shared registry with
+/// its worker *processes*; the lease log itself is the telemetry channel.)
+pub fn render_lease_progress(
+    state: &LeaseState,
+    header: &LeaseHeader,
+    now_ms: u64,
+    elapsed: Duration,
+) -> String {
+    let total = header.batch_count();
+    let done = state.done_count();
+    let expired = state
+        .batches()
+        .iter()
+        .filter(|b| matches!(b, BatchLease::Held { deadline_ms, .. } if *deadline_ms <= now_ms))
+        .count();
+    let active = state
+        .batches()
+        .iter()
+        .filter(|b| matches!(b, BatchLease::Held { .. }))
+        .count()
+        - expired;
+    let percent = if total > 0 {
+        done as f64 * 100.0 / total as f64
+    } else {
+        100.0
+    };
+    let mut out = format!(
+        "leases {done}/{total} batch(es) ({percent:.0}%)  {active} active  {expired} expired  \
+         {} steal(s)  {:.1} s elapsed\n",
+        state.total_steals(),
+        elapsed.as_secs_f64(),
+    );
+    for (worker, stats) in state.worker_stats() {
+        out.push_str(&format!(
+            "  w{worker}: {:>3} done  {:>3} claim(s) ({} stolen)  heartbeat {:.1} s ago\n",
+            stats.batches_done,
+            stats.claims,
+            stats.steals,
+            now_ms.saturating_sub(stats.last_seen_ms) as f64 / 1e3,
         ));
     }
     out
@@ -219,5 +268,39 @@ mod tests {
         let monitor = ProgressMonitor::start_with_mode(registry, 12, false);
         std::thread::sleep(Duration::from_millis(30));
         monitor.stop();
+    }
+
+    #[test]
+    fn lease_progress_counts_active_expired_and_heartbeats() {
+        let header = LeaseHeader {
+            spec_hash: 0xabc,
+            total_cells: 16,
+            lease_cells: 4,
+            ttl_ms: 1_000,
+        };
+        let mut state = LeaseState::new(header.batch_count());
+        // w0 done with batch 0; w1 alive on batch 1; w2's lease on batch 2
+        // expired at t=5000 and was then stolen and finished by w1.
+        assert!(state.apply_line("claim 0 0 1000 2000"));
+        assert!(state.apply_line("done 0 0 1900"));
+        assert!(state.apply_line("claim 1 1 4500 5500"));
+        assert!(state.apply_line("claim 2 2 3000 4000"));
+        assert!(state.apply_line("claim 2 1 4600 5600"));
+        assert!(state.apply_line("done 2 1 4900"));
+        assert!(state.apply_line("claim 3 2 4950 5950"));
+        let text = render_lease_progress(&state, &header, 5_000, Duration::from_secs(4));
+        assert!(
+            text.starts_with("leases 2/4 batch(es) (50%)  2 active  0 expired  1 steal(s)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("w1:   1 done    2 claim(s) (1 stolen)"),
+            "{text}"
+        );
+        assert!(text.contains("heartbeat 0.1 s ago"), "{text}");
+        // Once w1's lease deadline passes it reads as expired while w2's
+        // later deadline keeps its lease active.
+        let later = render_lease_progress(&state, &header, 5_700, Duration::from_secs(5));
+        assert!(later.contains("1 active  1 expired"), "{later}");
     }
 }

@@ -32,7 +32,9 @@ use std::path::{Path, PathBuf};
 
 use crate::agg::CellRow;
 use crate::colstore::PartitionBuf;
-use crate::store::{is_v3_part, sorted_part_paths, ParsedManifest, MANIFEST_NAME, PARTS_DIR};
+use crate::store::{
+    is_v3_part, load_part_rows, sorted_part_paths, ParsedManifest, MANIFEST_NAME, PARTS_DIR,
+};
 
 /// A conjunctive row filter: every populated field must match.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -659,9 +661,45 @@ impl StoreScanner {
             done[idx] = true;
         }
         let is_done = |idx: usize| idx < done.len() && done[idx];
-        for (_, path) in sorted_part_paths(&self.dir.join(PARTS_DIR))? {
-            if is_v3_part(&path) {
-                let buf = PartitionBuf::read(&path)?;
+        let parts = sorted_part_paths(&self.dir.join(PARTS_DIR))?;
+        let mut next = 0;
+        while next < parts.len() {
+            let group_start = next;
+            let number = parts[group_start].0;
+            while next < parts.len() && parts[next].0 == number {
+                next += 1;
+            }
+            if next - group_start > 1 {
+                // A distributed campaign whose lease bounced between workers
+                // leaves several files for one partition number
+                // (`part-N-wW.apc`), and a cell's duplicate records can then
+                // span files. Merge the whole group in sorted-file order
+                // before last-wins resolution — per-file resolution would
+                // emit such a cell once per file — trading the zone-map
+                // machinery for a plain merge on this (small, rare) group.
+                let mut merged: BTreeMap<usize, CellRow> = BTreeMap::new();
+                for (_, path) in &parts[group_start..next] {
+                    stats.partitions_scanned += 1;
+                    for row in load_part_rows(path)? {
+                        if is_done(row.index) {
+                            merged.insert(row.index, row);
+                        }
+                    }
+                }
+                for row in merged.values() {
+                    if filter.matches(row) {
+                        stats.matched += 1;
+                        if on_row(row)? == ScanFlow::Stop {
+                            stats.stopped_early = true;
+                            return Ok(stats);
+                        }
+                    }
+                }
+                continue;
+            }
+            let path = &parts[group_start].1;
+            if is_v3_part(path) {
+                let buf = PartitionBuf::read(path)?;
                 let blocks = buf.block_count();
                 if blocks == 0 {
                     continue; // fully torn or empty file: nothing trusted
@@ -743,7 +781,7 @@ impl StoreScanner {
                 }
             } else {
                 stats.partitions_scanned += 1;
-                let text = fs::read_to_string(&path)
+                let text = fs::read_to_string(path)
                     .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
                 // Per-partition map resolving duplicates to the last
                 // parseable record, as in the full loader.

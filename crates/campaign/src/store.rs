@@ -31,6 +31,16 @@
 //! byte-identical CSV/JSON. Duplicate records for one index (a torn record
 //! followed by its rerun) resolve to the **last** intact occurrence.
 //!
+//! Appends are fsync'd by default — the partition file before the `done`
+//! line, the manifest after it — so a crash cannot reorder a completion
+//! entry ahead of its row ([`ResultStore::set_sync`] turns this off for
+//! tests and benches). Distributed workers
+//! ([`ResultStore::open_worker`]) write worker-owned
+//! `cells/part-NNNN-wW.apc` partitions and share only the manifest, whose
+//! `done` lines are single atomic `O_APPEND` writes; readers merge all
+//! files of one partition number in (plain, then worker-id) order with the
+//! same last-wins rule.
+//!
 //! [`CampaignSpec::fingerprint`]: crate::spec::CampaignSpec::fingerprint
 
 use std::collections::BTreeMap;
@@ -83,27 +93,37 @@ pub const PART_CSV_HEADER: &str = crate::sink::CELLS_CSV_HEADER;
 /// The partition files of a store, sorted by **partition number** (parsed
 /// from the `part-N.csv` / `part-N.apc` name, not lexically — `part-10000`
 /// must come after `part-9999`, where a lexical sort would interleave them
-/// once grids grow past 640 k cells). Files that do not look like
-/// partitions are ignored.
+/// once grids grow past 640 k cells). Distributed workers write
+/// worker-owned `part-N-wW.{csv,apc}` partitions; those sort after the
+/// plain file of the same number, then by worker id, so replaying files in
+/// this order with last-wins duplicate resolution is deterministic however
+/// a lease bounced between workers. Files that do not look like partitions
+/// are ignored.
 pub(crate) fn sorted_part_paths(parts_dir: &Path) -> Result<Vec<(usize, PathBuf)>, String> {
     let entries =
         fs::read_dir(parts_dir).map_err(|e| format!("cannot read {}: {e}", parts_dir.display()))?;
-    let mut parts: Vec<(usize, PathBuf)> = entries
+    let mut parts: Vec<(usize, Option<usize>, PathBuf)> = entries
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter_map(|p| {
             let stem = p
                 .file_name()
                 .and_then(|n| n.to_str())
                 .and_then(|n| n.strip_prefix("part-"))?;
-            let number = stem
+            let rest = stem
                 .strip_suffix(".csv")
-                .or_else(|| stem.strip_suffix(".apc"))
-                .and_then(|n| n.parse::<usize>().ok())?;
-            Some((number, p))
+                .or_else(|| stem.strip_suffix(".apc"))?;
+            let (number, worker) = match rest.split_once("-w") {
+                Some((n, w)) => (n.parse::<usize>().ok()?, Some(w.parse::<usize>().ok()?)),
+                None => (rest.parse::<usize>().ok()?, None),
+            };
+            Some((number, worker, p))
         })
         .collect();
-    parts.sort_by_key(|(number, _)| *number);
-    Ok(parts)
+    parts.sort_by_key(|(number, worker, _)| (*number, worker.is_some(), worker.unwrap_or(0)));
+    Ok(parts
+        .into_iter()
+        .map(|(number, _, p)| (number, p))
+        .collect())
 }
 
 /// Is this partition path a v3 (binary columnar) file? Readers dispatch on
@@ -242,11 +262,26 @@ pub struct ResultStore {
     total_cells: usize,
     cells_per_part: usize,
     /// Completed rows by cell index (trusted: listed in the manifest).
+    /// Empty for [`open_worker`](Self::open_worker) handles, which track
+    /// completion through `done` alone and never render.
     rows: BTreeMap<usize, CellRow>,
+    /// Completed cell indices. For full opens this mirrors `rows`; a
+    /// worker handle seeds it from the raw manifest `done` log and
+    /// [`refresh_done`](Self::refresh_done) merges completions other
+    /// workers appended since.
+    done: std::collections::BTreeSet<usize>,
     /// Append handle for the manifest completion log.
     manifest: fs::File,
     /// Cached append handle for the most recently written partition.
     current_part: Option<(usize, fs::File)>,
+    /// Worker id recorded in this handle's partition file names
+    /// (`part-NNNN-wW.apc`), so concurrent worker processes never append
+    /// to one another's partition files. `None` for single-process stores.
+    worker_tag: Option<usize>,
+    /// fsync the partition file before the `done` append and the manifest
+    /// after it (the ordering a crash cannot reorder). On by default;
+    /// `--no-sync` clears it for tests and benches.
+    sync: bool,
 }
 
 impl ResultStore {
@@ -291,6 +326,8 @@ impl ResultStore {
         writeln!(manifest, "cells {total_cells}")?;
         writeln!(manifest, "per-part {DEFAULT_CELLS_PER_PART}")?;
         manifest.flush()?;
+        // One-off: make the header durable before any worker trusts it.
+        manifest.sync_data()?;
         Ok(ResultStore {
             dir,
             schema,
@@ -298,8 +335,11 @@ impl ResultStore {
             total_cells,
             cells_per_part: DEFAULT_CELLS_PER_PART,
             rows: BTreeMap::new(),
+            done: std::collections::BTreeSet::new(),
             manifest,
             current_part: None,
+            worker_tag: None,
+            sync: true,
         })
     }
 
@@ -347,6 +387,7 @@ impl ResultStore {
                 .write_all(b"\n")
                 .map_err(|e| format!("cannot repair {}: {e}", manifest_path.display()))?;
         }
+        let done = rows.keys().copied().collect();
         Ok(ResultStore {
             dir,
             schema,
@@ -354,9 +395,77 @@ impl ResultStore {
             total_cells,
             cells_per_part,
             rows,
+            done,
             manifest,
             current_part: None,
+            worker_tag: None,
+            sync: true,
         })
+    }
+
+    /// Open the store as distributed worker `worker`: the manifest's raw
+    /// `done` log is trusted as-is (under fsync'd appends a `done` entry
+    /// implies its row is durable) and **no rows are loaded** — a worker
+    /// only needs the completion set to skip recorded cells, and N workers
+    /// each deserializing the whole store would defeat the point. All
+    /// partition files this handle writes carry a `-w<worker>` name suffix,
+    /// so concurrent workers never append to the same file; the manifest's
+    /// `done` appends are single `O_APPEND` writes, atomic between
+    /// processes on a local filesystem.
+    pub fn open_worker(dir: impl Into<PathBuf>, worker: usize) -> Result<Self, String> {
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let text = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let parsed = ParsedManifest::parse(&dir, &text)?;
+        let mut manifest = fs::OpenOptions::new()
+            .append(true)
+            .open(&manifest_path)
+            .map_err(|e| format!("cannot reopen {}: {e}", manifest_path.display()))?;
+        if !text.is_empty() && !text.ends_with('\n') {
+            manifest
+                .write_all(b"\n")
+                .map_err(|e| format!("cannot repair {}: {e}", manifest_path.display()))?;
+        }
+        Ok(ResultStore {
+            dir,
+            schema: parsed.schema,
+            spec_hash: parsed.spec_hash,
+            total_cells: parsed.total_cells,
+            cells_per_part: parsed.cells_per_part,
+            rows: BTreeMap::new(),
+            done: parsed.done,
+            manifest,
+            current_part: None,
+            worker_tag: Some(worker),
+            sync: true,
+        })
+    }
+
+    /// Re-read the manifest's completion log and merge `done` entries other
+    /// workers appended since this handle last looked. Returns the total
+    /// completed count. Torn trailing lines are skipped exactly as on open.
+    pub fn refresh_done(&mut self) -> Result<usize, String> {
+        let manifest_path = self.dir.join(MANIFEST_NAME);
+        let text = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        for line in text.lines() {
+            let mut words = line.split_whitespace();
+            if let (Some("done"), Some(v)) = (words.next(), words.next()) {
+                if let Ok(idx) = v.parse::<usize>() {
+                    self.done.insert(idx);
+                }
+            }
+        }
+        Ok(self.done.len())
+    }
+
+    /// Disable (or re-enable) the per-append fsyncs. With `sync` off a
+    /// crash can reorder the row write and its `done` entry across the
+    /// page cache — acceptable for tests and benches, not for campaigns
+    /// anyone intends to resume or distribute.
+    pub fn set_sync(&mut self, sync: bool) {
+        self.sync = sync;
     }
 
     /// Check the store belongs to this campaign before resuming into it.
@@ -380,9 +489,11 @@ impl ResultStore {
         Ok(())
     }
 
-    /// Append one finished cell: the row goes to its partition file first,
-    /// then the `done` line to the manifest — the ordering that makes a
-    /// crash at any point safe.
+    /// Append one finished cell: the row goes to its partition file first
+    /// (fsync'd, unless [`set_sync`](Self::set_sync) turned syncing off),
+    /// then the `done` line to the manifest (fsync'd likewise) — the
+    /// ordering that makes a crash at any point safe: a `done` entry is
+    /// only ever durable *after* the row it vouches for.
     pub fn append(&mut self, row: &CellRow) -> io::Result<()> {
         let part_no = row.index / self.cells_per_part;
         if self.current_part.as_ref().map(|(n, _)| *n) != Some(part_no) {
@@ -433,22 +544,38 @@ impl ResultStore {
             file.write_all(&colstore::encode_block(std::slice::from_ref(row)))?;
         }
         file.flush()?;
-        writeln!(self.manifest, "done {}", row.index)?;
+        if self.sync {
+            file.sync_data()?;
+        }
+        // One write_all, not writeln!'s several: concurrent worker
+        // processes share the manifest via O_APPEND, and a single write of
+        // a whole line is atomic between them on a local filesystem.
+        self.manifest
+            .write_all(format!("done {}\n", row.index).as_bytes())?;
         self.manifest.flush()?;
-        self.rows.insert(row.index, row.clone());
+        if self.sync {
+            self.manifest.sync_data()?;
+        }
+        self.done.insert(row.index);
+        if self.worker_tag.is_none() {
+            self.rows.insert(row.index, row.clone());
+        }
         Ok(())
     }
 
-    /// Path of partition `part_no` under this store's write schema.
+    /// Path of partition `part_no` under this store's write schema (with
+    /// the owning worker's suffix on distributed handles).
     fn part_path(&self, part_no: usize) -> PathBuf {
         let ext = if self.schema == STORE_SCHEMA_V2 {
             "csv"
         } else {
             colstore::PART_EXT_V3
         };
-        self.dir
-            .join(PARTS_DIR)
-            .join(format!("part-{part_no:04}.{ext}"))
+        let name = match self.worker_tag {
+            Some(w) => format!("part-{part_no:04}-w{w}.{ext}"),
+            None => format!("part-{part_no:04}.{ext}"),
+        };
+        self.dir.join(PARTS_DIR).join(name)
     }
 
     /// The store's root directory.
@@ -473,22 +600,22 @@ impl ResultStore {
 
     /// Indices of the cells recorded so far (trusted entries only).
     pub fn completed(&self) -> impl Iterator<Item = usize> + '_ {
-        self.rows.keys().copied()
+        self.done.iter().copied()
     }
 
     /// Number of trusted recorded cells.
     pub fn completed_count(&self) -> usize {
-        self.rows.len()
+        self.done.len()
     }
 
     /// Whether a cell's result is already recorded.
     pub fn contains(&self, index: usize) -> bool {
-        self.rows.contains_key(&index)
+        self.done.contains(&index)
     }
 
     /// Has every cell of the campaign been recorded?
     pub fn is_complete(&self) -> bool {
-        self.rows.len() == self.total_cells
+        self.done.len() == self.total_cells
     }
 
     /// All recorded rows, sorted by cell index — the input every render
@@ -763,6 +890,77 @@ mod tests {
         let parts = sorted_part_paths(&dir).unwrap();
         let numbers: Vec<usize> = parts.iter().map(|(n, _)| *n).collect();
         assert_eq!(numbers, [2, 9999, 10000]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn worker_handles_merge_into_one_store() {
+        let dir = temp_dir("workers");
+        drop(ResultStore::create(&dir, 0xfeed, 200).unwrap());
+        let mut w0 = ResultStore::open_worker(&dir, 0).unwrap();
+        let mut w1 = ResultStore::open_worker(&dir, 1).unwrap();
+        w0.set_sync(false);
+        w1.set_sync(false);
+        w0.append(&row(0)).unwrap();
+        w1.append(&row(1)).unwrap();
+        w0.append(&row(64)).unwrap();
+        // Worker handles observe each other's completions only through the
+        // shared manifest, on refresh.
+        assert!(!w1.contains(64));
+        w1.refresh_done().unwrap();
+        assert!(w1.contains(64));
+        assert_eq!(w1.completed_count(), 3);
+        // A stolen lease re-executes a cell into a second worker's file;
+        // readers resolve to the highest worker id (rows of a real rerun
+        // are byte-identical anyway — replay is deterministic).
+        let mut stolen = row(2);
+        stolen.launched_jobs = 111;
+        w0.append(&stolen).unwrap();
+        stolen.launched_jobs = 222;
+        w1.append(&stolen).unwrap();
+        drop(w0);
+        drop(w1);
+        for name in ["part-0000-w0.apc", "part-0000-w1.apc", "part-0001-w0.apc"] {
+            assert!(dir.join(PARTS_DIR).join(name).exists(), "missing {name}");
+        }
+        let merged = ResultStore::open(&dir).unwrap();
+        let rows = merged.rows();
+        assert_eq!(
+            rows.iter().map(|r| r.index).collect::<Vec<_>>(),
+            [0, 1, 2, 64]
+        );
+        assert_eq!(rows[2].launched_jobs, 222);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn worker_suffixed_partitions_sort_after_plain_files_of_same_number() {
+        let dir = temp_dir("worker-order");
+        fs::create_dir_all(&dir).unwrap();
+        for name in [
+            "part-0002-w1.apc",
+            "part-0002.apc",
+            "part-0002-w0.apc",
+            "part-0001-w10.csv",
+            "part-0001-w2.apc",
+        ] {
+            fs::write(dir.join(name), "x\n").unwrap();
+        }
+        let parts = sorted_part_paths(&dir).unwrap();
+        let names: Vec<String> = parts
+            .iter()
+            .map(|(_, p)| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "part-0001-w2.apc",
+                "part-0001-w10.csv",
+                "part-0002.apc",
+                "part-0002-w0.apc",
+                "part-0002-w1.apc",
+            ]
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

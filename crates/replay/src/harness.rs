@@ -191,7 +191,19 @@ impl ReplayHarness {
         // Fault plan: seeded node outages become ordinary events in the
         // controller's queue, so the replay stays fully deterministic.
         if let Some(plan) = &scenario.faults {
-            for (node, down, up) in plan.events(self.platform.total_nodes(), self.trace.duration) {
+            // Chassis-correlated plans need the platform's chassis width
+            // (level 0 on Curie-like topologies; 1 on flat ones).
+            let topology = &self.platform.topology;
+            let per_chassis = if topology.depth() > 0 {
+                topology.nodes_per_group(0)
+            } else {
+                1
+            };
+            for (node, down, up) in plan.events(
+                self.platform.total_nodes(),
+                per_chassis,
+                self.trace.duration,
+            ) {
                 controller.inject_node_outage(node, down, up);
             }
         }

@@ -207,6 +207,18 @@ impl CapSchedule {
 /// from `seed`. Injected into the controller's event stream, a failure
 /// powers the node off and kills whatever job occupies it (exercising the
 /// existing kill/requeue semantics); the recovery powers it back on.
+///
+/// Two realism variants compose with the base plan (and each other),
+/// expressed as label suffixes so legacy plans keep their exact syntax,
+/// labels, fingerprints and event streams:
+///
+/// * `:weibull=K` — failure instants follow Weibull(shape `K`)
+///   inter-failure times instead of the uniform draw. `K < 1` models the
+///   bursty infant-mortality clustering real HPC failure traces show;
+///   `K = 1` is exponential; `K > 1` spreads failures out (wear-out).
+/// * `:chassis` — each drawn failure takes down the whole chassis of the
+///   drawn node (shared power/cooling equipment failure), not just the one
+///   node: one event becomes `nodes_per_chassis` simultaneous outages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Number of injected outages.
@@ -215,6 +227,13 @@ pub struct FaultPlan {
     pub outage_duration: SimTime,
     /// Seed for the deterministic draw of nodes and failure instants.
     pub seed: u64,
+    /// Weibull shape parameter for inter-failure times, stored as raw `f64`
+    /// bits so the plan stays `Copy + Eq + Hash`. `None` keeps the legacy
+    /// uniform draw (and its exact event stream).
+    weibull_shape_bits: Option<u64>,
+    /// Chassis-correlated outages: each failure downs the drawn node's
+    /// whole chassis.
+    pub chassis: bool,
 }
 
 impl FaultPlan {
@@ -224,13 +243,46 @@ impl FaultPlan {
             count,
             outage_duration: outage_duration.max(1),
             seed,
+            weibull_shape_bits: None,
+            chassis: false,
         }
     }
 
-    /// Parse the CLI syntax `COUNTxDURATION@SEED` (e.g. `3x600@7`).
+    /// Use Weibull(shape `k`) inter-failure times (builder style). `k` must
+    /// be finite and positive; [`parse`](Self::parse) validates the CLI
+    /// syntax the same way.
+    pub fn with_weibull(mut self, k: f64) -> Self {
+        debug_assert!(k.is_finite() && k > 0.0, "weibull shape must be > 0");
+        self.weibull_shape_bits = Some(k.to_bits());
+        self
+    }
+
+    /// Make each outage take down the drawn node's whole chassis
+    /// (builder style).
+    pub fn with_chassis(mut self) -> Self {
+        self.chassis = true;
+        self
+    }
+
+    /// The Weibull shape parameter, when this plan uses Weibull
+    /// inter-failure times.
+    pub fn weibull_shape(&self) -> Option<f64> {
+        self.weibull_shape_bits.map(f64::from_bits)
+    }
+
+    /// Parse the CLI syntax `COUNTxDURATION@SEED` (e.g. `3x600@7`), with
+    /// optional `:weibull=K` and `:chassis` suffixes in any order
+    /// (e.g. `3x600@7:weibull=0.7:chassis`).
     pub fn parse(spec: &str) -> Result<Self, String> {
-        let err = || format!("fault plan {spec:?} is not COUNTxDURATION@SEED (e.g. 3x600@7)");
-        let (head, seed) = spec.split_once('@').ok_or_else(err)?;
+        let err = || {
+            format!(
+                "fault plan {spec:?} is not COUNTxDURATION@SEED with optional \
+                 :weibull=K / :chassis suffixes (e.g. 3x600@7:weibull=0.7)"
+            )
+        };
+        let mut parts = spec.split(':');
+        let base = parts.next().ok_or_else(err)?;
+        let (head, seed) = base.split_once('@').ok_or_else(err)?;
         let (count, duration) = head.split_once('x').ok_or_else(err)?;
         let count: usize = count.parse().map_err(|_| err())?;
         let duration: SimTime = duration.parse().map_err(|_| err())?;
@@ -238,22 +290,58 @@ impl FaultPlan {
         if count == 0 || duration == 0 {
             return Err(err());
         }
-        Ok(FaultPlan::new(count, duration, seed))
+        let mut plan = FaultPlan::new(count, duration, seed);
+        for suffix in parts {
+            match suffix.split_once('=') {
+                None if suffix == "chassis" => plan.chassis = true,
+                Some(("weibull", k)) => {
+                    let k: f64 = k.parse().map_err(|_| err())?;
+                    if !(k.is_finite() && k > 0.0) {
+                        return Err(format!(
+                            "fault plan {spec:?}: weibull shape must be a positive \
+                             finite number, got {k}"
+                        ));
+                    }
+                    plan.weibull_shape_bits = Some(k.to_bits());
+                }
+                _ => return Err(err()),
+            }
+        }
+        Ok(plan)
     }
 
     /// The CSV-safe label, round-tripping [`parse`](Self::parse):
-    /// `"3x600@7"`.
+    /// `"3x600@7"`, `"3x600@7:weibull=0.7"`, `"3x600@7:chassis"`,
+    /// `"3x600@7:weibull=0.7:chassis"` (suffixes in canonical order).
     pub fn label(&self) -> String {
-        format!("{}x{}@{}", self.count, self.outage_duration, self.seed)
+        let mut label = format!("{}x{}@{}", self.count, self.outage_duration, self.seed);
+        if let Some(k) = self.weibull_shape() {
+            label.push_str(&format!(":weibull={k}"));
+        }
+        if self.chassis {
+            label.push_str(":chassis");
+        }
+        label
     }
 
     /// The concrete `(node, down, up)` outages for a platform of
     /// `total_nodes` nodes over `[0, horizon)`, sorted by failure time.
-    /// Purely a function of the plan, the node count and the horizon —
+    /// Purely a function of the plan, the platform shape and the horizon —
     /// replays with the same plan are bit-identical. Outages may
     /// occasionally hit the same node; the controller treats the overlap as
     /// one longer outage ending at the first recovery.
-    pub fn events(&self, total_nodes: usize, horizon: SimTime) -> Vec<(usize, SimTime, SimTime)> {
+    ///
+    /// `nodes_per_chassis` only matters for [`chassis`](Self::chassis)
+    /// plans: each drawn event then expands to one outage per node of the
+    /// drawn node's chassis (pass 1 for flat topologies; the draw sequence
+    /// itself never depends on it, so plain and chassis plans with the same
+    /// base draw the same failure nodes and instants).
+    pub fn events(
+        &self,
+        total_nodes: usize,
+        nodes_per_chassis: usize,
+        horizon: SimTime,
+    ) -> Vec<(usize, SimTime, SimTime)> {
         if total_nodes == 0 || horizon == 0 {
             return Vec::new();
         }
@@ -266,13 +354,53 @@ impl FaultPlan {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             z ^ (z >> 31)
         };
-        let mut outages: Vec<(usize, SimTime, SimTime)> = (0..self.count)
-            .map(|_| {
-                let node = (draw() % total_nodes as u64) as usize;
-                let down = draw() % horizon;
-                (node, down, down + self.outage_duration)
-            })
+        // Draw interleaving matches the legacy path exactly — node then
+        // instant per event — so the `weibull`/`chassis` variants reuse the
+        // same node choices a plain plan with this seed makes.
+        let raw: Vec<(usize, u64)> = (0..self.count)
+            .map(|_| ((draw() % total_nodes as u64) as usize, draw()))
             .collect();
+        let downs: Vec<SimTime> = match self.weibull_shape() {
+            // Legacy: instants uniform over the horizon.
+            None => raw.iter().map(|&(_, t)| t % horizon).collect(),
+            // Weibull(k) inter-failure times via inversion,
+            // T_i = (-ln U_i)^(1/k), normalised so the cumulative arrivals
+            // span [0, horizon) — no gamma function needed, and the result
+            // is still a pure function of the seed. One extra draw closes
+            // the last gap so arrival `count` never lands on the horizon.
+            Some(k) => {
+                let uniform = |t: u64| {
+                    // 53 uniform bits, clamped away from 0 so ln stays finite.
+                    (((t >> 11) as f64) / (1u64 << 53) as f64).max(f64::MIN_POSITIVE)
+                };
+                let tail_gap = (-uniform(draw()).ln()).powf(1.0 / k);
+                let gaps: Vec<f64> = raw
+                    .iter()
+                    .map(|&(_, t)| (-uniform(t).ln()).powf(1.0 / k))
+                    .collect();
+                let total: f64 = gaps.iter().sum::<f64>() + tail_gap;
+                let mut cumulative = 0.0;
+                gaps.iter()
+                    .map(|gap| {
+                        cumulative += gap;
+                        (((cumulative / total) * horizon as f64) as SimTime).min(horizon - 1)
+                    })
+                    .collect()
+            }
+        };
+        let per_chassis = nodes_per_chassis.max(1);
+        let mut outages: Vec<(usize, SimTime, SimTime)> = Vec::new();
+        for (&(node, _), &down) in raw.iter().zip(&downs) {
+            let up = down + self.outage_duration;
+            if self.chassis {
+                let chassis = node / per_chassis;
+                let start = chassis * per_chassis;
+                let end = (start + per_chassis).min(total_nodes);
+                outages.extend((start..end).map(|n| (n, down, up)));
+            } else {
+                outages.push((node, down, up));
+            }
+        }
         outages.sort_unstable();
         outages
     }
@@ -659,7 +787,7 @@ mod tests {
         assert!(FaultPlan::parse("0x600@7").is_err());
         assert!(FaultPlan::parse("3x0@7").is_err());
         assert!(FaultPlan::parse("axb@c").is_err());
-        let events = plan.events(180, 18_000);
+        let events = plan.events(180, 18, 18_000);
         assert_eq!(events.len(), 3);
         for &(node, down, up) in &events {
             assert!(node < 180);
@@ -667,12 +795,84 @@ mod tests {
             assert_eq!(up, down + 600);
         }
         // Deterministic: same plan, same events; different seed, different.
-        assert_eq!(events, plan.events(180, 18_000));
-        assert_ne!(events, FaultPlan::new(3, 600, 8).events(180, 18_000));
+        assert_eq!(events, plan.events(180, 18, 18_000));
+        assert_ne!(events, FaultPlan::new(3, 600, 8).events(180, 18, 18_000));
         assert!(events.windows(2).all(|w| w[0] <= w[1]), "sorted");
         // Degenerate platforms produce no events.
-        assert!(plan.events(0, 18_000).is_empty());
-        assert!(plan.events(180, 0).is_empty());
+        assert!(plan.events(0, 18, 18_000).is_empty());
+        assert!(plan.events(180, 18, 0).is_empty());
+    }
+
+    #[test]
+    fn weibull_suffix_parses_labels_and_reshapes_instants() {
+        let plan = FaultPlan::parse("5x600@7:weibull=0.7").unwrap();
+        assert_eq!(plan.weibull_shape(), Some(0.7));
+        assert!(!plan.chassis);
+        assert_eq!(plan.label(), "5x600@7:weibull=0.7");
+        assert_eq!(FaultPlan::parse(&plan.label()).unwrap(), plan);
+        // Same seed, same nodes hit — only the instants move.
+        let base = FaultPlan::parse("5x600@7").unwrap();
+        let weibull = plan.events(180, 18, 18_000);
+        let uniform = base.events(180, 18, 18_000);
+        assert_eq!(weibull.len(), 5);
+        let nodes = |evs: &[(usize, SimTime, SimTime)]| {
+            let mut n: Vec<usize> = evs.iter().map(|e| e.0).collect();
+            n.sort_unstable();
+            n
+        };
+        assert_eq!(nodes(&weibull), nodes(&uniform));
+        assert_ne!(weibull, uniform, "instants are redistributed");
+        for &(_, down, _) in &weibull {
+            assert!(down < 18_000);
+        }
+        // Deterministic, and the shape matters.
+        assert_eq!(weibull, plan.events(180, 18, 18_000));
+        assert_ne!(
+            weibull,
+            FaultPlan::parse("5x600@7:weibull=2.5")
+                .unwrap()
+                .events(180, 18, 18_000)
+        );
+        // Bad shapes are rejected.
+        assert!(FaultPlan::parse("5x600@7:weibull=0").is_err());
+        assert!(FaultPlan::parse("5x600@7:weibull=-1").is_err());
+        assert!(FaultPlan::parse("5x600@7:weibull=nope").is_err());
+        assert!(FaultPlan::parse("5x600@7:bogus").is_err());
+    }
+
+    #[test]
+    fn chassis_suffix_downs_whole_chassis_groups() {
+        let plan = FaultPlan::parse("2x300@11:chassis").unwrap();
+        assert!(plan.chassis);
+        assert_eq!(plan.label(), "2x300@11:chassis");
+        assert_eq!(FaultPlan::parse(&plan.label()).unwrap(), plan);
+        let events = plan.events(90, 18, 18_000);
+        // 2 drawn failures x 18 nodes per chassis (chassis may collide,
+        // giving overlapping outages on the same nodes — still 36 events).
+        assert_eq!(events.len(), 36);
+        // Every event's node set covers whole chassis: group instants and
+        // check each (down, up) pair hits a full aligned 18-node range.
+        let base = FaultPlan::parse("2x300@11").unwrap().events(90, 18, 18_000);
+        let drawn_chassis: std::collections::BTreeSet<usize> =
+            base.iter().map(|&(n, _, _)| n / 18).collect();
+        let hit_nodes: std::collections::BTreeSet<usize> =
+            events.iter().map(|&(n, _, _)| n).collect();
+        let expect: std::collections::BTreeSet<usize> = drawn_chassis
+            .iter()
+            .flat_map(|c| (c * 18)..(c * 18 + 18))
+            .collect();
+        assert_eq!(hit_nodes, expect);
+        // Both suffixes compose, in either parse order, canonical label out.
+        let both = FaultPlan::parse("2x300@11:chassis:weibull=1.5").unwrap();
+        assert_eq!(both.label(), "2x300@11:weibull=1.5:chassis");
+        assert_eq!(FaultPlan::parse(&both.label()).unwrap(), both);
+        assert_eq!(both, base_plan_with_both());
+        // A flat topology (nodes_per_chassis = 1) degrades to single nodes.
+        assert_eq!(plan.events(90, 1, 18_000).len(), 2);
+    }
+
+    fn base_plan_with_both() -> FaultPlan {
+        FaultPlan::new(2, 300, 11).with_weibull(1.5).with_chassis()
     }
 
     #[test]
